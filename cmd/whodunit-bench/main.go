@@ -1,0 +1,46 @@
+// Command whodunit-bench regenerates every table and figure of the
+// paper's evaluation (§8, §9). Run with -quick for a fast, reduced-scale
+// pass (the same scale the test suite uses) or without flags for the
+// full paper-scale sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whodunit/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-scale run")
+	only := flag.String("only", "", "run a single experiment: fig8|fig9|fig10|table1|fig11|fig12|table2|table3|overheads|validate")
+	flag.Parse()
+
+	sc := experiments.FullScale
+	tp := experiments.FullTPCW
+	if *quick {
+		sc = experiments.QuickScale
+		tp = experiments.QuickTPCW
+	}
+
+	w := os.Stdout
+	run := func(name string, fn func()) {
+		if *only != "" && *only != name {
+			return
+		}
+		fn()
+		fmt.Fprintln(w)
+	}
+
+	run("validate", func() { experiments.FlowValidation().Render(w) })
+	run("fig8", func() { experiments.Fig8Apache(sc).Render(w) })
+	run("fig9", func() { experiments.Fig9Squid(sc).Render(w) })
+	run("fig10", func() { experiments.Fig10Haboob(sc).Render(w) })
+	run("table1", func() { experiments.Table1TPCW(tp).Render(w) })
+	run("fig11", func() { experiments.Fig11ResponseTimes(tp).Render(w) })
+	run("fig12", func() { experiments.Fig12Throughput(tp).Render(w) })
+	run("table2", func() { experiments.Table2Overhead(tp).Render(w) })
+	run("table3", func() { experiments.Table3Emulation().Render(w) })
+	run("overheads", func() { experiments.ServerOverheads(sc).Render(w) })
+}

@@ -1,0 +1,33 @@
+// Command whodunit-haboob runs the Haboob case study (§8.3, §9.3): the
+// SEDA web server whose WriteStage splits between the cache-hit and
+// cache-miss stage paths.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"whodunit/internal/apps/haboob"
+	"whodunit/internal/workload"
+)
+
+func main() {
+	conns := flag.Int("conns", 800, "connections in the web trace")
+	threads := flag.Int("threads", 2, "threads per stage")
+	flag.Parse()
+
+	wcfg := workload.DefaultWebConfig()
+	wcfg.NumConns = *conns
+	cfg := haboob.DefaultConfig(workload.GenWeb(wcfg))
+	cfg.ThreadsPerStage = *threads
+
+	res := haboob.Run(cfg)
+	fmt.Printf("served %d requests (%d hits, %d misses) in %v virtual (%.2f Mb/s)\n",
+		res.Requests, res.Hits, res.Misses, res.Elapsed.Seconds(), res.ThroughputMbps)
+	fmt.Println("\nper-context CPU shares (stage sequences):")
+	for _, sh := range res.Profiler.Shares() {
+		if sh.Samples > 0 {
+			fmt.Printf("  %6.2f%%  %s\n", 100*sh.Share, sh.Label)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command whodunit-stitch performs the post-mortem presentation phase
+// (§7.1, Figure 7) as a standalone tool: it reads per-stage profile dumps
+// (JSON files written with StageDump.Encode, one per stage) and stitches
+// them into the global transaction graph, printed as text or Graphviz dot.
+//
+//	whodunit-stitch web.json app.json db.json
+//	whodunit-stitch -dot web.json app.json db.json > graph.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whodunit/internal/stitch"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: whodunit-stitch [-dot] stage1.json stage2.json ...")
+		os.Exit(2)
+	}
+	var dumps []stitch.StageDump
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whodunit-stitch: %v\n", err)
+			os.Exit(1)
+		}
+		d, err := stitch.DecodeDump(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whodunit-stitch: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		dumps = append(dumps, d)
+	}
+	g := stitch.Build(dumps)
+	if *dot {
+		g.DOT(os.Stdout)
+	} else {
+		g.Render(os.Stdout)
+	}
+}

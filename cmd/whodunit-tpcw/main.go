@@ -1,0 +1,56 @@
+// Command whodunit-tpcw runs the TPC-W case study (§8.4, §9.1): the
+// three-tier bookstore under the browsing mix, reporting per-interaction
+// MySQL CPU shares, crosstalk waits, response times and throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whodunit/internal/apps/tpcw"
+	"whodunit/internal/minidb"
+	"whodunit/internal/profiler"
+	"whodunit/internal/vclock"
+	"whodunit/internal/workload"
+)
+
+func main() {
+	clients := flag.Int("clients", 100, "concurrent emulated clients")
+	minutes := flag.Int("minutes", 3, "virtual run length")
+	innodb := flag.Bool("innodb", false, "use InnoDB (row locks) for the item table")
+	caching := flag.Bool("caching", false, "enable servlet result caching")
+	mode := flag.String("mode", "whodunit", "off|csprof|whodunit|gprof")
+	flag.Parse()
+
+	cfg := tpcw.DefaultConfig(*clients)
+	cfg.Duration = vclock.Duration(*minutes) * vclock.Minute
+	cfg.ServletCaching = *caching
+	if *innodb {
+		cfg.ItemEngine = minidb.EngineInnoDB
+	}
+	switch *mode {
+	case "off":
+		cfg.Mode = profiler.ModeOff
+	case "csprof":
+		cfg.Mode = profiler.ModeSampling
+	case "gprof":
+		cfg.Mode = profiler.ModeInstrumented
+	}
+
+	res := tpcw.Run(cfg)
+	fmt.Printf("completed %d interactions in %v virtual: %.0f interactions/min\n",
+		res.Completed, res.Elapsed.Seconds(), res.ThroughputPerMin)
+	fmt.Printf("synopsis bytes %.3f MB vs app bytes %.1f MB (%.2f%%)\n\n",
+		float64(res.CtxtBytes)/1e6, float64(res.AppBytes)/1e6,
+		100*float64(res.CtxtBytes)/float64(res.AppBytes))
+
+	fmt.Printf("%-24s %8s %12s %14s %14s\n", "interaction", "count", "resp (ms)", "MySQL CPU %", "crosstalk (ms)")
+	for _, name := range workload.Interactions {
+		st := res.PerType[name]
+		fmt.Printf("%-24s %8d %12.0f %14.2f %14.2f\n",
+			name, st.Count, st.Mean().Millis(), 100*res.DBShare[name], res.MeanCrosstalk[name].Millis())
+	}
+	fmt.Println("\ncrosstalk matrix (waiter <- holder):")
+	res.Crosstalk.Render(os.Stdout)
+}

@@ -1,0 +1,94 @@
+// Command distributed shows Whodunit's cross-process story over a real
+// byte stream: two "processes" (goroutines) talk over a net.Pipe using
+// the framed wire protocol; the 4-byte context synopses piggy-backed on
+// each message let the server keep one calling context tree per client
+// transaction type, and the receive wrapper recognises responses by
+// matching its own synopsis prefix. Each side then dumps its profile as
+// JSON — the artefact Whodunit's post-mortem phase stitches.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+
+	"whodunit"
+)
+
+func main() {
+	clientSide, serverSide := net.Pipe()
+	defer clientSide.Close()
+	defer serverSide.Close()
+
+	clientProf := whodunit.NewProfiler("client", whodunit.ModeWhodunit)
+	serverProf := whodunit.NewProfiler("server", whodunit.ModeWhodunit)
+
+	// Probes normally charge CPU to a simulated core; the wire protocol
+	// itself is simulation-free, so give each probe a tiny private sim.
+	mkProbe := func(p *whodunit.Profiler) *whodunit.Probe {
+		s := whodunit.NewSim()
+		cpu := s.NewCPU("cpu", 1)
+		var pr *whodunit.Probe
+		s.Go("init", func(th *whodunit.Thread) { pr = p.NewProbe(th, cpu) })
+		s.Run()
+		return pr
+	}
+	clientPr, serverPr := mkProbe(clientProf), mkProbe(serverProf)
+
+	clientConn := &whodunit.Conn{E: whodunit.NewEndpoint("client"), RW: clientSide}
+	serverConn := &whodunit.Conn{E: whodunit.NewEndpoint("server"), RW: serverSide}
+
+	serverDone := make(chan struct{})
+	var serverPrefixes []string
+	go func() {
+		defer close(serverDone)
+		seen := map[string]bool{}
+		for i := 0; i < 4; i++ {
+			payload, kind, err := serverConn.Recv(serverPr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "server:", err)
+				return
+			}
+			if p := serverPr.Txn().Prefix.String(); !seen[p] {
+				seen[p] = true
+				serverPrefixes = append(serverPrefixes, p)
+			}
+			func() {
+				defer serverPr.Exit(serverPr.Enter("handle_" + string(payload)))
+				if err := serverConn.Send(serverPr, append([]byte("ok:"), payload...)); err != nil {
+					fmt.Fprintln(os.Stderr, "server send:", err)
+				}
+			}()
+			_ = kind
+		}
+	}()
+
+	for _, op := range []string{"get", "put", "get", "put"} {
+		func() {
+			defer clientPr.Exit(clientPr.Enter("do_" + op))
+			if err := clientConn.Send(clientPr, []byte(op)); err != nil {
+				fmt.Fprintln(os.Stderr, "client send:", err)
+				os.Exit(1)
+			}
+			payload, kind, err := clientConn.Recv(clientPr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "client recv:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("client: %s -> %q (%v)\n", op, payload, kind)
+		}()
+	}
+	<-serverDone
+
+	fmt.Println("\nServer transaction contexts (one synopsis per client call path):")
+	for _, p := range serverPrefixes {
+		fmt.Printf("  prefix %s\n", p)
+	}
+
+	fmt.Println("\nServer profile dump (stitchable JSON):")
+	dump := whodunit.DumpStage(serverProf)
+	if err := dump.Encode(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
+}

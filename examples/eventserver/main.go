@@ -1,0 +1,70 @@
+// Command eventserver profiles an event-driven server (a miniature Squid)
+// with Whodunit's event library: handlers need no instrumentation — the
+// loop propagates transaction contexts through continuations, splitting
+// the shared write handler's cost between cache-hit and cache-miss
+// transaction contexts (the Figure 9 effect).
+package main
+
+import (
+	"fmt"
+
+	"whodunit"
+)
+
+func main() {
+	s := whodunit.NewSim()
+	cpu := s.NewCPU("cpu", 1)
+	prof := whodunit.NewProfiler("proxy", whodunit.ModeWhodunit)
+	loop := whodunit.NewEventLoop("proxy", prof)
+	ready := s.NewQueue("ready")
+
+	var pr *whodunit.Probe
+	loop.OnDispatch = func(curr *whodunit.Ctxt) { pr.SetLocal(curr) }
+
+	cache := map[int]bool{}
+	served := 0
+	const total = 200
+
+	var hWrite, hFetch, hRead *whodunit.EventHandler
+	hWrite = &whodunit.EventHandler{Name: "write_reply", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
+		pr.Compute(4 * whodunit.Millisecond)
+		served++
+	}}
+	hFetch = &whodunit.EventHandler{Name: "fetch_origin", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
+		pr.Compute(9 * whodunit.Millisecond)
+		cache[ev.Data.(int)] = true
+		ready.Put(l.NewEvent(hWrite, ev.Data))
+	}}
+	hRead = &whodunit.EventHandler{Name: "read_request", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
+		pr.Compute(whodunit.Millisecond)
+		obj := ev.Data.(int)
+		if cache[obj] {
+			ready.Put(l.NewEvent(hWrite, obj))
+		} else {
+			ready.Put(l.NewEvent(hFetch, obj))
+		}
+	}}
+
+	for i := 0; i < total; i++ {
+		ready.Put(&whodunit.Event{Handler: hRead, Data: i % 40})
+	}
+
+	s.Go("event_loop", func(th *whodunit.Thread) {
+		pr = prof.NewProbe(th, cpu)
+		for served < total {
+			loop.Dispatch(th.Get(ready).(*whodunit.Event))
+		}
+	})
+	s.Run()
+	s.Shutdown()
+
+	fmt.Println("Proxy CPU by event-handler transaction context:")
+	for _, sh := range prof.Shares() {
+		if sh.Samples > 0 {
+			fmt.Printf("  %6.2f%%  %s\n", 100*sh.Share, sh.Label)
+		}
+	}
+	fmt.Println("\nNote how write_reply appears twice: once via the hit path")
+	fmt.Println("(read_request | write_reply) and once via the miss path")
+	fmt.Println("(read_request | fetch_origin | write_reply).")
+}

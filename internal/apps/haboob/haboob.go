@@ -1,0 +1,217 @@
+// Package haboob models the Haboob SEDA web server of §8.3: eight stages
+// (ListenStage, HttpServer, ReadStage, HttpRecv, CacheStage, MissStage,
+// File I/O, WriteStage) connected by stage queues, with an in-memory page
+// cache. A transaction reaches WriteStage either via the cache-hit path
+// (CacheStage→WriteStage) or the miss path (CacheStage→MissStage→File
+// I/O→WriteStage), so WriteStage's CPU appears under two transaction
+// contexts — the Figure 10 result.
+package haboob
+
+import (
+	"fmt"
+
+	"whodunit/internal/profiler"
+	"whodunit/internal/seda"
+	"whodunit/internal/tranctx"
+	"whodunit/internal/vclock"
+	"whodunit/internal/workload"
+)
+
+// Stage names (Figure 10).
+const (
+	StListen = "ListenStage"
+	StHTTP   = "HttpServer"
+	StRead   = "ReadStage"
+	StRecv   = "HttpRecv"
+	StCache  = "CacheStage"
+	StMiss   = "MissStage"
+	StFileIO = "FileIOStage"
+	StWrite  = "WriteStage"
+)
+
+// Config parameterises a run.
+type Config struct {
+	Mode            profiler.Mode
+	Trace           *workload.WebTrace
+	CacheObjects    int
+	ThreadsPerStage int
+	// Per-operation CPU costs.
+	ListenCost   vclock.Duration
+	AcceptCost   vclock.Duration
+	ReadCost     vclock.Duration
+	ParseCost    vclock.Duration
+	CacheCost    vclock.Duration
+	MissCost     vclock.Duration
+	DiskPerByte  vclock.Duration
+	DiskLatency  vclock.Duration
+	WritePerByte vclock.Duration
+}
+
+// DefaultConfig matches the §8.3/§9.3 experiment scale (Haboob is an
+// order of magnitude slower than Apache in the paper).
+func DefaultConfig(trace *workload.WebTrace) Config {
+	return Config{
+		Mode:            profiler.ModeWhodunit,
+		Trace:           trace,
+		CacheObjects:    300,
+		ThreadsPerStage: 2,
+		ListenCost:      20 * vclock.Microsecond,
+		AcceptCost:      60 * vclock.Microsecond,
+		ReadCost:        50 * vclock.Microsecond,
+		ParseCost:       80 * vclock.Microsecond,
+		CacheCost:       40 * vclock.Microsecond,
+		MissCost:        60 * vclock.Microsecond,
+		DiskPerByte:     25 * vclock.Nanosecond,
+		DiskLatency:     3 * vclock.Millisecond,
+		WritePerByte:    90 * vclock.Nanosecond,
+	}
+}
+
+// Result summarises a run.
+type Result struct {
+	Profiler       *profiler.Profiler
+	Elapsed        vclock.Duration
+	BytesSent      int64
+	Requests       int64
+	Hits, Misses   int64
+	ThroughputMbps float64
+}
+
+type task struct {
+	conn workload.Connection
+	next int
+}
+
+// Run drives the trace through the staged server.
+func Run(cfg Config) *Result {
+	if cfg.Trace == nil {
+		panic("haboob: nil trace")
+	}
+	s := vclock.New()
+	cpu := s.NewCPU("haboob-cpu", 2)
+	prof := profiler.New("haboob", cfg.Mode)
+	res := &Result{Profiler: prof}
+
+	cached := make(map[int]bool)
+	cacheFIFO := []int{}
+	cachePut := func(id int) {
+		if cached[id] {
+			return
+		}
+		if len(cacheFIFO) >= cfg.CacheObjects {
+			delete(cached, cacheFIFO[0])
+			cacheFIFO = cacheFIFO[1:]
+		}
+		cached[id] = true
+		cacheFIFO = append(cacheFIFO, id)
+	}
+
+	// Build stages with vclock queues as inputs.
+	mkStage := func(name string) *seda.Stage {
+		return seda.NewStage("haboob", name, s.NewQueue(name))
+	}
+	listen := mkStage(StListen)
+	httpSrv := mkStage(StHTTP)
+	read := mkStage(StRead)
+	recv := mkStage(StRecv)
+	cache := mkStage(StCache)
+	miss := mkStage(StMiss)
+	fileIO := mkStage(StFileIO)
+	write := mkStage(StWrite)
+
+	totalReqs := 0
+	for _, c := range cfg.Trace.Conns {
+		totalReqs += len(c.Reqs)
+	}
+
+	// handler bodies; each returns after enqueueing downstream.
+	handlers := map[string]func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task){
+		StListen: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+			pr.Compute(cfg.ListenCost)
+			w.Enqueue(httpSrv, t)
+		},
+		StHTTP: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+			pr.Compute(cfg.AcceptCost)
+			w.Enqueue(read, t)
+		},
+		StRead: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+			pr.Compute(cfg.ReadCost)
+			w.Enqueue(recv, t)
+		},
+		StRecv: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+			pr.Compute(cfg.ParseCost)
+			w.Enqueue(cache, t)
+		},
+		StCache: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+			pr.Compute(cfg.CacheCost)
+			req := t.conn.Reqs[t.next]
+			if cached[req.File] {
+				res.Hits++
+				w.Enqueue(write, t)
+			} else {
+				res.Misses++
+				w.Enqueue(miss, t)
+			}
+		},
+		StMiss: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+			pr.Compute(cfg.MissCost)
+			w.Enqueue(fileIO, t)
+		},
+		StFileIO: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+			req := t.conn.Reqs[t.next]
+			th.Sleep(cfg.DiskLatency)
+			pr.Compute(vclock.Duration(req.Size) * cfg.DiskPerByte)
+			cachePut(req.File)
+			w.Enqueue(write, t)
+		},
+		StWrite: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+			req := t.conn.Reqs[t.next]
+			pr.Compute(vclock.Duration(req.Size) * cfg.WritePerByte)
+			res.BytesSent += req.Size
+			res.Requests++
+			t.next++
+			if t.next < len(t.conn.Reqs) {
+				// Persistent connection: back to ReadStage. The §4.2 loop
+				// pruning keeps the context bounded.
+				w.Enqueue(read, t)
+			}
+		},
+	}
+
+	stages := []*seda.Stage{listen, httpSrv, read, recv, cache, miss, fileIO, write}
+	for _, st := range stages {
+		st := st
+		for i := 0; i < cfg.ThreadsPerStage; i++ {
+			s.Go(fmt.Sprintf("%s-%d", st.Name, i), func(th *vclock.Thread) {
+				pr := prof.NewProbe(th, cpu)
+				th.Data = pr
+				w := seda.NewWorker(st, prof.Table)
+				if cfg.Mode == profiler.ModeWhodunit {
+					w.OnDispatch = func(curr *tranctx.Ctxt) { pr.SetLocal(curr) }
+				}
+				q := st.In.(*vclock.Queue)
+				for {
+					elem := th.Get(q).(*seda.Elem)
+					t := w.Begin(elem).(*task)
+					func() {
+						defer pr.Exit(pr.Enter(st.Name))
+						handlers[st.Name](w, pr, th, t)
+					}()
+				}
+			})
+		}
+	}
+
+	// Inject one element per connection into the listen stage.
+	for _, conn := range cfg.Trace.Conns {
+		seda.Inject(prof.Table, listen, &task{conn: conn})
+	}
+
+	s.RunUntil(func() bool { return res.Requests >= int64(totalReqs) })
+	res.Elapsed = s.Now().Sub(0)
+	s.Shutdown()
+	if res.Elapsed > 0 {
+		res.ThroughputMbps = float64(res.BytesSent) * 8 / 1e6 / res.Elapsed.Seconds()
+	}
+	return res
+}

@@ -1,0 +1,228 @@
+// Package squidproxy models the Squid web proxy cache of §8.2: an
+// event-driven, single-threaded server built on the event library, with
+// the five handlers of Figure 9 — httpAccept, clientReadRequest,
+// commConnectHandle, httpReadReply, commHandleWrite — and an LRU object
+// cache. Cache hits take the short handler sequence
+// (accept→read→write) and misses the long one
+// (accept→read→connect→readReply→write), so the write handler's CPU
+// appears under two distinct transaction contexts, which is exactly the
+// distinction Figure 9 highlights.
+package squidproxy
+
+import (
+	"container/list"
+
+	"whodunit/internal/event"
+	"whodunit/internal/profiler"
+	"whodunit/internal/tranctx"
+	"whodunit/internal/vclock"
+	"whodunit/internal/workload"
+)
+
+// Config parameterises a run.
+type Config struct {
+	Mode  profiler.Mode
+	Trace *workload.WebTrace
+	// CacheObjects is the LRU capacity in objects.
+	CacheObjects int
+	// OriginDelay is the network+origin latency for a miss.
+	OriginDelay vclock.Duration
+	// Per-unit CPU costs.
+	AcceptCost   vclock.Duration
+	ParseCost    vclock.Duration
+	ConnectCost  vclock.Duration
+	RecvPerByte  vclock.Duration // receiving origin data (miss)
+	WritePerByte vclock.Duration // writing the reply to the client
+}
+
+// DefaultConfig mirrors the §8.2 experiment: same web trace as Apache,
+// origin on a separate machine.
+func DefaultConfig(trace *workload.WebTrace) Config {
+	return Config{
+		Mode:         profiler.ModeWhodunit,
+		Trace:        trace,
+		CacheObjects: 400,
+		OriginDelay:  2 * vclock.Millisecond,
+		AcceptCost:   40 * vclock.Microsecond,
+		ParseCost:    70 * vclock.Microsecond,
+		ConnectCost:  50 * vclock.Microsecond,
+		RecvPerByte:  10 * vclock.Nanosecond,
+		WritePerByte: 14 * vclock.Nanosecond,
+	}
+}
+
+// Result summarises a run.
+type Result struct {
+	Profiler       *profiler.Profiler
+	Loop           *event.Loop
+	Elapsed        vclock.Duration
+	BytesSent      int64
+	Requests       int64
+	Hits, Misses   int64
+	ThroughputMbps float64
+}
+
+// lru is a tiny LRU set of file ids.
+type lru struct {
+	cap   int
+	order *list.List
+	items map[int]*list.Element
+}
+
+func newLRU(cap int) *lru {
+	return &lru{cap: cap, order: list.New(), items: make(map[int]*list.Element)}
+}
+
+func (c *lru) get(id int) bool {
+	el, ok := c.items[id]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	return ok
+}
+
+func (c *lru) put(id int) {
+	if el, ok := c.items[id]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		back := c.order.Back()
+		if back != nil {
+			delete(c.items, back.Value.(int))
+			c.order.Remove(back)
+		}
+	}
+	c.items[id] = c.order.PushFront(id)
+}
+
+// connState is the per-connection continuation data threaded through the
+// handlers.
+type connState struct {
+	conn workload.Connection
+	next int // index of the next request to serve
+}
+
+// Run drives the trace through the proxy and returns its transactional
+// profile and throughput.
+func Run(cfg Config) *Result {
+	if cfg.Trace == nil {
+		panic("squidproxy: nil trace")
+	}
+	s := vclock.New()
+	cpu := s.NewCPU("squid-cpu", 1)
+	prof := profiler.New("squid", cfg.Mode)
+	loop := event.NewLoop("squid", prof.Table)
+	cache := newLRU(cfg.CacheObjects)
+	res := &Result{Profiler: prof, Loop: loop}
+
+	readyQ := s.NewQueue("ready-events")
+	var pr *profiler.Probe
+
+	// Whodunit hook: the loop's freshly computed transaction context
+	// becomes the probe's local context, so every sample under the handler
+	// is annotated with the event-handler sequence (§4.1).
+	loop.OnDispatch = func(curr *tranctx.Ctxt) {
+		if pr != nil && cfg.Mode == profiler.ModeWhodunit {
+			pr.SetLocal(curr)
+		}
+	}
+
+	// Handlers (Figure 9). Each models its I/O latency by scheduling the
+	// next event's readiness after a delay, and its CPU by Compute.
+	var hAccept, hRead, hConnect, hReadReply, hWrite *event.Handler
+
+	ioReady := func(ev *event.Event, after vclock.Duration) {
+		s.After(after, func() { readyQ.Put(ev) })
+	}
+
+	hWrite = &event.Handler{Name: "commHandleWrite", Fn: func(l *event.Loop, ev *event.Event) {
+		st := ev.Data.(*connState)
+		req := st.conn.Reqs[st.next]
+		func() {
+			defer pr.Exit(pr.Enter("commHandleWrite"))
+			pr.Compute(vclock.Duration(req.Size) * cfg.WritePerByte)
+		}()
+		res.BytesSent += req.Size
+		res.Requests++
+		st.next++
+		if st.next < len(st.conn.Reqs) {
+			// Persistent connection: wait for the next request — this is
+			// the loop the §4.1 pruning keeps bounded.
+			ioReady(l.NewEvent(hRead, st), 100*vclock.Microsecond)
+		}
+	}}
+
+	hReadReply = &event.Handler{Name: "httpReadReply", Fn: func(l *event.Loop, ev *event.Event) {
+		st := ev.Data.(*connState)
+		req := st.conn.Reqs[st.next]
+		func() {
+			defer pr.Exit(pr.Enter("httpReadReply"))
+			pr.Compute(vclock.Duration(req.Size) * cfg.RecvPerByte)
+		}()
+		cache.put(req.File)
+		ioReady(l.NewEvent(hWrite, st), 50*vclock.Microsecond)
+	}}
+
+	hConnect = &event.Handler{Name: "commConnectHandle", Fn: func(l *event.Loop, ev *event.Event) {
+		st := ev.Data.(*connState)
+		func() {
+			defer pr.Exit(pr.Enter("commConnectHandle"))
+			pr.Compute(cfg.ConnectCost)
+		}()
+		ioReady(l.NewEvent(hReadReply, st), cfg.OriginDelay)
+	}}
+
+	hRead = &event.Handler{Name: "clientReadRequest", Fn: func(l *event.Loop, ev *event.Event) {
+		st := ev.Data.(*connState)
+		req := st.conn.Reqs[st.next]
+		func() {
+			defer pr.Exit(pr.Enter("clientReadRequest"))
+			pr.Compute(cfg.ParseCost)
+		}()
+		if cache.get(req.File) {
+			res.Hits++
+			ioReady(l.NewEvent(hWrite, st), 20*vclock.Microsecond)
+		} else {
+			res.Misses++
+			ioReady(l.NewEvent(hConnect, st), 30*vclock.Microsecond)
+		}
+	}}
+
+	hAccept = &event.Handler{Name: "httpAccept", Fn: func(l *event.Loop, ev *event.Event) {
+		st := ev.Data.(*connState)
+		func() {
+			defer pr.Exit(pr.Enter("httpAccept"))
+			pr.Compute(cfg.AcceptCost)
+		}()
+		ioReady(l.NewEvent(hRead, st), 40*vclock.Microsecond)
+	}}
+
+	// Inject connection arrivals: accepts become ready back-to-back.
+	for _, conn := range cfg.Trace.Conns {
+		readyQ.Put(&event.Event{Handler: hAccept, Ctxt: prof.Table.Root(), Data: &connState{conn: conn}})
+	}
+	totalReqs := 0
+	for _, c := range cfg.Trace.Conns {
+		totalReqs += len(c.Reqs)
+	}
+
+	s.Go("comm_poll", func(th *vclock.Thread) {
+		pr = prof.NewProbe(th, cpu)
+		th.Data = pr
+		defer pr.Exit(pr.Enter("main"))
+		defer pr.Exit(pr.Enter("comm_poll"))
+		for res.Requests < int64(totalReqs) {
+			ev := th.Get(readyQ).(*event.Event)
+			loop.Dispatch(ev)
+		}
+	})
+
+	s.Run()
+	res.Elapsed = s.Now().Sub(0)
+	s.Shutdown()
+	if res.Elapsed > 0 {
+		res.ThroughputMbps = float64(res.BytesSent) * 8 / 1e6 / res.Elapsed.Seconds()
+	}
+	return res
+}

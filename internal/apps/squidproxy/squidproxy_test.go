@@ -1,0 +1,111 @@
+package squidproxy
+
+import (
+	"strings"
+	"testing"
+
+	"whodunit/internal/profiler"
+	"whodunit/internal/workload"
+)
+
+func trace() *workload.WebTrace {
+	cfg := workload.DefaultWebConfig()
+	cfg.NumConns = 200
+	cfg.NumFiles = 500
+	cfg.MinSize = 8 << 10
+	return workload.GenWeb(cfg)
+}
+
+func TestServesAllRequests(t *testing.T) {
+	tr := trace()
+	res := Run(DefaultConfig(tr))
+	want := int64(0)
+	for _, c := range tr.Conns {
+		want += int64(len(c.Reqs))
+	}
+	if res.Requests != want {
+		t.Fatalf("requests = %d, want %d", res.Requests, want)
+	}
+	if res.Hits == 0 || res.Misses == 0 {
+		t.Fatalf("need both hits (%d) and misses (%d) for Figure 9", res.Hits, res.Misses)
+	}
+	if res.Hits+res.Misses != want {
+		t.Fatalf("hits+misses = %d, want %d", res.Hits+res.Misses, want)
+	}
+}
+
+func TestWriteHandlerAppearsInTwoContexts(t *testing.T) {
+	// The Figure 9 result: commHandleWrite's CPU is split between the hit
+	// context (accept|read|write) and the miss context
+	// (accept|read|connect|readReply|write).
+	res := Run(DefaultConfig(trace()))
+	var hitCtxt, missCtxt bool
+	for _, sh := range res.Profiler.Shares() {
+		if !strings.Contains(sh.Label, "commHandleWrite") || sh.Samples == 0 {
+			continue
+		}
+		if strings.Contains(sh.Label, "httpReadReply") {
+			missCtxt = true
+		} else {
+			hitCtxt = true
+		}
+	}
+	if !hitCtxt || !missCtxt {
+		t.Fatalf("write handler contexts: hit=%v miss=%v; shares=%+v", hitCtxt, missCtxt, res.Profiler.Shares())
+	}
+}
+
+func TestContextsAreHandlerSequences(t *testing.T) {
+	res := Run(DefaultConfig(trace()))
+	foundMissSeq := false
+	for _, e := range res.Profiler.Entries() {
+		labels := e.Ctxt.Local.Labels()
+		if len(labels) == 5 && labels[0] == "httpAccept" && labels[4] == "commHandleWrite" {
+			foundMissSeq = true
+		}
+		// No context may grow beyond the five distinct handlers: loop
+		// pruning must keep persistent connections bounded (§4.1).
+		if len(labels) > 5 {
+			t.Fatalf("context too long (pruning broken): %v", labels)
+		}
+	}
+	if !foundMissSeq {
+		t.Fatal("full miss sequence context not established")
+	}
+}
+
+func TestCacheHitsIncreaseWithCapacity(t *testing.T) {
+	tr := trace()
+	small := DefaultConfig(tr)
+	small.CacheObjects = 10
+	big := DefaultConfig(tr)
+	big.CacheObjects = 100000
+	rs, rb := Run(small), Run(big)
+	if rb.Hits <= rs.Hits {
+		t.Fatalf("bigger cache should hit more: %d vs %d", rb.Hits, rs.Hits)
+	}
+}
+
+func TestProfilingOverheadModest(t *testing.T) {
+	// §9.3: Squid's throughput drops only ~5% under Whodunit.
+	tr := trace()
+	off := DefaultConfig(tr)
+	off.Mode = profiler.ModeOff
+	a := Run(off)
+	b := Run(DefaultConfig(tr))
+	if a.BytesSent != b.BytesSent {
+		t.Fatalf("byte counts differ: %d vs %d", a.BytesSent, b.BytesSent)
+	}
+	overhead := (a.ThroughputMbps - b.ThroughputMbps) / a.ThroughputMbps
+	if overhead < 0 || overhead > 0.15 {
+		t.Fatalf("overhead = %.2f%%, want small positive", overhead*100)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(DefaultConfig(trace()))
+	b := Run(DefaultConfig(trace()))
+	if a.Elapsed != b.Elapsed || a.Hits != b.Hits {
+		t.Fatal("squid runs diverged")
+	}
+}

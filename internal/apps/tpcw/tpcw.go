@@ -1,0 +1,444 @@
+// Package tpcw models the TPC-W online bookstore of §8.4: fourteen
+// interactions implemented as servlets in a Tomcat-like container, fronted
+// by a Squid-like pass-through tier and backed by a MySQL-like database
+// (minidb). The three tiers exchange requests over message queues with
+// ipc's synopsis piggy-backing, so each interaction establishes its own
+// transaction context at the database — the separation that lets Table 1
+// attribute MySQL CPU and crosstalk per interaction.
+//
+// Two optimisations from the paper are switchable:
+//
+//   - ItemEngine: the item table as MyISAM (table locks — AdminConfirm
+//     blocks and is blocked by every item reader) or InnoDB (row locks —
+//     Figure 11's first optimisation);
+//   - ServletCaching: caching BestSellers and SearchResult results in the
+//     servlets per TPC-W clause 6.3.3.1 (Figure 11/12's second
+//     optimisation).
+package tpcw
+
+import (
+	"fmt"
+
+	"whodunit/internal/crosstalk"
+	"whodunit/internal/ipc"
+	"whodunit/internal/minidb"
+	"whodunit/internal/profiler"
+	"whodunit/internal/vclock"
+	"whodunit/internal/workload"
+)
+
+// Config parameterises one TPC-W run.
+type Config struct {
+	Clients        int
+	Duration       vclock.Duration // virtual run length
+	Mode           profiler.Mode
+	ItemEngine     minidb.Engine
+	ServletCaching bool
+	Seed           uint64
+
+	TomcatWorkers int
+	DBWorkers     int
+	ThinkMean     vclock.Duration // 0 = TPC-W default (7s)
+	// Mix selects the interaction mix; nil means workload.BrowsingMix.
+	Mix map[string]float64
+}
+
+// DefaultConfig is the paper's baseline: browsing mix, MyISAM item table,
+// no servlet caching, Whodunit profiling.
+func DefaultConfig(clients int) Config {
+	return Config{
+		Clients:        clients,
+		Duration:       3 * vclock.Minute,
+		Mode:           profiler.ModeWhodunit,
+		ItemEngine:     minidb.EngineMyISAM,
+		ServletCaching: false,
+		Seed:           1,
+		TomcatWorkers:  12,
+		DBWorkers:      6,
+	}
+}
+
+// Result carries everything the §8.4/§9.1 experiments report.
+type Result struct {
+	Config Config
+
+	SquidProf  *profiler.Profiler
+	TomcatProf *profiler.Profiler
+	MySQLProf  *profiler.Profiler
+	Crosstalk  *crosstalk.Monitor
+
+	Elapsed          vclock.Duration
+	Completed        int64
+	PerType          map[string]*TypeStats
+	ThroughputPerMin float64
+
+	// DBShare maps interaction -> fraction of MySQL CPU samples (Table 1
+	// column 1). MeanCrosstalk maps interaction -> mean lock wait per
+	// instance of that interaction (Table 1 column 2).
+	DBShare       map[string]float64
+	MeanCrosstalk map[string]vclock.Duration
+
+	// Bytes of application data vs context synopses shipped between tiers
+	// (the §9.1 communication-overhead measurement).
+	AppBytes, CtxtBytes int64
+}
+
+// TypeStats aggregates per-interaction client-side metrics.
+type TypeStats struct {
+	Count     int64
+	TotalResp vclock.Duration
+}
+
+// Mean returns the mean response time.
+func (t *TypeStats) Mean() vclock.Duration {
+	if t.Count == 0 {
+		return 0
+	}
+	return t.TotalResp / vclock.Duration(t.Count)
+}
+
+// request is the in-sim message envelope between tiers.
+type request struct {
+	msg     ipc.Msg
+	payload any
+	replyQ  *vclock.Queue
+}
+
+// dbQuery is the Tomcat->MySQL payload.
+type dbQuery struct {
+	interaction string
+	subject     int64
+	itemID      int64
+}
+
+// webReq is the client->Squid->Tomcat payload.
+type webReq struct {
+	interaction string
+	subject     int64
+	itemID      int64
+}
+
+// Run executes the configured TPC-W system and collects the results.
+func Run(cfg Config) *Result {
+	if cfg.Clients <= 0 {
+		panic("tpcw: need at least one client")
+	}
+	think := cfg.ThinkMean
+	if think == 0 {
+		think = 7 * vclock.Second
+	}
+	mixWeights := cfg.Mix
+	if mixWeights == nil {
+		mixWeights = workload.BrowsingMix
+	}
+	s := vclock.New()
+	squidCPU := s.NewCPU("squid-cpu", 1)
+	tomcatCPU := s.NewCPU("tomcat-cpu", 2)
+	mysqlCPU := s.NewCPU("mysql-cpu", 1)
+
+	squidProf := profiler.New("squid", cfg.Mode)
+	tomcatProf := profiler.New("tomcat", cfg.Mode)
+	mysqlProf := profiler.New("mysql", cfg.Mode)
+
+	res := &Result{
+		Config:        cfg,
+		SquidProf:     squidProf,
+		TomcatProf:    tomcatProf,
+		MySQLProf:     mysqlProf,
+		PerType:       make(map[string]*TypeStats),
+		DBShare:       make(map[string]float64),
+		MeanCrosstalk: make(map[string]vclock.Duration),
+	}
+	for _, name := range workload.Interactions {
+		res.PerType[name] = &TypeStats{}
+	}
+
+	// chain -> interaction registry: filled when Tomcat sends a DB
+	// request; this is how the experiment code (and the crosstalk
+	// classifier) translate a MySQL-side context back to an interaction.
+	chainName := make(map[string]string)
+	classify := func(tc profiler.TxnCtxt) string {
+		if n, ok := chainName[tc.Prefix.String()]; ok {
+			return n
+		}
+		return "(other)"
+	}
+	mon := crosstalk.NewMonitor(classify, nil)
+	res.Crosstalk = mon
+
+	// Database schema and data.
+	db := minidb.New(s, "mysql", mysqlCPU)
+	db.SetLockObserver(mon)
+	rng := vclock.NewRNG(cfg.Seed ^ 0x5eed)
+	item := db.CreateTable("item", cfg.ItemEngine)
+	for i := 0; i < 10000; i++ {
+		item.LoadRow(minidb.Row{ID: int64(i), Attrs: map[string]int64{
+			"subject": int64(i % 24), "cost": int64(10 + i%90), "sales": int64(rng.Intn(100000)),
+		}})
+	}
+	orderLine := db.CreateTable("order_line", minidb.EngineMyISAM)
+	for i := 0; i < 7776; i++ {
+		orderLine.LoadRow(minidb.Row{ID: int64(i), Attrs: map[string]int64{
+			"item": int64(rng.Intn(10000)), "qty": int64(1 + rng.Intn(5)),
+		}})
+	}
+	customer := db.CreateTable("customer", minidb.EngineMyISAM)
+	for i := 0; i < 2880; i++ {
+		customer.LoadRow(minidb.Row{ID: int64(i), Attrs: map[string]int64{"discount": int64(i % 50)}})
+	}
+	orders := db.CreateTable("orders", minidb.EngineInnoDB)
+	author := db.CreateTable("author", minidb.EngineMyISAM)
+	for i := 0; i < 2500; i++ {
+		author.LoadRow(minidb.Row{ID: int64(i), Attrs: map[string]int64{}})
+	}
+
+	// Queues between tiers.
+	squidQ := s.NewQueue("squid-in")
+	tomcatQ := s.NewQueue("tomcat-in")
+	mysqlQ := s.NewQueue("mysql-in")
+
+	squidEP := ipc.NewEndpoint("squid")
+	tomcatEP := ipc.NewEndpoint("tomcat")
+	mysqlEP := ipc.NewEndpoint("mysql")
+
+	countMsg := func(m ipc.Msg, appBytes int64) {
+		res.CtxtBytes += int64(m.Chain.WireSize())
+		res.AppBytes += appBytes
+	}
+
+	// MySQL tier: workers execute queries.
+	for w := 0; w < cfg.DBWorkers; w++ {
+		s.Go(fmt.Sprintf("mysqld-%d", w), func(th *vclock.Thread) {
+			pr := mysqlProf.NewProbe(th, mysqlCPU)
+			th.Data = pr
+			for {
+				req := th.Get(mysqlQ).(*request)
+				mysqlEP.Recv(pr, req.msg)
+				q := req.payload.(dbQuery)
+				func() {
+					defer pr.Exit(pr.Enter("dispatch_query"))
+					execQuery(db, pr, q, item, orderLine, customer, orders, author)
+				}()
+				reply := mysqlEP.Send(pr, "ok")
+				countMsg(reply, 256)
+				req.replyQ.Put(&request{msg: reply, payload: "ok"})
+			}
+		})
+	}
+
+	// Servlet-side result caches (clause 6.3.3.1).
+	type cacheEntry struct{ until vclock.Time }
+	bestSellersCache := make(map[int64]cacheEntry)
+	searchCache := make(map[int64]cacheEntry)
+
+	// Tomcat tier: servlets.
+	for w := 0; w < cfg.TomcatWorkers; w++ {
+		s.Go(fmt.Sprintf("tomcat-%d", w), func(th *vclock.Thread) {
+			pr := tomcatProf.NewProbe(th, tomcatCPU)
+			th.Data = pr
+			replyQ := s.NewQueue(th.Name + "-reply")
+			for {
+				req := th.Get(tomcatQ).(*request)
+				tomcatEP.Recv(pr, req.msg)
+				wr := req.payload.(webReq)
+				func() {
+					defer pr.Exit(pr.Enter("servlet_" + wr.interaction))
+					pr.ComputeN(2*vclock.Millisecond, 400) // servlet + page generation
+
+					needDB := true
+					if cfg.ServletCaching {
+						switch wr.interaction {
+						case workload.BestSellers:
+							if e, ok := bestSellersCache[wr.subject]; ok && th.Now() < e.until {
+								needDB = false
+							}
+						case workload.SearchResult:
+							if e, ok := searchCache[wr.subject]; ok && th.Now() < e.until {
+								needDB = false
+							}
+						}
+					}
+					if needDB {
+						func() {
+							defer pr.Exit(pr.Enter("db_rpc"))
+							msg := tomcatEP.Send(pr, nil)
+							chainName[msg.Chain.String()] = wr.interaction
+							countMsg(msg, 512)
+							mysqlQ.Put(&request{msg: msg, payload: dbQuery{
+								interaction: wr.interaction, subject: wr.subject, itemID: wr.itemID,
+							}, replyQ: replyQ})
+							resp := th.Get(replyQ).(*request)
+							tomcatEP.Recv(pr, resp.msg)
+						}()
+						if cfg.ServletCaching {
+							switch wr.interaction {
+							case workload.BestSellers:
+								bestSellersCache[wr.subject] = cacheEntry{until: th.Now().Add(30 * vclock.Second)}
+							case workload.SearchResult:
+								searchCache[wr.subject] = cacheEntry{until: th.Now().Add(30 * vclock.Second)}
+							}
+						}
+					}
+					pr.ComputeN(vclock.Millisecond, 200) // response rendering
+				}()
+				reply := tomcatEP.Send(pr, nil)
+				countMsg(reply, 8192)
+				req.replyQ.Put(&request{msg: reply})
+			}
+		})
+	}
+
+	// Squid front tier: pass-through for dynamic content.
+	for w := 0; w < 4; w++ {
+		s.Go(fmt.Sprintf("squid-%d", w), func(th *vclock.Thread) {
+			pr := squidProf.NewProbe(th, squidCPU)
+			th.Data = pr
+			replyQ := s.NewQueue(th.Name + "-reply")
+			for {
+				req := th.Get(squidQ).(*request)
+				squidEP.Recv(pr, req.msg)
+				func() {
+					defer pr.Exit(pr.Enter("forward_dynamic"))
+					pr.Compute(300 * vclock.Microsecond)
+					msg := squidEP.Send(pr, nil)
+					countMsg(msg, 512)
+					tomcatQ.Put(&request{msg: msg, payload: req.payload, replyQ: replyQ})
+					resp := th.Get(replyQ).(*request)
+					squidEP.Recv(pr, resp.msg)
+					pr.Compute(200 * vclock.Microsecond)
+				}()
+				reply := squidEP.Send(pr, nil)
+				countMsg(reply, 8192)
+				req.replyQ.Put(&request{msg: reply})
+			}
+		})
+	}
+
+	// Clients: closed loop with think times.
+	end := vclock.Time(cfg.Duration)
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		mix := workload.NewMixSampler(cfg.Seed+uint64(c)*7919, mixWeights)
+		crng := vclock.NewRNG(cfg.Seed + uint64(c)*104729)
+		s.Go(fmt.Sprintf("client-%d", c), func(th *vclock.Thread) {
+			replyQ := s.NewQueue(th.Name + "-reply")
+			// Desynchronised start.
+			th.Sleep(vclock.Duration(crng.Intn(int(think))))
+			for th.Now() < end {
+				name := mix.Next()
+				wr := webReq{
+					interaction: name,
+					subject:     int64(crng.Intn(24)),
+					itemID:      int64(crng.Intn(10000)),
+				}
+				start := th.Now()
+				squidQ.Put(&request{msg: ipc.Msg{}, payload: wr, replyQ: replyQ})
+				th.Get(replyQ)
+				if th.Now() >= end {
+					break
+				}
+				st := res.PerType[name]
+				st.Count++
+				st.TotalResp += th.Now().Sub(start)
+				res.Completed++
+				th.Sleep(mix.ThinkTime())
+			}
+		})
+	}
+
+	s.RunUntil(func() bool { return s.Now() >= end })
+	res.Elapsed = s.Now().Sub(0)
+	s.Shutdown()
+
+	if res.Elapsed > 0 {
+		res.ThroughputPerMin = float64(res.Completed) / res.Elapsed.Seconds() * 60
+	}
+
+	// Table 1 column 1: MySQL CPU share per interaction, from the
+	// database profiler's per-context trees resolved via the chain
+	// registry.
+	total := mysqlProf.TotalSamples()
+	if total > 0 {
+		for _, e := range mysqlProf.Entries() {
+			name, ok := chainName[e.Ctxt.Prefix.String()]
+			if !ok {
+				continue
+			}
+			res.DBShare[name] += float64(e.Tree.Total()) / float64(total)
+		}
+	}
+	// Table 1 column 2: mean crosstalk wait per interaction instance.
+	for _, name := range workload.Interactions {
+		totalWait, _ := mon.WaitTotal(name)
+		if n := res.PerType[name].Count; n > 0 {
+			res.MeanCrosstalk[name] = totalWait / vclock.Duration(n)
+		}
+	}
+	return res
+}
+
+// execQuery performs the per-interaction database work. Row volumes are
+// calibrated so the browsing mix reproduces Table 1's CPU split (heavy
+// BestSellers/SearchResult, heavyweight-but-rare AdminConfirm).
+func execQuery(db *minidb.DB, pr *profiler.Probe, q dbQuery,
+	item, orderLine, customer, orders, author *minidb.Table) {
+	switch q.interaction {
+	case workload.BestSellers:
+		// Scan recent order lines, aggregate+sort into a temp table (held
+		// under the order_line read lock), then join the top items.
+		db.Select(pr, orderLine, nil, minidb.SelectOpts{TempSortRows: 38000})
+		for i := int64(0); i < 50; i++ {
+			db.Lookup(pr, item, (q.itemID+i*13)%10000)
+		}
+	case workload.SearchResult:
+		// Subject search over the item table with a sorted temp table,
+		// all under the item read lock (this is what AdminConfirm's
+		// exclusive table lock collides with on MyISAM).
+		db.Select(pr, item, func(r minidb.Row) bool { return r.Attr("subject") == q.subject },
+			minidb.SelectOpts{SortBy: "sales", Limit: 50, TempSortRows: 28000})
+	case workload.AdminConfirm:
+		// Heavy-weight: sort order lines into a temp table, then update
+		// one row of item — exclusive table lock under MyISAM.
+		db.Select(pr, orderLine, nil, minidb.SelectOpts{TempSortRows: 50000})
+		db.Update(pr, item, q.itemID, func(r *minidb.Row) { r.Attrs["cost"]++ })
+	case workload.NewProducts:
+		db.Select(pr, item, func(r minidb.Row) bool { return r.Attr("subject") == q.subject },
+			minidb.SelectOpts{SortBy: "sales", Limit: 50})
+	case workload.Home:
+		db.Lookup(pr, customer, q.itemID%2880)
+		for i := int64(0); i < 5; i++ {
+			db.Lookup(pr, item, (q.itemID+i)%10000)
+		}
+		db.TempSort(pr, 300)
+	case workload.ProductDetail:
+		db.Lookup(pr, item, q.itemID)
+		db.Lookup(pr, author, q.itemID%2500)
+	case workload.SearchRequest:
+		db.Lookup(pr, item, q.itemID)
+		db.Lookup(pr, author, q.itemID%2500)
+	case workload.ShoppingCart:
+		for i := int64(0); i < 3; i++ {
+			db.Lookup(pr, item, (q.itemID+i)%10000)
+		}
+	case workload.BuyRequest:
+		db.Lookup(pr, customer, q.itemID%2880)
+		db.Lookup(pr, item, q.itemID)
+	case workload.BuyConfirm:
+		// Writes order rows: the order_line insert takes that table's
+		// exclusive lock and collides with BestSellers' long reads.
+		db.Lookup(pr, customer, q.itemID%2880)
+		db.Insert(pr, orders, minidb.Row{ID: q.itemID*100000 + int64(pr.Thread().ID), Attrs: map[string]int64{}})
+		db.Insert(pr, orderLine, minidb.Row{ID: q.itemID*100000 + int64(pr.Thread().ID) + 50000,
+			Attrs: map[string]int64{"item": q.itemID, "qty": 1}})
+	case workload.OrderDisplay, workload.OrderInquiry:
+		db.Lookup(pr, customer, q.itemID%2880)
+		db.Lookup(pr, orders, q.itemID)
+	case workload.CustomerRegistration:
+		db.Lookup(pr, customer, q.itemID%2880)
+	case workload.AdminRequest:
+		db.Lookup(pr, item, q.itemID)
+		db.Lookup(pr, author, q.itemID%2500)
+	default:
+		db.Lookup(pr, item, q.itemID)
+	}
+}

@@ -1,0 +1,224 @@
+// Package cct implements Calling Context Trees (Ammons/Ball/Larus), the
+// data structure Whodunit's call-path profiler core keeps per transaction
+// context (§7.1). Each tree accumulates statistical profile samples (and
+// call counts, for the gprof-style baseline) along call paths; the root of
+// each tree is annotated with the transaction context it profiles.
+package cct
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Node is one procedure frame in a calling context tree. Self counts
+// samples attributed to the frame itself; call counts are kept for the
+// instrumented (gprof-like) mode.
+type Node struct {
+	Frame    string
+	Self     int64
+	Calls    int64
+	parent   *Node
+	children map[string]*Node
+}
+
+// Tree is a calling context tree. Label carries the transaction-context
+// annotation (a rendered context or synopsis chain).
+type Tree struct {
+	Label string
+	Root  *Node
+	total int64
+}
+
+// New returns an empty tree annotated with label.
+func New(label string) *Tree {
+	return &Tree{Label: label, Root: &Node{Frame: "(root)"}}
+}
+
+// Total reports the total number of samples in the tree.
+func (t *Tree) Total() int64 { return t.total }
+
+// Child returns (creating if necessary) the child of n for frame.
+func (n *Node) Child(frame string) *Node {
+	if n.children == nil {
+		n.children = make(map[string]*Node)
+	}
+	c, ok := n.children[frame]
+	if !ok {
+		c = &Node{Frame: frame, parent: n}
+		n.children[frame] = c
+	}
+	return c
+}
+
+// Parent returns the parent node (nil for the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the node's children sorted by frame name, for
+// deterministic iteration.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Frame < out[j].Frame })
+	return out
+}
+
+// Path returns the node for the given call path, creating intermediate
+// nodes as needed. An empty path returns the root.
+func (t *Tree) Path(path []string) *Node {
+	n := t.Root
+	for _, f := range path {
+		n = n.Child(f)
+	}
+	return n
+}
+
+// Find returns the node at path without creating it, or nil.
+func (t *Tree) Find(path ...string) *Node {
+	n := t.Root
+	for _, f := range path {
+		if n.children == nil {
+			return nil
+		}
+		c, ok := n.children[f]
+		if !ok {
+			return nil
+		}
+		n = c
+	}
+	return n
+}
+
+// AddSamples attributes n samples to the leaf of path.
+func (t *Tree) AddSamples(path []string, n int64) {
+	t.Path(path).Self += n
+	t.total += n
+}
+
+// AddCall counts one invocation of the leaf of path (instrumented mode).
+func (t *Tree) AddCall(path []string) {
+	t.Path(path).Calls++
+}
+
+// Inclusive reports the node's inclusive sample count (itself plus all
+// descendants).
+func (n *Node) Inclusive() int64 {
+	sum := n.Self
+	for _, c := range n.children {
+		sum += c.Inclusive()
+	}
+	return sum
+}
+
+// Merge adds every sample and call count of src into t.
+func (t *Tree) Merge(src *Tree) {
+	var rec func(dst, s *Node)
+	rec = func(dst, s *Node) {
+		dst.Self += s.Self
+		dst.Calls += s.Calls
+		for _, c := range s.children {
+			rec(dst.Child(c.Frame), c)
+		}
+	}
+	rec(t.Root, src.Root)
+	t.total += src.total
+}
+
+// Walk visits every node in deterministic (preorder, name-sorted) order.
+// depth is 0 for the root's immediate children.
+func (t *Tree) Walk(fn func(n *Node, depth int)) {
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		for _, c := range n.Children() {
+			fn(c, depth)
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+}
+
+// Render writes an indented text rendering of the tree to w. denom is the
+// sample count used as 100% (pass t.Total() for tree-local percentages or
+// a profile-wide total for Whodunit-style figures); 0 suppresses
+// percentages. Nodes are ordered by descending inclusive count, ties by
+// name, and frames below minPct% of denom are elided.
+func (t *Tree) Render(w io.Writer, denom int64, minPct float64) {
+	if t.Label != "" {
+		fmt.Fprintf(w, "context: %s\n", t.Label)
+	}
+	var rec func(n *Node, indent int)
+	rec = func(n *Node, indent int) {
+		kids := n.Children()
+		sort.Slice(kids, func(i, j int) bool {
+			a, b := kids[i].Inclusive(), kids[j].Inclusive()
+			if a != b {
+				return a > b
+			}
+			return kids[i].Frame < kids[j].Frame
+		})
+		for _, c := range kids {
+			inc := c.Inclusive()
+			pct := 0.0
+			if denom > 0 {
+				pct = 100 * float64(inc) / float64(denom)
+			}
+			if denom > 0 && pct < minPct {
+				continue
+			}
+			pad := strings.Repeat("  ", indent)
+			if denom > 0 {
+				fmt.Fprintf(w, "%s%-*s %6.2f%%  (self %d, incl %d)\n", pad, 40-2*indent, c.Frame, pct, c.Self, inc)
+			} else {
+				fmt.Fprintf(w, "%s%s (self %d, calls %d)\n", pad, c.Frame, c.Self, c.Calls)
+			}
+			rec(c, indent+1)
+		}
+	}
+	rec(t.Root, 0)
+}
+
+// FlatRecord is a serializable (path, self, calls) triple; a tree flattens
+// to a list of records and can be rebuilt from one. Used for writing
+// per-stage profiles to disk for post-mortem stitching.
+type FlatRecord struct {
+	Path  []string `json:"path"`
+	Self  int64    `json:"self"`
+	Calls int64    `json:"calls,omitempty"`
+}
+
+// Flatten converts the tree to records in deterministic order, including
+// only nodes with nonzero self samples or calls.
+func (t *Tree) Flatten() []FlatRecord {
+	var out []FlatRecord
+	var path []string
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		for _, c := range n.Children() {
+			path = append(path, c.Frame)
+			if c.Self != 0 || c.Calls != 0 {
+				p := make([]string, len(path))
+				copy(p, path)
+				out = append(out, FlatRecord{Path: p, Self: c.Self, Calls: c.Calls})
+			}
+			rec(c)
+			path = path[:len(path)-1]
+		}
+	}
+	rec(t.Root)
+	return out
+}
+
+// FromRecords rebuilds a tree from flattened records.
+func FromRecords(label string, recs []FlatRecord) *Tree {
+	t := New(label)
+	for _, r := range recs {
+		n := t.Path(r.Path)
+		n.Self += r.Self
+		n.Calls += r.Calls
+		t.total += r.Self
+	}
+	return t
+}

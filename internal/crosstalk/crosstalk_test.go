@@ -1,0 +1,173 @@
+package crosstalk
+
+import (
+	"strings"
+	"testing"
+
+	"whodunit/internal/profiler"
+	"whodunit/internal/tranctx"
+	"whodunit/internal/vclock"
+)
+
+// labelClassifier returns the last hop label of the local context.
+func labelClassifier(tc profiler.TxnCtxt) string {
+	if tc.Local == nil || tc.Local.IsRoot() {
+		return "(none)"
+	}
+	return tc.Local.Last().Label
+}
+
+// setup builds a sim, profiler, monitored lock and a helper that spawns a
+// thread running a transaction of a given type.
+func setup() (*vclock.Sim, *profiler.Profiler, *vclock.Lock, *Monitor) {
+	s := vclock.New()
+	p := profiler.New("db", profiler.ModeWhodunit)
+	l := s.NewLock("item_table")
+	mon := NewMonitor(labelClassifier, nil)
+	l.Observer = mon
+	return s, p, l, mon
+}
+
+func spawnTxn(s *vclock.Sim, p *profiler.Profiler, cpu *vclock.CPU, l *vclock.Lock,
+	at vclock.Time, txnType string, mode vclock.LockMode, hold vclock.Duration) {
+	s.GoAt(at, txnType, func(th *vclock.Thread) {
+		pr := p.NewProbe(th, cpu)
+		th.Data = pr
+		pr.SetTxn(profiler.TxnCtxt{Local: p.Table.Root().Append(tranctx.HandlerHop("db", txnType))})
+		th.Lock(l, mode)
+		th.Sleep(hold)
+		th.Unlock(l)
+	})
+}
+
+func TestCrosstalkPairRecorded(t *testing.T) {
+	s, p, l, mon := setup()
+	cpu := s.NewCPU("cpu", 4)
+	// BestSellers holds exclusively 0-20ms; AdminConfirm arrives at 5ms.
+	spawnTxn(s, p, cpu, l, 0, "BestSellers", vclock.Exclusive, 20*vclock.Millisecond)
+	spawnTxn(s, p, cpu, l, vclock.Time(5*vclock.Millisecond), "AdminConfirm", vclock.Exclusive, vclock.Millisecond)
+	s.Run()
+	s.Shutdown()
+
+	pairs := mon.Pairs()
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %+v, want 1", pairs)
+	}
+	pr := pairs[0]
+	if pr.Waiter != "AdminConfirm" || pr.Holder != "BestSellers" {
+		t.Fatalf("pair = %+v", pr)
+	}
+	if pr.Mean != 15*vclock.Millisecond {
+		t.Fatalf("mean wait = %v, want 15ms", pr.Mean)
+	}
+	total, n := mon.WaitTotal("AdminConfirm")
+	if total != 15*vclock.Millisecond || n != 1 {
+		t.Fatalf("wait total = %v/%d", total, n)
+	}
+}
+
+func TestCrosstalkBothDirections(t *testing.T) {
+	// §6: crosstalk for (tA,tB) and (tB,tA) are measured independently.
+	s, p, l, mon := setup()
+	cpu := s.NewCPU("cpu", 4)
+	spawnTxn(s, p, cpu, l, 0, "A", vclock.Exclusive, 10*vclock.Millisecond)
+	spawnTxn(s, p, cpu, l, vclock.Time(2*vclock.Millisecond), "B", vclock.Exclusive, 10*vclock.Millisecond)
+	// A second A arrives while B holds.
+	spawnTxn(s, p, cpu, l, vclock.Time(12*vclock.Millisecond), "A", vclock.Exclusive, vclock.Millisecond)
+	s.Run()
+	s.Shutdown()
+
+	var ab, ba bool
+	for _, pr := range mon.Pairs() {
+		if pr.Waiter == "B" && pr.Holder == "A" {
+			ba = true
+		}
+		if pr.Waiter == "A" && pr.Holder == "B" {
+			ab = true
+		}
+	}
+	if !ab || !ba {
+		t.Fatalf("expected both directions, got %+v", mon.Pairs())
+	}
+}
+
+func TestSharedReadersDoNotCrosstalk(t *testing.T) {
+	s, p, l, mon := setup()
+	cpu := s.NewCPU("cpu", 4)
+	for i := 0; i < 3; i++ {
+		spawnTxn(s, p, cpu, l, 0, "Read", vclock.Shared, 5*vclock.Millisecond)
+	}
+	s.Run()
+	s.Shutdown()
+	if len(mon.Pairs()) != 0 {
+		t.Fatalf("readers should not wait: %+v", mon.Pairs())
+	}
+}
+
+func TestWriterWaitsOnReadersAttributed(t *testing.T) {
+	// The MyISAM situation: AdminConfirm (writer) waits for read-only
+	// transactions holding the shared table lock.
+	s, p, l, mon := setup()
+	cpu := s.NewCPU("cpu", 4)
+	spawnTxn(s, p, cpu, l, 0, "SearchResult", vclock.Shared, 30*vclock.Millisecond)
+	spawnTxn(s, p, cpu, l, vclock.Time(vclock.Millisecond), "AdminConfirm", vclock.Exclusive, vclock.Millisecond)
+	s.Run()
+	s.Shutdown()
+	pairs := mon.Pairs()
+	if len(pairs) != 1 || pairs[0].Waiter != "AdminConfirm" || pairs[0].Holder != "SearchResult" {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	if pairs[0].Mean != 29*vclock.Millisecond {
+		t.Fatalf("mean = %v", pairs[0].Mean)
+	}
+}
+
+func TestUnknownThreadsClassified(t *testing.T) {
+	s := vclock.New()
+	l := s.NewLock("l")
+	mon := NewMonitor(labelClassifier, nil)
+	l.Observer = mon
+	s.Go("plain", func(th *vclock.Thread) { // no probe in Data
+		th.Lock(l, vclock.Exclusive)
+		th.Sleep(5 * vclock.Millisecond)
+		th.Unlock(l)
+	})
+	s.GoAt(vclock.Time(vclock.Millisecond), "plain2", func(th *vclock.Thread) {
+		th.Lock(l, vclock.Exclusive)
+		th.Unlock(l)
+	})
+	s.Run()
+	s.Shutdown()
+	pairs := mon.Pairs()
+	if len(pairs) != 1 || pairs[0].Waiter != "(unknown)" {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	s, p, l, mon := setup()
+	cpu := s.NewCPU("cpu", 4)
+	spawnTxn(s, p, cpu, l, 0, "X", vclock.Exclusive, 4*vclock.Millisecond)
+	spawnTxn(s, p, cpu, l, vclock.Time(vclock.Millisecond), "Y", vclock.Exclusive, vclock.Millisecond)
+	s.Run()
+	s.Shutdown()
+	var sb strings.Builder
+	mon.Render(&sb)
+	if !strings.Contains(sb.String(), "Y") || !strings.Contains(sb.String(), "X") {
+		t.Fatalf("render missing rows: %s", sb.String())
+	}
+}
+
+func TestWaiterTypesSorted(t *testing.T) {
+	s, p, l, mon := setup()
+	cpu := s.NewCPU("cpu", 4)
+	spawnTxn(s, p, cpu, l, 0, "Zed", vclock.Exclusive, 10*vclock.Millisecond)
+	spawnTxn(s, p, cpu, l, vclock.Time(vclock.Millisecond), "Alpha", vclock.Exclusive, vclock.Millisecond)
+	spawnTxn(s, p, cpu, l, vclock.Time(2*vclock.Millisecond), "Beta", vclock.Exclusive, vclock.Millisecond)
+	s.Run()
+	s.Shutdown()
+	types := mon.WaiterTypes()
+	if len(types) != 2 || types[0] != "Alpha" || types[1] != "Beta" {
+		t.Fatalf("types = %v", types)
+	}
+}

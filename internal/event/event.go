@@ -1,0 +1,123 @@
+// Package event is a libevent-style event notification library augmented
+// for transactional profiling, following Figure 4 of the paper (§4.1).
+//
+// Every event carries the transaction context (ev_tran_ctxt) captured when
+// it was created; the loop computes the current transaction context before
+// invoking a handler by appending the handler to the event's context with
+// the §4.1 sequence rules (consecutive-collapse, loop pruning), and
+// exposes it so the profiler annotates samples with it. An event-driven
+// program written against this library needs no modification at all to be
+// transactionally profiled.
+//
+// The library is transport-agnostic: Dispatch performs the context
+// bookkeeping for one delivered event, and the built-in ready list
+// (Ready/RunOne) serves programs that do not bring their own scheduler.
+package event
+
+import (
+	"fmt"
+
+	"whodunit/internal/tranctx"
+)
+
+// Handler is a named event handler. Names identify stages in transaction
+// contexts (httpAccept, clientReadRequest, ...).
+type Handler struct {
+	Name string
+	Fn   func(l *Loop, ev *Event)
+}
+
+// Event is a continuation: a handler to run plus the transaction context
+// captured when the continuation was produced (ev_tran_ctxt in Figure 4).
+type Event struct {
+	Handler *Handler
+	Ctxt    *tranctx.Ctxt
+	Data    any
+}
+
+// Loop is the event loop. Its Curr tracks curr_tran_ctxt from Figure 4.
+type Loop struct {
+	// Stage names the event-driven program (used in handler hops).
+	Stage string
+
+	// OnDispatch, if set, is called with the freshly computed transaction
+	// context before each handler runs; the profiler hooks in here.
+	OnDispatch func(curr *tranctx.Ctxt)
+
+	table      *tranctx.Table
+	curr       *tranctx.Ctxt
+	ready      []*Event
+	dispatched int64
+}
+
+// NewLoop returns an event loop for the named stage interning contexts in
+// table. The current context starts at the root (the initial handler's
+// context is simply the call path, §4.1).
+func NewLoop(stage string, table *tranctx.Table) *Loop {
+	return &Loop{Stage: stage, table: table, curr: table.Root()}
+}
+
+// Curr returns the current transaction context (curr_tran_ctxt).
+func (l *Loop) Curr() *tranctx.Ctxt { return l.curr }
+
+// Dispatched reports how many events have been dispatched.
+func (l *Loop) Dispatched() int64 { return l.dispatched }
+
+// NewEvent creates a continuation for h, capturing the loop's current
+// transaction context — Figure 4's event_add, line 12.
+func (l *Loop) NewEvent(h *Handler, data any) *Event {
+	if h == nil {
+		panic("event: nil handler")
+	}
+	return &Event{Handler: h, Ctxt: l.curr, Data: data}
+}
+
+// Ready appends ev to the loop's internal ready list (the event has been
+// triggered). Programs driving the loop through an external scheduler use
+// Dispatch directly instead.
+func (l *Loop) Ready(ev *Event) { l.ready = append(l.ready, ev) }
+
+// Pending reports the number of triggered-but-undispatched events.
+func (l *Loop) Pending() int { return len(l.ready) }
+
+// RunOne dispatches the oldest ready event; it reports false if none is
+// pending.
+func (l *Loop) RunOne() bool {
+	if len(l.ready) == 0 {
+		return false
+	}
+	ev := l.ready[0]
+	l.ready = l.ready[1:]
+	l.Dispatch(ev)
+	return true
+}
+
+// Run dispatches ready events until the list drains.
+func (l *Loop) Run() {
+	for l.RunOne() {
+	}
+}
+
+// Dispatch computes the current transaction context for ev — the event's
+// captured context extended with its handler under the §4.1 collapse and
+// loop-pruning rules (Figure 4, lines 5-6) — then invokes the handler.
+func (l *Loop) Dispatch(ev *Event) {
+	if ev == nil || ev.Handler == nil {
+		panic("event: dispatch of nil event or handler")
+	}
+	base := ev.Ctxt
+	if base == nil {
+		base = l.table.Root()
+	}
+	l.curr = base.Append(tranctx.HandlerHop(l.Stage, ev.Handler.Name))
+	l.dispatched++
+	if l.OnDispatch != nil {
+		l.OnDispatch(l.curr)
+	}
+	ev.Handler.Fn(l, ev)
+}
+
+// String describes the loop state briefly.
+func (l *Loop) String() string {
+	return fmt.Sprintf("event.Loop(%s, pending=%d, curr=%s)", l.Stage, len(l.ready), l.curr)
+}

@@ -1,0 +1,171 @@
+package event
+
+import (
+	"reflect"
+	"testing"
+
+	"whodunit/internal/tranctx"
+)
+
+func TestInitialHandlerContextIsItself(t *testing.T) {
+	tb := tranctx.NewTable()
+	l := NewLoop("srv", tb)
+	var got []string
+	h := &Handler{Name: "accept", Fn: func(l *Loop, ev *Event) {
+		got = l.Curr().Labels()
+	}}
+	l.Ready(&Event{Handler: h, Ctxt: tb.Root()})
+	l.Run()
+	if !reflect.DeepEqual(got, []string{"accept"}) {
+		t.Fatalf("ctxt = %v, want [accept]", got)
+	}
+}
+
+func TestContinuationInheritsContext(t *testing.T) {
+	// accept creates a read continuation; read's context must be
+	// [accept, read] (§4.1).
+	tb := tranctx.NewTable()
+	l := NewLoop("srv", tb)
+	var readCtxt []string
+	read := &Handler{Name: "read", Fn: func(l *Loop, ev *Event) {
+		readCtxt = l.Curr().Labels()
+	}}
+	accept := &Handler{Name: "accept", Fn: func(l *Loop, ev *Event) {
+		l.Ready(l.NewEvent(read, nil))
+	}}
+	l.Ready(&Event{Handler: accept, Ctxt: tb.Root()})
+	l.Run()
+	if !reflect.DeepEqual(readCtxt, []string{"accept", "read"}) {
+		t.Fatalf("read ctxt = %v", readCtxt)
+	}
+}
+
+func TestRepeatedHandlerCollapses(t *testing.T) {
+	// A read handler rescheduling itself (partial reads) keeps the context
+	// at [accept, read], not [accept, read, read, ...].
+	tb := tranctx.NewTable()
+	l := NewLoop("srv", tb)
+	depths := []int{}
+	var read *Handler
+	n := 0
+	read = &Handler{Name: "read", Fn: func(l *Loop, ev *Event) {
+		depths = append(depths, l.Curr().Depth())
+		if n++; n < 4 {
+			l.Ready(l.NewEvent(read, nil))
+		}
+	}}
+	accept := &Handler{Name: "accept", Fn: func(l *Loop, ev *Event) {
+		l.Ready(l.NewEvent(read, nil))
+	}}
+	l.Ready(&Event{Handler: accept, Ctxt: tb.Root()})
+	l.Run()
+	for _, d := range depths {
+		if d != 2 {
+			t.Fatalf("depths = %v, want all 2", depths)
+		}
+	}
+}
+
+func TestPersistentConnectionLoopPruned(t *testing.T) {
+	// write -> read -> write -> read ... (persistent connection): context
+	// stays bounded and prunes back to [accept, read] (§4.1).
+	tb := tranctx.NewTable()
+	l := NewLoop("srv", tb)
+	var lastRead []string
+	rounds := 0
+	var read, write *Handler
+	read = &Handler{Name: "read", Fn: func(l *Loop, ev *Event) {
+		lastRead = l.Curr().Labels()
+		l.Ready(l.NewEvent(write, nil))
+	}}
+	write = &Handler{Name: "write", Fn: func(l *Loop, ev *Event) {
+		if rounds++; rounds < 5 {
+			l.Ready(l.NewEvent(read, nil))
+		}
+	}}
+	accept := &Handler{Name: "accept", Fn: func(l *Loop, ev *Event) {
+		l.Ready(l.NewEvent(read, nil))
+	}}
+	l.Ready(&Event{Handler: accept, Ctxt: tb.Root()})
+	l.Run()
+	if !reflect.DeepEqual(lastRead, []string{"accept", "read"}) {
+		t.Fatalf("read ctxt after persistent rounds = %v", lastRead)
+	}
+	if l.Dispatched() != 1+5+5 { // accept + 5 reads + 5 writes
+		t.Fatalf("dispatched = %d", l.Dispatched())
+	}
+}
+
+func TestDistinctPathsGetDistinctContexts(t *testing.T) {
+	// DNS-server example (§4.1): hit and miss handlers establish separate
+	// transaction contexts.
+	tb := tranctx.NewTable()
+	l := NewLoop("dns", tb)
+	ctxts := map[string]string{}
+	record := func(name string) *Handler {
+		return &Handler{Name: name, Fn: func(l *Loop, ev *Event) {
+			ctxts[name] = l.Curr().String()
+		}}
+	}
+	hit, miss := record("cache_hit"), record("cache_miss")
+	lookup := &Handler{Name: "lookup", Fn: func(l *Loop, ev *Event) {
+		if ev.Data.(bool) {
+			l.Ready(l.NewEvent(hit, nil))
+		} else {
+			l.Ready(l.NewEvent(miss, nil))
+		}
+	}}
+	l.Ready(&Event{Handler: lookup, Ctxt: tb.Root(), Data: true})
+	l.Run()
+	l.Ready(&Event{Handler: lookup, Ctxt: tb.Root(), Data: false})
+	l.Run()
+	if ctxts["cache_hit"] == ctxts["cache_miss"] {
+		t.Fatal("hit and miss should have distinct contexts")
+	}
+	if ctxts["cache_hit"] != "dns@lookup | dns@cache_hit" {
+		t.Fatalf("hit ctxt = %q", ctxts["cache_hit"])
+	}
+}
+
+func TestOnDispatchHookSeesContext(t *testing.T) {
+	tb := tranctx.NewTable()
+	l := NewLoop("srv", tb)
+	var seen []string
+	l.OnDispatch = func(c *tranctx.Ctxt) { seen = append(seen, c.String()) }
+	h := &Handler{Name: "h", Fn: func(l *Loop, ev *Event) {}}
+	l.Ready(&Event{Handler: h, Ctxt: tb.Root()})
+	l.Run()
+	if len(seen) != 1 || seen[0] != "srv@h" {
+		t.Fatalf("hook saw %v", seen)
+	}
+}
+
+func TestRunOneOrderFIFO(t *testing.T) {
+	tb := tranctx.NewTable()
+	l := NewLoop("srv", tb)
+	var order []string
+	mk := func(n string) *Event {
+		return &Event{Handler: &Handler{Name: n, Fn: func(l *Loop, ev *Event) {
+			order = append(order, n)
+		}}, Ctxt: tb.Root()}
+	}
+	l.Ready(mk("a"))
+	l.Ready(mk("b"))
+	if !l.RunOne() || !l.RunOne() || l.RunOne() {
+		t.Fatal("RunOne sequencing wrong")
+	}
+	if !reflect.DeepEqual(order, []string{"a", "b"}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestNilEventPanics(t *testing.T) {
+	tb := tranctx.NewTable()
+	l := NewLoop("srv", tb)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	l.Dispatch(nil)
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig8ShapeHolds(t *testing.T) {
+	r := Fig8Apache(QuickScale)
+	if r.Flows == 0 {
+		t.Fatal("no flows detected")
+	}
+	if r.AcceptSharePct <= 0 || r.ServeSharePct <= 0 {
+		t.Fatalf("shares: accept=%.2f serve=%.2f", r.AcceptSharePct, r.ServeSharePct)
+	}
+	// Paper shape: serving dominates the accept path (22.7% vs 2.4%).
+	if r.ServeSharePct < 2*r.AcceptSharePct {
+		t.Fatalf("serve %.2f%% should dwarf accept %.2f%%", r.ServeSharePct, r.AcceptSharePct)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "Figure 8") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig9ShapeHolds(t *testing.T) {
+	r := Fig9Squid(QuickScale)
+	if r.HitWritePct <= 0 || r.MissWritePct <= 0 {
+		t.Fatalf("write split: hit=%.2f miss=%.2f", r.HitWritePct, r.MissWritePct)
+	}
+	// Paper shape: the miss-path write context carries more CPU than the
+	// hit-path one (38.5% vs 28.2% — misses also pay receive costs
+	// upstream, and each miss writes the same bytes).
+	if len(r.Rows) < 3 {
+		t.Fatalf("too few contexts: %+v", r.Rows)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "commHandleWrite split") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFig10ShapeHolds(t *testing.T) {
+	r := Fig10Haboob(QuickScale)
+	if r.HitWritePct <= 0 || r.MissWritePct <= 0 {
+		t.Fatalf("WriteStage split: hit=%.2f miss=%.2f", r.HitWritePct, r.MissWritePct)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "WriteStage split") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := Table3Emulation()
+	for _, row := range r.Rows {
+		// Paper shape: translate+emulate >> cached emulation >> direct.
+		if !(row.TranslateCycles > 2*row.CachedEmuCycles) {
+			t.Fatalf("%s: translate %d not >> cached %d", row.Name, row.TranslateCycles, row.CachedEmuCycles)
+		}
+		if !(row.CachedEmuCycles > 20*row.DirectCycles) {
+			t.Fatalf("%s: cached %d not >> direct %d", row.Name, row.CachedEmuCycles, row.DirectCycles)
+		}
+		// Rough magnitudes: direct O(100) cycles, translate O(10K-100K).
+		if row.DirectCycles < 50 || row.DirectCycles > 500 {
+			t.Fatalf("%s direct cycles %d out of calibrated range", row.Name, row.DirectCycles)
+		}
+		if row.TranslateCycles < 10000 || row.TranslateCycles > 200000 {
+			t.Fatalf("%s translate cycles %d out of calibrated range", row.Name, row.TranslateCycles)
+		}
+	}
+}
+
+func TestServerOverheadsSmall(t *testing.T) {
+	r := ServerOverheads(QuickScale)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.OverheadPct < 0 || row.OverheadPct > 15 {
+			t.Fatalf("%s overhead %.1f%% implausible", row.Server, row.OverheadPct)
+		}
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	r := FlowValidation()
+	if r.ApacheFlows == 0 {
+		t.Fatal("apache flows missing")
+	}
+	if r.CounterFlows != 0 {
+		t.Fatalf("counter flows = %d, want 0 (the MySQL validation)", r.CounterFlows)
+	}
+	if !r.AllocatorDemoted {
+		t.Fatal("allocator not demoted")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := Table1TPCW(QuickTPCW)
+	shares := map[string]float64{}
+	waits := map[string]float64{}
+	for _, row := range r.Rows {
+		shares[row.Interaction] = row.CPUSharePct
+		waits[row.Interaction] = row.MeanWaitMs
+	}
+	if shares["BestSellers"]+shares["SearchResult"] < 60 {
+		t.Fatalf("BestSellers+SearchResult = %.1f%%, want > 60%%", shares["BestSellers"]+shares["SearchResult"])
+	}
+	if shares["BestSellers"] < shares["SearchResult"] {
+		t.Fatalf("BestSellers %.1f%% should lead SearchResult %.1f%%", shares["BestSellers"], shares["SearchResult"])
+	}
+	// AdminConfirm: tiny CPU share but the largest crosstalk wait.
+	if shares["AdminConfirm"] > 5 {
+		t.Fatalf("AdminConfirm share %.1f%% too large", shares["AdminConfirm"])
+	}
+}
+
+func TestFig12CachingWins(t *testing.T) {
+	r := Fig12Throughput(TPCWScale{Duration: QuickTPCW.Duration, Sweep: []int{300}})
+	row := r.Rows[0]
+	if row.CachedPerMin < 1.3*row.OriginalPerMin {
+		t.Fatalf("caching %f not >> original %f at 300 clients", row.CachedPerMin, row.OriginalPerMin)
+	}
+}
+
+func TestTable2Ordering(t *testing.T) {
+	r := Table2Overhead(TPCWScale{Duration: QuickTPCW.Duration})
+	byMode := map[string]float64{}
+	for _, row := range r.Rows {
+		byMode[row.Mode] = row.PerMin
+	}
+	if !(byMode["gprof"] < byMode["whodunit"] && byMode["whodunit"] <= byMode["no profile"]) {
+		t.Fatalf("throughput ordering wrong: %+v", byMode)
+	}
+	if r.CommOverheadPct <= 0 || r.CommOverheadPct > 5 {
+		t.Fatalf("comm overhead %.2f%% implausible", r.CommOverheadPct)
+	}
+}

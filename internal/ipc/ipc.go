@@ -1,0 +1,190 @@
+// Package ipc implements transactional profiling across distribution
+// (paper §5, §7.4): wrappers for message send and receive operations that
+// piggy-back transaction context synopses on application data.
+//
+// On send, the wrapper computes the sender's transaction context at the
+// send point (the call path, suffixed to any inherited context), interns
+// it to a 4-byte synopsis, records the (chain → context) association, and
+// attaches the synopsis chain to the message. On receive, the wrapper
+// inspects the incoming chain: if a chain this endpoint previously sent is
+// a proper prefix of it, the message is a *response* — the endpoint
+// switches back to the CCT from which the request originated; otherwise
+// it is a *request* and the receiver adopts the sender's chain as its
+// context prefix.
+//
+// Messages travel either as values through simulator queues or as framed
+// bytes over any io.ReadWriter (see Conn) for real transports.
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"whodunit/internal/profiler"
+	"whodunit/internal/tranctx"
+)
+
+// Msg is one message: the piggy-backed synopsis chain plus application
+// data. Data is used by in-memory transports; Payload by wire transports.
+type Msg struct {
+	Chain   tranctx.Chain
+	Data    any
+	Payload []byte
+}
+
+// Kind classifies a received message.
+type Kind uint8
+
+const (
+	// Request means the receiver inherits the sender's context.
+	Request Kind = iota
+	// Response means a prefix of the chain originated at the receiver,
+	// which switches back to the originating context (§5).
+	Response
+)
+
+func (k Kind) String() string {
+	if k == Response {
+		return "response"
+	}
+	return "request"
+}
+
+// SendRecord is the stitching-metadata trace of one distinct sent chain.
+type SendRecord struct {
+	Chain    string // rendered synopsis chain
+	FromKey  string // TxnCtxt key of the context the send originated from
+	FromName string // human-readable context label
+}
+
+// Endpoint is a stage's message-context bookkeeping: the dictionary of
+// sent synopsis chains and the contexts to restore when their responses
+// arrive.
+type Endpoint struct {
+	Stage string
+
+	sent  map[string]profiler.TxnCtxt
+	sends []SendRecord
+	seen  map[string]bool
+}
+
+// NewEndpoint returns an endpoint for the named stage.
+func NewEndpoint(stage string) *Endpoint {
+	return &Endpoint{Stage: stage, sent: make(map[string]profiler.TxnCtxt), seen: make(map[string]bool)}
+}
+
+// Send builds a message carrying data, stamped with the probe's
+// transaction context at the send point. The send wrapper of §7.4:
+// compute the synopsis, associate the current CCT with it, piggy-back it.
+func (e *Endpoint) Send(pr *profiler.Probe, data any) Msg {
+	at := pr.CallCtxt()
+	chain := make(tranctx.Chain, 0, len(at.Prefix)+1)
+	chain = append(chain, at.Prefix...)
+	chain = append(chain, at.Local.Synopsis())
+	key := chain.String()
+	e.sent[key] = pr.Txn()
+	if !e.seen[key] {
+		e.seen[key] = true
+		e.sends = append(e.sends, SendRecord{Chain: key, FromKey: pr.Txn().Key(), FromName: pr.Txn().Label()})
+	}
+	return Msg{Chain: chain, Data: data}
+}
+
+// Recv classifies msg and switches the probe's transaction context
+// accordingly: requests adopt the sender's chain as prefix (with a fresh
+// local context); responses restore the context the matching request was
+// sent from. The receive wrapper of §7.4.
+func (e *Endpoint) Recv(pr *profiler.Probe, msg Msg) Kind {
+	// Longest proper prefix of the incoming chain that we sent.
+	for k := len(msg.Chain) - 1; k >= 1; k-- {
+		if saved, ok := e.sent[msg.Chain[:k].String()]; ok {
+			pr.SetTxn(saved)
+			return Response
+		}
+	}
+	prefix := make(tranctx.Chain, len(msg.Chain))
+	copy(prefix, msg.Chain)
+	pr.SetTxn(profiler.TxnCtxt{Prefix: prefix, Local: pr.Profiler().Table.Root()})
+	return Request
+}
+
+// Sends returns the distinct chains this endpoint sent, with the contexts
+// they originated from, for post-mortem stitching.
+func (e *Endpoint) Sends() []SendRecord {
+	out := make([]SendRecord, len(e.sends))
+	copy(out, e.sends)
+	return out
+}
+
+// --- Wire transport -------------------------------------------------
+
+// maxFrame bounds wire frames (16 MiB) against corrupt length prefixes.
+const maxFrame = 16 << 20
+
+// WriteMsg frames msg onto w: u32 length, chain, payload bytes.
+func WriteMsg(w io.Writer, msg Msg) error {
+	chain := msg.Chain.AppendWire(nil)
+	total := len(chain) + len(msg.Payload)
+	if total > maxFrame {
+		return fmt.Errorf("ipc: frame too large: %d bytes", total)
+	}
+	hdr := binary.BigEndian.AppendUint32(nil, uint32(total))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("ipc: write header: %w", err)
+	}
+	if _, err := w.Write(chain); err != nil {
+		return fmt.Errorf("ipc: write chain: %w", err)
+	}
+	if len(msg.Payload) > 0 {
+		if _, err := w.Write(msg.Payload); err != nil {
+			return fmt.Errorf("ipc: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadMsg reads one framed message from r.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Msg{}, fmt.Errorf("ipc: read header: %w", err)
+	}
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total > maxFrame {
+		return Msg{}, fmt.Errorf("ipc: frame length %d exceeds max", total)
+	}
+	buf := make([]byte, total)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Msg{}, fmt.Errorf("ipc: read body: %w", err)
+	}
+	chain, n, err := tranctx.DecodeChain(buf)
+	if err != nil {
+		return Msg{}, err
+	}
+	return Msg{Chain: chain, Payload: buf[n:]}, nil
+}
+
+// Conn couples an Endpoint with a byte stream, giving the paper's
+// transparent send/receive wrappers over sockets and pipes.
+type Conn struct {
+	E  *Endpoint
+	RW io.ReadWriter
+}
+
+// Send wraps Endpoint.Send and writes the frame.
+func (c *Conn) Send(pr *profiler.Probe, payload []byte) error {
+	msg := c.E.Send(pr, nil)
+	msg.Payload = payload
+	return WriteMsg(c.RW, msg)
+}
+
+// Recv reads one frame, classifies it and switches the probe's context.
+func (c *Conn) Recv(pr *profiler.Probe) ([]byte, Kind, error) {
+	msg, err := ReadMsg(c.RW)
+	if err != nil {
+		return nil, Request, err
+	}
+	kind := c.E.Recv(pr, msg)
+	return msg.Payload, kind, nil
+}

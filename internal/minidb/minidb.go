@@ -1,0 +1,299 @@
+// Package minidb is the database substrate standing in for MySQL 4.0 in
+// the TPC-W case study (§8.4). It provides tables with two storage
+// engines that differ exactly where the paper's optimisation story needs
+// them to:
+//
+//   - EngineMyISAM supports only table-wide locking: reads take the table
+//     lock shared, writes take it exclusive — so one row update blocks
+//     every reader of the table;
+//   - EngineInnoDB supports row-level locking with non-locking consistent
+//     reads: readers take no lock at all, writers lock only their row.
+//
+// Query execution consumes CPU according to a calibrated cost model and
+// is instrumented through profiler probes, so the database's CPU profile
+// per transaction context (Table 1) and its lock crosstalk fall out of
+// the same machinery as every other stage.
+package minidb
+
+import (
+	"fmt"
+	"sort"
+
+	"whodunit/internal/profiler"
+	"whodunit/internal/vclock"
+)
+
+// Engine selects a table's locking strategy.
+type Engine uint8
+
+const (
+	// EngineMyISAM: table-level locking only.
+	EngineMyISAM Engine = iota
+	// EngineInnoDB: row-level write locks, lock-free consistent reads.
+	EngineInnoDB
+)
+
+func (e Engine) String() string {
+	if e == EngineInnoDB {
+		return "InnoDB"
+	}
+	return "MyISAM"
+}
+
+// Row is one table row: an id plus integer attributes (strings are
+// modelled as interned codes — the workload only ever compares them).
+type Row struct {
+	ID    int64
+	Attrs map[string]int64
+}
+
+// Attr returns the named attribute (0 when absent).
+func (r Row) Attr(name string) int64 { return r.Attrs[name] }
+
+// CostModel gives the CPU demand of query operators, per row.
+type CostModel struct {
+	ScanPerRow   vclock.Duration // sequential scan, per row examined
+	SortPerCmp   vclock.Duration // sort, per comparison (n log2 n total)
+	LookupCost   vclock.Duration // index lookup, per access
+	UpdateCost   vclock.Duration // in-place row update
+	InsertCost   vclock.Duration // row insert
+	TempPerRow   vclock.Duration // temp-table materialisation, per row
+	AggPerRow    vclock.Duration // aggregation, per input row
+	ReturnPerRow vclock.Duration // result marshalling, per returned row
+}
+
+// DefaultCost is calibrated so the TPC-W browsing mix reproduces Table
+// 1's CPU split (BestSellers and SearchResult dominating).
+var DefaultCost = CostModel{
+	ScanPerRow:   800 * vclock.Nanosecond,
+	SortPerCmp:   150 * vclock.Nanosecond,
+	LookupCost:   60 * vclock.Microsecond,
+	UpdateCost:   250 * vclock.Microsecond,
+	InsertCost:   120 * vclock.Microsecond,
+	TempPerRow:   2 * vclock.Microsecond,
+	AggPerRow:    1 * vclock.Microsecond,
+	ReturnPerRow: 4 * vclock.Microsecond,
+}
+
+// Table is a named collection of rows under one engine.
+type Table struct {
+	Name   string
+	Engine Engine
+
+	db       *DB
+	rows     []Row
+	byID     map[int64]int
+	lock     *vclock.Lock
+	rowLocks map[int64]*vclock.Lock
+}
+
+// DB is one database instance bound to a simulation and a CPU.
+type DB struct {
+	Name string
+	CPU  *vclock.CPU
+	Cost CostModel
+
+	sim      *vclock.Sim
+	tables   map[string]*Table
+	observer vclock.LockObserver
+}
+
+// New creates a database computing on cpu.
+func New(sim *vclock.Sim, name string, cpu *vclock.CPU) *DB {
+	return &DB{Name: name, CPU: cpu, Cost: DefaultCost, sim: sim, tables: make(map[string]*Table)}
+}
+
+// SetLockObserver attaches obs (e.g. a crosstalk monitor) to every
+// current and future lock in the database.
+func (db *DB) SetLockObserver(obs vclock.LockObserver) {
+	db.observer = obs
+	for _, t := range db.tables {
+		t.lock.Observer = obs
+		for _, rl := range t.rowLocks {
+			rl.Observer = obs
+		}
+	}
+}
+
+// CreateTable adds an empty table with the given engine.
+func (db *DB) CreateTable(name string, engine Engine) *Table {
+	t := &Table{
+		Name:     name,
+		Engine:   engine,
+		db:       db,
+		byID:     make(map[int64]int),
+		lock:     db.sim.NewLock(db.Name + "." + name),
+		rowLocks: make(map[int64]*vclock.Lock),
+	}
+	t.lock.Observer = db.observer
+	db.tables[name] = t
+	return t
+}
+
+// Table looks up a table by name; it panics if missing (schema errors are
+// programming errors in this codebase).
+func (db *DB) Table(name string) *Table {
+	t, ok := db.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("minidb: no table %q in %s", name, db.Name))
+	}
+	return t
+}
+
+// AlterEngine switches the table's engine — the paper's MyISAM→InnoDB
+// optimisation (§8.4).
+func (t *Table) AlterEngine(e Engine) { t.Engine = e }
+
+// Len reports the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// LoadRow appends a row without consuming simulated time (bulk loading
+// during setup).
+func (t *Table) LoadRow(r Row) {
+	t.byID[r.ID] = len(t.rows)
+	t.rows = append(t.rows, r)
+}
+
+func (t *Table) rowLock(id int64) *vclock.Lock {
+	l, ok := t.rowLocks[id]
+	if !ok {
+		l = t.db.sim.NewLock(fmt.Sprintf("%s.%s[%d]", t.db.Name, t.Name, id))
+		l.Observer = t.db.observer
+		t.rowLocks[id] = l
+	}
+	return l
+}
+
+// readLock acquires whatever lock the engine requires for reading and
+// returns the matching unlock function (a no-op for InnoDB's non-locking
+// consistent reads).
+func (t *Table) readLock(th *vclock.Thread) func() {
+	switch t.Engine {
+	case EngineMyISAM:
+		th.Lock(t.lock, vclock.Shared)
+		return func() { th.Unlock(t.lock) }
+	default:
+		return func() {}
+	}
+}
+
+func (t *Table) writeLock(th *vclock.Thread, id int64) func() {
+	switch t.Engine {
+	case EngineMyISAM:
+		th.Lock(t.lock, vclock.Exclusive)
+		return func() { th.Unlock(t.lock) }
+	default:
+		l := t.rowLock(id)
+		th.Lock(l, vclock.Exclusive)
+		return func() { th.Unlock(l) }
+	}
+}
+
+// Pred filters rows; a nil Pred matches everything.
+type Pred func(Row) bool
+
+// SelectOpts modifies Select: SortBy triggers an n·log n sort by the
+// named attribute (descending), Limit truncates the result, and
+// TempSortRows > 0 materialises and sorts that many rows into a temporary
+// table *while the read lock is held* — the heavy query shape of
+// BestSellers / SearchResult / AdminConfirm (§8.4), and the reason those
+// queries hold their table locks long enough to cause crosstalk.
+type SelectOpts struct {
+	SortBy       string
+	Limit        int
+	TempSortRows int
+}
+
+// log2 returns ceil(log2(n)) for cost computation, minimum 1.
+func log2(n int) int64 {
+	l := int64(1)
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+// Select scans the table under the engine's read locking, filters with
+// pred, optionally sorts and limits; all CPU demand is charged through
+// pr. The returned rows are copies of the row headers (attribute maps are
+// shared — the workload treats them as immutable).
+func (db *DB) Select(pr *profiler.Probe, t *Table, pred Pred, opts SelectOpts) []Row {
+	defer pr.Exit(pr.Enter("select_" + t.Name))
+	unlock := t.readLock(pr.Thread())
+	defer unlock()
+
+	func() {
+		defer pr.Exit(pr.Enter("scan_rows"))
+		pr.ComputeN(vclock.Duration(len(t.rows))*db.Cost.ScanPerRow, len(t.rows))
+	}()
+	var out []Row
+	for _, r := range t.rows {
+		if pred == nil || pred(r) {
+			out = append(out, r)
+		}
+	}
+	if opts.SortBy != "" && len(out) > 1 {
+		func() {
+			defer pr.Exit(pr.Enter("sort_rows"))
+			pr.ComputeN(vclock.Duration(int64(len(out))*log2(len(out)))*db.Cost.SortPerCmp, len(out))
+		}()
+		key := opts.SortBy
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Attr(key) > out[j].Attr(key) })
+	}
+	if opts.TempSortRows > 0 {
+		db.TempSort(pr, opts.TempSortRows)
+	}
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	pr.Compute(vclock.Duration(len(out)) * db.Cost.ReturnPerRow)
+	return out
+}
+
+// Lookup fetches a row by primary key under read locking.
+func (db *DB) Lookup(pr *profiler.Probe, t *Table, id int64) (Row, bool) {
+	defer pr.Exit(pr.Enter("lookup_" + t.Name))
+	unlock := t.readLock(pr.Thread())
+	defer unlock()
+	pr.Compute(db.Cost.LookupCost)
+	idx, ok := t.byID[id]
+	if !ok {
+		return Row{}, false
+	}
+	return t.rows[idx], true
+}
+
+// Update applies fn to the row with the given id under the engine's write
+// locking. It reports whether the row existed.
+func (db *DB) Update(pr *profiler.Probe, t *Table, id int64, fn func(*Row)) bool {
+	defer pr.Exit(pr.Enter("update_" + t.Name))
+	unlock := t.writeLock(pr.Thread(), id)
+	defer unlock()
+	pr.Compute(db.Cost.UpdateCost)
+	idx, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	fn(&t.rows[idx])
+	return true
+}
+
+// Insert appends a row under write locking (the whole table for MyISAM,
+// the new row's lock for InnoDB).
+func (db *DB) Insert(pr *profiler.Probe, t *Table, r Row) {
+	defer pr.Exit(pr.Enter("insert_" + t.Name))
+	unlock := t.writeLock(pr.Thread(), r.ID)
+	defer unlock()
+	pr.Compute(db.Cost.InsertCost)
+	t.LoadRow(r)
+}
+
+// TempSort models the heavy-weight "sort into a temporary table" query
+// shape (AdminConfirm, BestSellers): materialise n rows into a temp table
+// and sort them, charging temp+agg+sort costs. Only the cost (and the
+// profiler frames) matter; callers aggregate real data themselves.
+func (db *DB) TempSort(pr *profiler.Probe, n int) {
+	defer pr.Exit(pr.Enter("temp_table_sort"))
+	pr.ComputeN(vclock.Duration(n)*(db.Cost.TempPerRow+db.Cost.AggPerRow)+
+		vclock.Duration(int64(n)*log2(n))*db.Cost.SortPerCmp, n)
+}

@@ -1,0 +1,394 @@
+// Package profiler implements Whodunit's profiler core (§7.1): a
+// statistical call-path profiler in the style of csprof that accumulates
+// samples into Calling Context Trees, one CCT per transaction context,
+// plus a gprof-style instrumented baseline used by the overhead
+// comparison (Table 2).
+//
+// Profiling runs on virtual time: a probe charges CPU demand to a
+// vclock.CPU and takes one profile sample per sampling interval of CPU
+// actually consumed. Profiling overhead is itself modelled as extra CPU
+// demand — per sample for the statistical modes, per procedure call for
+// the instrumented mode — so enabling a profiler changes the simulated
+// application's throughput exactly the way the paper measures.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+
+	"whodunit/internal/cct"
+	"whodunit/internal/tranctx"
+	"whodunit/internal/vclock"
+)
+
+// Mode selects the profiling strategy.
+type Mode uint8
+
+const (
+	// ModeOff disables profiling; probes only charge application CPU.
+	ModeOff Mode = iota
+	// ModeSampling is the csprof baseline: statistical call-path samples
+	// into one CCT, no transaction contexts.
+	ModeSampling
+	// ModeWhodunit is sampling plus transaction-context tracking: samples
+	// land in the CCT of the current transaction context.
+	ModeWhodunit
+	// ModeInstrumented is the gprof baseline: per-call instrumentation
+	// (with its proportional overhead) plus statistical samples, no
+	// transaction contexts.
+	ModeInstrumented
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeSampling:
+		return "csprof"
+	case ModeWhodunit:
+		return "whodunit"
+	case ModeInstrumented:
+		return "gprof"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Overhead models the profiler's own CPU costs (virtual time).
+type Overhead struct {
+	// PerSample is charged for every statistical sample taken (unwinding
+	// the stack and bumping a CCT node — csprof-style).
+	PerSample vclock.Duration
+	// PerCall is charged on every procedure entry in ModeInstrumented
+	// (gprof's inserted counting code).
+	PerCall vclock.Duration
+	// PerCtxtSwitch is charged in ModeWhodunit whenever the transaction
+	// context changes (CCT dictionary lookup and switch, §7.1).
+	PerCtxtSwitch vclock.Duration
+}
+
+// DefaultOverhead is calibrated so the relative overheads land where §9.1
+// reports them: csprof < 3% (40us per 1.5ms sampling interval), Whodunit
+// ≈ csprof + ~0.1% (2us per context switch), gprof ≈ 24% for call-dense
+// workloads (1.2us of counting code per procedure call, with call counts
+// supplied through ComputeN).
+var DefaultOverhead = Overhead{
+	PerSample:     40 * vclock.Microsecond,
+	PerCall:       1200 * vclock.Nanosecond,
+	PerCtxtSwitch: 2 * vclock.Microsecond,
+}
+
+// DefaultInterval is the sampling period: 666 samples per second of CPU
+// consumed, gprof's default frequency on the paper's platform (§9.1).
+const DefaultInterval = vclock.Second / 666
+
+// TxnCtxt is a profiler-level transaction context: the synopsis chain
+// received from upstream stages (opaque to this stage) plus the locally
+// built context (call-path, handler and stage hops interned in this
+// stage's table).
+type TxnCtxt struct {
+	Prefix tranctx.Chain
+	Local  *tranctx.Ctxt
+}
+
+// Key returns the CCT dictionary key for the context.
+func (tc TxnCtxt) Key() string {
+	if len(tc.Prefix) == 0 {
+		return localKey(tc.Local)
+	}
+	return tc.Prefix.String() + "|" + localKey(tc.Local)
+}
+
+func localKey(c *tranctx.Ctxt) string {
+	if c == nil {
+		return "0"
+	}
+	return fmt.Sprintf("%d", c.Synopsis())
+}
+
+// Label renders the context for humans.
+func (tc TxnCtxt) Label() string {
+	switch {
+	case len(tc.Prefix) == 0 && (tc.Local == nil || tc.Local.IsRoot()):
+		return "(root)"
+	case len(tc.Prefix) == 0:
+		return tc.Local.String()
+	case tc.Local == nil || tc.Local.IsRoot():
+		return "[" + tc.Prefix.String() + "]"
+	default:
+		return "[" + tc.Prefix.String() + "] " + tc.Local.String()
+	}
+}
+
+// Profiler is the per-stage profiler state: mode, sampling parameters and
+// the CCT dictionary keyed by transaction context (§7.1).
+type Profiler struct {
+	Stage    string
+	Table    *tranctx.Table
+	Mode     Mode
+	Interval vclock.Duration
+	Overhead Overhead
+
+	trees        map[string]*cct.Tree
+	ctxts        map[string]TxnCtxt
+	order        []string // insertion order of tree keys, deterministic
+	samples      int64
+	calls        int64
+	ctxtSwitches int64
+	overheadAcc  vclock.Duration
+}
+
+// New returns a profiler for the named stage in the given mode with
+// default interval and overhead model.
+func New(stage string, mode Mode) *Profiler {
+	return &Profiler{
+		Stage:    stage,
+		Table:    tranctx.NewTable(),
+		Mode:     mode,
+		Interval: DefaultInterval,
+		Overhead: DefaultOverhead,
+		trees:    make(map[string]*cct.Tree),
+		ctxts:    make(map[string]TxnCtxt),
+	}
+}
+
+// RootTxn returns the empty transaction context for this stage.
+func (p *Profiler) RootTxn() TxnCtxt { return TxnCtxt{Local: p.Table.Root()} }
+
+// tree returns (creating if needed) the CCT for the given context key.
+func (p *Profiler) tree(tc TxnCtxt) *cct.Tree {
+	key := tc.Key()
+	t, ok := p.trees[key]
+	if !ok {
+		t = cct.New(tc.Label())
+		p.trees[key] = t
+		p.ctxts[key] = tc
+		p.order = append(p.order, key)
+	}
+	return t
+}
+
+// TreeEntry pairs a CCT with the transaction context it is annotated
+// with; used for post-mortem stitching (§7.1).
+type TreeEntry struct {
+	Key  string
+	Ctxt TxnCtxt
+	Tree *cct.Tree
+}
+
+// Entries returns every (context, CCT) pair in creation order.
+func (p *Profiler) Entries() []TreeEntry {
+	out := make([]TreeEntry, 0, len(p.order))
+	for _, k := range p.order {
+		out = append(out, TreeEntry{Key: k, Ctxt: p.ctxts[k], Tree: p.trees[k]})
+	}
+	return out
+}
+
+// Trees returns every CCT in creation order.
+func (p *Profiler) Trees() []*cct.Tree {
+	out := make([]*cct.Tree, 0, len(p.trees))
+	for _, k := range p.order {
+		out = append(out, p.trees[k])
+	}
+	return out
+}
+
+// TreeByLabel finds a CCT by its rendered context label, or nil.
+func (p *Profiler) TreeByLabel(label string) *cct.Tree {
+	for _, k := range p.order {
+		if p.trees[k].Label == label {
+			return p.trees[k]
+		}
+	}
+	return nil
+}
+
+// TotalSamples reports all samples taken across every context.
+func (p *Profiler) TotalSamples() int64 { return p.samples }
+
+// Stats reports sample count, instrumented call count, context switches
+// and the total modelled profiling overhead.
+func (p *Profiler) Stats() (samples, calls, ctxtSwitches int64, overhead vclock.Duration) {
+	return p.samples, p.calls, p.ctxtSwitches, p.overheadAcc
+}
+
+// Merged returns a single CCT merging every context (what a conventional
+// profiler would report).
+func (p *Profiler) Merged() *cct.Tree {
+	m := cct.New("(all contexts)")
+	for _, k := range p.order {
+		m.Merge(p.trees[k])
+	}
+	return m
+}
+
+// ContextShares returns each context label with its share of total
+// samples, sorted by descending share then label. This is the "percentage
+// in a triangle" data of Figures 8-10.
+type ContextShare struct {
+	Label   string
+	Samples int64
+	Share   float64 // fraction of all samples, 0..1
+}
+
+// Shares computes per-context sample shares.
+func (p *Profiler) Shares() []ContextShare {
+	out := make([]ContextShare, 0, len(p.order))
+	for _, k := range p.order {
+		t := p.trees[k]
+		sh := 0.0
+		if p.samples > 0 {
+			sh = float64(t.Total()) / float64(p.samples)
+		}
+		out = append(out, ContextShare{Label: t.Label, Samples: t.Total(), Share: sh})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Probe is a per-thread instrumentation handle: it owns the thread's call
+// stack, current transaction context and sampling phase. All application
+// CPU consumption flows through Probe.Compute.
+type Probe struct {
+	prof *Profiler
+	th   *vclock.Thread
+	cpu  *vclock.CPU
+
+	stack   []string
+	txn     TxnCtxt
+	phase   vclock.Duration // CPU consumed since the last sample boundary
+	pending vclock.Duration // overhead to charge on the next Compute
+}
+
+// NewProbe creates a probe for thread th charging CPU demand to cpu. The
+// probe starts with the root transaction context and an empty call stack.
+func (p *Profiler) NewProbe(th *vclock.Thread, cpu *vclock.CPU) *Probe {
+	return &Probe{prof: p, th: th, cpu: cpu, txn: p.RootTxn()}
+}
+
+// Thread returns the probed thread.
+func (pr *Probe) Thread() *vclock.Thread { return pr.th }
+
+// Profiler returns the owning profiler.
+func (pr *Probe) Profiler() *Profiler { return pr.prof }
+
+// Enter pushes fn onto the call stack and returns a token for Exit.
+// Use as: defer pr.Exit(pr.Enter("func")).
+func (pr *Probe) Enter(fn string) int {
+	pr.stack = append(pr.stack, fn)
+	if pr.prof.Mode == ModeInstrumented {
+		pr.prof.calls++
+		pr.tree().AddCall(pr.stack)
+		pr.pending += pr.prof.Overhead.PerCall
+	}
+	return len(pr.stack) - 1
+}
+
+// Exit pops the stack back to the depth returned by the matching Enter.
+func (pr *Probe) Exit(token int) {
+	if token < 0 || token > len(pr.stack) {
+		panic(fmt.Sprintf("profiler: bad exit token %d (depth %d)", token, len(pr.stack)))
+	}
+	pr.stack = pr.stack[:token]
+}
+
+// Stack returns a copy of the current call stack (outermost first).
+func (pr *Probe) Stack() []string {
+	out := make([]string, len(pr.stack))
+	copy(out, pr.stack)
+	return out
+}
+
+// Txn returns the probe's current transaction context.
+func (pr *Probe) Txn() TxnCtxt { return pr.txn }
+
+// SetTxn switches the probe to a different transaction context (e.g. after
+// consuming a produced item, dispatching an event, or receiving a
+// message). In Whodunit mode the switch costs PerCtxtSwitch of CPU,
+// charged with the next Compute.
+func (pr *Probe) SetTxn(tc TxnCtxt) {
+	if tc.Local == nil {
+		tc.Local = pr.prof.Table.Root()
+	}
+	if tc.Key() == pr.txn.Key() {
+		return
+	}
+	pr.txn = tc
+	if pr.prof.Mode == ModeWhodunit {
+		pr.prof.ctxtSwitches++
+		pr.pending += pr.prof.Overhead.PerCtxtSwitch
+	}
+}
+
+// SetLocal replaces only the local part of the transaction context.
+func (pr *Probe) SetLocal(c *tranctx.Ctxt) {
+	pr.SetTxn(TxnCtxt{Prefix: pr.txn.Prefix, Local: c})
+}
+
+// CallCtxt returns the probe's transaction context extended with the
+// current call path — the "transaction context at a send point" of §5.
+func (pr *Probe) CallCtxt() TxnCtxt {
+	local := pr.txn.Local
+	if len(pr.stack) > 0 {
+		local = local.Extend(tranctx.CallHop(pr.prof.Stage, pr.Stack()...))
+	}
+	return TxnCtxt{Prefix: pr.txn.Prefix, Local: local}
+}
+
+// tree returns the CCT samples should currently land in: the per-context
+// tree in Whodunit mode, a single anonymous tree otherwise.
+func (pr *Probe) tree() *cct.Tree {
+	if pr.prof.Mode == ModeWhodunit {
+		return pr.prof.tree(pr.txn)
+	}
+	return pr.prof.tree(TxnCtxt{Local: pr.prof.Table.Root()})
+}
+
+// ComputeN is Compute for work that internally executes `calls` procedure
+// calls (e.g. a scan calling a per-row comparator): in instrumented
+// (gprof) mode each call charges PerCall of counting overhead — this is
+// why gprof's overhead is proportional to call counts (§9.1) — while the
+// statistical modes are unaffected.
+func (pr *Probe) ComputeN(d vclock.Duration, calls int) {
+	if pr.prof.Mode == ModeInstrumented && calls > 0 {
+		pr.prof.calls += int64(calls)
+		pr.pending += vclock.Duration(calls) * pr.prof.Overhead.PerCall
+	}
+	pr.Compute(d)
+}
+
+// Compute charges d of application CPU demand (plus any pending profiling
+// overhead) to the probe's CPU and takes the statistical samples that fall
+// within it. The calling thread blocks until the CPU has served the
+// demand.
+func (pr *Probe) Compute(d vclock.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	total := d
+	if pr.prof.Mode != ModeOff {
+		// Samples that fall in this computation, by phase accumulation.
+		n := int64(0)
+		if pr.prof.Interval > 0 {
+			pr.phase += d
+			n = int64(pr.phase / pr.prof.Interval)
+			pr.phase %= pr.prof.Interval
+		}
+		if n > 0 {
+			pr.prof.samples += n
+			pr.tree().AddSamples(pr.stack, n)
+			pr.pending += vclock.Duration(n) * pr.prof.Overhead.PerSample
+		}
+		total += pr.pending
+		pr.prof.overheadAcc += pr.pending
+		pr.pending = 0
+	}
+	if total > 0 {
+		pr.th.Compute(pr.cpu, total)
+	}
+}

@@ -1,0 +1,107 @@
+// Package seda is a small Staged Event Driven Architecture middleware
+// (Welsh et al., SOSP'01) augmented for transactional profiling per
+// Figure 5 of the paper (§4.2).
+//
+// Stages communicate via queues of elements; each element carries the
+// transaction context captured when it was enqueued. A stage worker
+// dequeues an element, computes its current transaction context by
+// appending the stage (with the same collapse/loop-prune rules as
+// event-driven programs) and processes it; when it enqueues an element to
+// a downstream stage, the new element inherits the worker's current
+// context. Applications written against this middleware need no
+// modification to be transactionally profiled.
+//
+// Queue transport is pluggable (Putter) so stages run equally under the
+// virtual-time simulator or real goroutines.
+package seda
+
+import (
+	"fmt"
+
+	"whodunit/internal/tranctx"
+)
+
+// Elem is a stage-queue element: application data plus the transaction
+// context captured at enqueue time (Figure 5's tran_ctxt field).
+type Elem struct {
+	Ctxt *tranctx.Ctxt
+	Data any
+}
+
+// Putter abstracts a stage's input queue: the simulator wires a
+// vclock.Queue here, tests can use a plain slice.
+type Putter interface {
+	Put(v any)
+}
+
+// Stage is a named SEDA stage within a program.
+type Stage struct {
+	Program string
+	Name    string
+	// In is where upstream stages enqueue elements for this stage.
+	In Putter
+}
+
+// NewStage returns a stage for the given program.
+func NewStage(program, name string, in Putter) *Stage {
+	return &Stage{Program: program, Name: name, In: in}
+}
+
+func (s *Stage) String() string { return fmt.Sprintf("%s#%s", s.Program, s.Name) }
+
+// Worker is one stage worker thread's view of the middleware: it tracks
+// the current transaction context across Process/Enqueue (Figure 5's
+// curr_tran_ctxt).
+type Worker struct {
+	Stage *Stage
+	// OnDispatch, if set, receives the freshly computed context before
+	// each element is processed; the profiler hooks in here.
+	OnDispatch func(curr *tranctx.Ctxt)
+
+	table *tranctx.Table
+	curr  *tranctx.Ctxt
+}
+
+// NewWorker returns a worker for stage interning contexts in table.
+func NewWorker(stage *Stage, table *tranctx.Table) *Worker {
+	return &Worker{Stage: stage, table: table, curr: table.Root()}
+}
+
+// Curr returns the worker's current transaction context.
+func (w *Worker) Curr() *tranctx.Ctxt { return w.curr }
+
+// Begin computes the worker's current context for elem (Figure 5, lines
+// 5-6): the element's captured context extended with this stage, with
+// loops pruned. Call it when an element has been dequeued, before
+// processing; it returns the element's payload for convenience.
+func (w *Worker) Begin(elem *Elem) any {
+	base := elem.Ctxt
+	if base == nil {
+		base = w.table.Root()
+	}
+	w.curr = base.Append(tranctx.StageHop(w.Stage.Program, w.Stage.Name))
+	if w.OnDispatch != nil {
+		w.OnDispatch(w.curr)
+	}
+	return elem.Data
+}
+
+// Enqueue wraps data in an element stamped with the worker's current
+// transaction context (Figure 5, line 12) and puts it on dst's input
+// queue.
+func (w *Worker) Enqueue(dst *Stage, data any) *Elem {
+	e := &Elem{Ctxt: w.curr, Data: data}
+	if dst.In == nil {
+		panic("seda: stage " + dst.Name + " has no input queue")
+	}
+	dst.In.Put(e)
+	return e
+}
+
+// Inject enqueues data to dst with the root (external stimulus) context —
+// used by whatever feeds the first stage of the pipeline.
+func Inject(table *tranctx.Table, dst *Stage, data any) *Elem {
+	e := &Elem{Ctxt: table.Root(), Data: data}
+	dst.In.Put(e)
+	return e
+}

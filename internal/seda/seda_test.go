@@ -1,0 +1,124 @@
+package seda
+
+import (
+	"reflect"
+	"testing"
+
+	"whodunit/internal/tranctx"
+)
+
+// sliceQueue is a trivial Putter for tests.
+type sliceQueue struct{ items []*Elem }
+
+func (q *sliceQueue) Put(v any) { q.items = append(q.items, v.(*Elem)) }
+func (q *sliceQueue) pop() *Elem {
+	e := q.items[0]
+	q.items = q.items[1:]
+	return e
+}
+
+func TestPipelineContexts(t *testing.T) {
+	// A three-stage pipeline: contexts accumulate stage hops in order.
+	tb := tranctx.NewTable()
+	qa, qb, qc := &sliceQueue{}, &sliceQueue{}, &sliceQueue{}
+	sa := NewStage("app", "A", qa)
+	sb := NewStage("app", "B", qb)
+	sc := NewStage("app", "C", qc)
+	wa, wb, wc := NewWorker(sa, tb), NewWorker(sb, tb), NewWorker(sc, tb)
+
+	Inject(tb, sa, "req")
+	wa.Begin(qa.pop())
+	wa.Enqueue(sb, "req")
+	wb.Begin(qb.pop())
+	wb.Enqueue(sc, "req")
+	got := wc.Begin(qc.pop())
+
+	if got != "req" {
+		t.Fatalf("payload = %v", got)
+	}
+	if !reflect.DeepEqual(wc.Curr().Labels(), []string{"A", "B", "C"}) {
+		t.Fatalf("ctxt = %v", wc.Curr().Labels())
+	}
+}
+
+func TestBranchingContextsDiffer(t *testing.T) {
+	// Cache stage forwards to Write directly (hit) or via Miss (miss):
+	// Write sees two distinct contexts — the Figure 10 situation.
+	tb := tranctx.NewTable()
+	qw := &sliceQueue{}
+	cache := NewStage("hab", "Cache", &sliceQueue{})
+	miss := NewStage("hab", "Miss", &sliceQueue{})
+	write := NewStage("hab", "Write", qw)
+
+	wCache := NewWorker(cache, tb)
+	wMiss := NewWorker(miss, tb)
+	wWrite := NewWorker(write, tb)
+
+	// Hit path.
+	wCache.Begin(&Elem{Ctxt: tb.Root(), Data: 1})
+	wCache.Enqueue(write, 1)
+	// Miss path.
+	wCache.Begin(&Elem{Ctxt: tb.Root(), Data: 2})
+	missElem := &Elem{Ctxt: wCache.Curr(), Data: 2}
+	wMiss.Begin(missElem)
+	wMiss.Enqueue(write, 2)
+
+	wWrite.Begin(qw.pop())
+	hitCtxt := wWrite.Curr().String()
+	wWrite.Begin(qw.pop())
+	missCtxt := wWrite.Curr().String()
+	if hitCtxt == missCtxt {
+		t.Fatal("hit and miss write contexts must differ")
+	}
+	if hitCtxt != "hab#Cache | hab#Write" {
+		t.Fatalf("hit ctxt = %q", hitCtxt)
+	}
+	if missCtxt != "hab#Cache | hab#Miss | hab#Write" {
+		t.Fatalf("miss ctxt = %q", missCtxt)
+	}
+}
+
+func TestLoopPruningAcrossStages(t *testing.T) {
+	// Request bouncing A -> B -> A prunes back to [A] (§4.2 uses the same
+	// rule as events).
+	tb := tranctx.NewTable()
+	qa, qb := &sliceQueue{}, &sliceQueue{}
+	sa, sb := NewStage("p", "A", qa), NewStage("p", "B", qb)
+	wa, wb := NewWorker(sa, tb), NewWorker(sb, tb)
+
+	Inject(tb, sa, nil)
+	wa.Begin(qa.pop())
+	wa.Enqueue(sb, nil)
+	wb.Begin(qb.pop())
+	wb.Enqueue(sa, nil)
+	wa.Begin(qa.pop())
+	if !reflect.DeepEqual(wa.Curr().Labels(), []string{"A"}) {
+		t.Fatalf("ctxt = %v, want [A]", wa.Curr().Labels())
+	}
+}
+
+func TestOnDispatchHook(t *testing.T) {
+	tb := tranctx.NewTable()
+	q := &sliceQueue{}
+	s := NewStage("p", "S", q)
+	w := NewWorker(s, tb)
+	var seen string
+	w.OnDispatch = func(c *tranctx.Ctxt) { seen = c.String() }
+	w.Begin(&Elem{Ctxt: tb.Root()})
+	if seen != "p#S" {
+		t.Fatalf("hook saw %q", seen)
+	}
+}
+
+func TestEnqueueWithoutQueuePanics(t *testing.T) {
+	tb := tranctx.NewTable()
+	s := NewStage("p", "S", &sliceQueue{})
+	w := NewWorker(s, tb)
+	bad := NewStage("p", "Bad", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	w.Enqueue(bad, nil)
+}

@@ -1,0 +1,269 @@
+// Package shmflow implements Whodunit's algorithm for automatically
+// detecting transaction flow through shared memory (paper §3).
+//
+// The algorithm watches every MOV-family memory operation executed inside
+// critical sections (and a bounded window after each critical-section
+// exit) on the vm machine, and maintains a dictionary associating
+// locations — memory words and per-thread registers — with transaction
+// contexts:
+//
+//   - moving a value whose source has an associated context propagates
+//     that context to the destination;
+//   - moving a value with no associated context associates the executing
+//     thread's own context with the destination and, for memory
+//     destinations, marks the thread a *producer* for the critical
+//     section's lock;
+//   - any non-MOV modification (immediates, arithmetic, increments)
+//     associates the special invalid context, which also propagates —
+//     this is what rejects NULL sanity-checks and shared counters;
+//   - a location touched from a critical section protected by a
+//     different lock than the one that last set its context is flushed;
+//   - a thread that *uses* (reads) a context-carrying location within
+//     MAX instructions after leaving the critical section is a
+//     *consumer*: the context is assigned to it and a flow event is
+//     emitted;
+//   - the first time a lock's producer and consumer sets intersect, the
+//     lock is declared non-flow (the memory-allocator pattern) and its
+//     critical sections may fall back to native execution.
+package shmflow
+
+import (
+	"fmt"
+	"sort"
+
+	"whodunit/internal/vm"
+)
+
+// Token identifies a transaction context opaquely. The application maps
+// its real transaction contexts to tokens (e.g. a tranctx synopsis).
+// Token 0 conventionally means "no transaction".
+type Token uint32
+
+// FlowEvent records one detected transaction flow: consumer picked up the
+// context tok that producer left at loc, under the given lock.
+type FlowEvent struct {
+	Producer int
+	Consumer int
+	Token    Token
+	Lock     int
+	Loc      vm.Loc
+}
+
+func (e FlowEvent) String() string {
+	return fmt.Sprintf("flow t%d->t%d tok=%d lock=%d at %v", e.Producer, e.Consumer, e.Token, e.Lock, e.Loc)
+}
+
+// entry is a dictionary entry: the context associated with a location.
+// valid=false is the paper's invlctxt.
+type entry struct {
+	tok      Token
+	valid    bool
+	lock     int
+	producer int
+}
+
+// lockInfo tracks the producer/consumer thread sets per lock object.
+type lockInfo struct {
+	producers map[int]bool
+	consumers map[int]bool
+	nonFlow   bool
+}
+
+// Tracker implements vm.Tracer and runs the §3 algorithm.
+type Tracker struct {
+	// ThreadCtxt supplies the executing thread's current transaction
+	// context token; required.
+	ThreadCtxt func(thread int) Token
+	// OnFlow, if set, is invoked for every detected flow (after the
+	// consumer set updates). This is where the profiler propagates the
+	// context to the consuming thread (§3.5).
+	OnFlow func(ev FlowEvent)
+	// OnNonFlow, if set, is invoked once per lock when its accesses are
+	// classified as not constituting transaction flow; the application
+	// typically responds with Machine.SetNonFlow to drop to native
+	// execution (§7.2).
+	OnNonFlow func(lock int)
+
+	dict  map[vm.Loc]entry
+	locks map[int]*lockInfo
+	flows []FlowEvent
+}
+
+var _ vm.Tracer = (*Tracker)(nil)
+
+// NewTracker returns a tracker with an empty dictionary. ThreadCtxt must
+// be assigned before use.
+func NewTracker() *Tracker {
+	return &Tracker{
+		dict:  make(map[vm.Loc]entry),
+		locks: make(map[int]*lockInfo),
+	}
+}
+
+// Flows returns every detected flow event in order.
+func (tr *Tracker) Flows() []FlowEvent { return tr.flows }
+
+// NonFlow reports whether lock has been classified non-flow.
+func (tr *Tracker) NonFlow(lock int) bool {
+	li := tr.locks[lock]
+	return li != nil && li.nonFlow
+}
+
+// Producers returns the sorted producer thread ids recorded for lock.
+func (tr *Tracker) Producers(lock int) []int { return tr.side(lock, true) }
+
+// Consumers returns the sorted consumer thread ids recorded for lock.
+func (tr *Tracker) Consumers(lock int) []int { return tr.side(lock, false) }
+
+func (tr *Tracker) side(lock int, prod bool) []int {
+	li := tr.locks[lock]
+	if li == nil {
+		return nil
+	}
+	set := li.consumers
+	if prod {
+		set = li.producers
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DictSize reports the number of live dictionary entries (for tests and
+// capacity monitoring).
+func (tr *Tracker) DictSize() int { return len(tr.dict) }
+
+func (tr *Tracker) lockInfoFor(lock int) *lockInfo {
+	li, ok := tr.locks[lock]
+	if !ok {
+		li = &lockInfo{producers: make(map[int]bool), consumers: make(map[int]bool)}
+		tr.locks[lock] = li
+	}
+	return li
+}
+
+// OnLock implements vm.Tracer: entering the outermost critical section.
+// The thread's register entries are flushed — registers were freely
+// overwritten outside the traced region, so any old association is stale.
+// This realises the §3.2 premise that a producer's source locations have
+// no associated context on critical-section entry.
+func (tr *Tracker) OnLock(thread, lock int) {
+	for r := byte(0); r < vm.NumRegs; r++ {
+		delete(tr.dict, vm.RegLoc(thread, r))
+	}
+}
+
+// OnUnlock implements vm.Tracer. The consume window is handled by the
+// machine; nothing to do here.
+func (tr *Tracker) OnUnlock(thread, lock int) {}
+
+// OnAccess implements vm.Tracer: the per-instruction algorithm.
+func (tr *Tracker) OnAccess(ac vm.Access) {
+	if ac.InCS {
+		tr.inCS(ac)
+		return
+	}
+	if ac.InWindow {
+		tr.inWindow(ac)
+	}
+}
+
+// flushMismatched drops loc's entry if it was last set under a different
+// lock (§3.2: a location may serve different purposes at different times).
+func (tr *Tracker) flushMismatched(loc vm.Loc, lock int) {
+	if e, ok := tr.dict[loc]; ok && e.lock != lock {
+		delete(tr.dict, loc)
+	}
+}
+
+func (tr *Tracker) inCS(ac vm.Access) {
+	switch ac.Kind {
+	case vm.AccMove:
+		tr.flushMismatched(ac.Src, ac.Lock)
+		tr.flushMismatched(ac.Dst, ac.Lock)
+		if e, ok := tr.dict[ac.Src]; ok {
+			// Propagate, valid or invalid (§3.3.2: the NULL/invalid
+			// context is transferred just like a valid one).
+			e.lock = ac.Lock
+			tr.dict[ac.Dst] = e
+			return
+		}
+		// Source has no associated context: associate the executing
+		// thread's context with the destination. A memory destination is
+		// a produce (§3.2).
+		tok := Token(0)
+		if tr.ThreadCtxt != nil {
+			tok = tr.ThreadCtxt(ac.Thread)
+		}
+		tr.dict[ac.Dst] = entry{tok: tok, valid: true, lock: ac.Lock, producer: ac.Thread}
+		if ac.Dst.Kind == vm.LocMem {
+			li := tr.lockInfoFor(ac.Lock)
+			li.producers[ac.Thread] = true
+			tr.checkIntersection(ac.Lock, li)
+		}
+	case vm.AccWrite:
+		tr.flushMismatched(ac.Dst, ac.Lock)
+		// Non-MOV modification: invalid context (§3.2).
+		tr.dict[ac.Dst] = entry{valid: false, lock: ac.Lock}
+	case vm.AccRead:
+		// Reads inside the critical section carry no inference; consumes
+		// are detected after exit (§3.2's consumer definition).
+	}
+}
+
+func (tr *Tracker) inWindow(ac vm.Access) {
+	// Uses of context-carrying locations after critical-section exit are
+	// consumes (§3.2, §7.2).
+	for _, loc := range ac.Reads {
+		e, ok := tr.dict[loc]
+		if !ok || !e.valid {
+			continue
+		}
+		// The value has been consumed; drop the association so repeated
+		// uses in the same window do not re-fire.
+		delete(tr.dict, loc)
+		li := tr.lockInfoFor(e.lock)
+		li.consumers[ac.Thread] = true
+		tr.checkIntersection(e.lock, li)
+		if li.nonFlow {
+			continue
+		}
+		if e.producer == ac.Thread {
+			// A thread picking up its own context is not a transaction
+			// flow (it contributes to the allocator-pattern sets above,
+			// but assigning a thread its own context is a no-op).
+			continue
+		}
+		ev := FlowEvent{Producer: e.producer, Consumer: ac.Thread, Token: e.tok, Lock: e.lock, Loc: loc}
+		tr.flows = append(tr.flows, ev)
+		if tr.OnFlow != nil {
+			tr.OnFlow(ev)
+		}
+	}
+	// Writes outside the critical section are untracked computation;
+	// whatever the instruction stores there is not a traced value, so any
+	// stale association must be dropped.
+	if ac.Kind == vm.AccMove || ac.Kind == vm.AccWrite {
+		delete(tr.dict, ac.Dst)
+	}
+}
+
+// checkIntersection applies §3.4's allocator rule: the first common member
+// of a lock's producer and consumer sets marks the lock non-flow.
+func (tr *Tracker) checkIntersection(lock int, li *lockInfo) {
+	if li.nonFlow {
+		return
+	}
+	for id := range li.producers {
+		if li.consumers[id] {
+			li.nonFlow = true
+			if tr.OnNonFlow != nil {
+				tr.OnNonFlow(lock)
+			}
+			return
+		}
+	}
+}

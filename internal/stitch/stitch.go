@@ -1,0 +1,186 @@
+// Package stitch performs Whodunit's post-mortem presentation phase
+// (§7.1, Figure 7): it takes the per-stage profiles written at the end of
+// each stage's run and stitches them into one global transaction graph,
+// connecting the context a request was sent from in one stage to the CCT
+// it established in the next, with request edges (and the implied
+// response edges back).
+package stitch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"whodunit/internal/cct"
+	"whodunit/internal/ipc"
+	"whodunit/internal/profiler"
+)
+
+// TreeDump is one serialized CCT with its transaction-context annotation.
+type TreeDump struct {
+	Key     string           `json:"key"`     // TxnCtxt key (prefix|local)
+	Prefix  string           `json:"prefix"`  // rendered synopsis chain
+	Label   string           `json:"label"`   // human-readable context
+	Total   int64            `json:"total"`   // samples in the tree
+	Records []cct.FlatRecord `json:"records"` // flattened tree
+}
+
+// StageDump is the on-disk profile of one stage: its CCTs plus the chains
+// it sent (with originating contexts), i.e. everything the presentation
+// phase needs.
+type StageDump struct {
+	Stage string           `json:"stage"`
+	Trees []TreeDump       `json:"trees"`
+	Sends []ipc.SendRecord `json:"sends"`
+}
+
+// Dump captures a stage's profiler (and optionally its endpoint) into a
+// serializable StageDump.
+func Dump(p *profiler.Profiler, eps ...*ipc.Endpoint) StageDump {
+	d := StageDump{Stage: p.Stage}
+	for _, e := range p.Entries() {
+		d.Trees = append(d.Trees, TreeDump{
+			Key:     e.Key,
+			Prefix:  e.Ctxt.Prefix.String(),
+			Label:   e.Ctxt.Label(),
+			Total:   e.Tree.Total(),
+			Records: e.Tree.Flatten(),
+		})
+	}
+	for _, ep := range eps {
+		d.Sends = append(d.Sends, ep.Sends()...)
+	}
+	return d
+}
+
+// Encode writes the dump as JSON.
+func (d StageDump) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// DecodeDump reads a StageDump from JSON.
+func DecodeDump(r io.Reader) (StageDump, error) {
+	var d StageDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return StageDump{}, fmt.Errorf("stitch: decode dump: %w", err)
+	}
+	return d, nil
+}
+
+// Node is one (stage, transaction context) profile in the stitched graph.
+type Node struct {
+	Stage string
+	Label string
+	Total int64
+	Tree  *cct.Tree
+}
+
+// Edge connects the context a message was sent from to the context it
+// established (request), or back (response).
+type Edge struct {
+	From, To int // node indices
+	Kind     string
+}
+
+// Graph is the stitched end-to-end transactional profile.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// Build stitches per-stage dumps into the global graph. Trees are matched
+// by synopsis chain: stage B's tree with prefix P connects to the stage A
+// context that sent chain P.
+func Build(dumps []StageDump) *Graph {
+	g := &Graph{}
+	type nodeRef struct{ idx int }
+	// Index nodes by (stage, context key).
+	byStageKey := make(map[string]nodeRef)
+	for _, d := range dumps {
+		for _, td := range d.Trees {
+			idx := len(g.Nodes)
+			g.Nodes = append(g.Nodes, Node{
+				Stage: d.Stage,
+				Label: td.Label,
+				Total: td.Total,
+				Tree:  cct.FromRecords(td.Label, td.Records),
+			})
+			byStageKey[d.Stage+"\x00"+td.Key] = nodeRef{idx}
+		}
+	}
+	// Request edges: sender context --chain--> receiver tree whose prefix
+	// equals the sent chain.
+	for _, d := range dumps {
+		for _, send := range d.Sends {
+			fromRef, ok := byStageKey[d.Stage+"\x00"+send.FromKey]
+			if !ok {
+				continue
+			}
+			for _, rd := range dumps {
+				if rd.Stage == d.Stage {
+					continue
+				}
+				for _, td := range rd.Trees {
+					if td.Prefix != send.Chain {
+						continue
+					}
+					toRef := byStageKey[rd.Stage+"\x00"+td.Key]
+					g.Edges = append(g.Edges, Edge{From: fromRef.idx, To: toRef.idx, Kind: "request"})
+					g.Edges = append(g.Edges, Edge{From: toRef.idx, To: fromRef.idx, Kind: "response"})
+				}
+			}
+		}
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		a, b := g.Edges[i], g.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Kind < b.Kind
+	})
+	return g
+}
+
+// Render writes a text form of the graph: nodes with totals and edges.
+func (g *Graph) Render(w io.Writer) {
+	grand := int64(0)
+	for _, n := range g.Nodes {
+		grand += n.Total
+	}
+	for i, n := range g.Nodes {
+		pct := 0.0
+		if grand > 0 {
+			pct = 100 * float64(n.Total) / float64(grand)
+		}
+		fmt.Fprintf(w, "node %d: [%s] %s  samples=%d (%.2f%%)\n", i, n.Stage, n.Label, n.Total, pct)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(w, "edge: %d -%s-> %d\n", e.From, e.Kind, e.To)
+	}
+}
+
+// DOT renders the graph in Graphviz dot syntax; request edges solid,
+// response edges dashed (as in Figure 7).
+func (g *Graph) DOT(w io.Writer) {
+	fmt.Fprintln(w, "digraph whodunit {")
+	fmt.Fprintln(w, "  rankdir=LR;")
+	for i, n := range g.Nodes {
+		label := strings.ReplaceAll(fmt.Sprintf("%s\\n%s\\n%d samples", n.Stage, n.Label, n.Total), `"`, `'`)
+		fmt.Fprintf(w, "  n%d [shape=box,label=\"%s\"];\n", i, label)
+	}
+	for _, e := range g.Edges {
+		style := "solid"
+		if e.Kind == "response" {
+			style = "dashed"
+		}
+		fmt.Fprintf(w, "  n%d -> n%d [style=%s,label=\"%s\"];\n", e.From, e.To, style, e.Kind)
+	}
+	fmt.Fprintln(w, "}")
+}

@@ -1,0 +1,133 @@
+package stitch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"whodunit/internal/ipc"
+	"whodunit/internal/profiler"
+	"whodunit/internal/vclock"
+)
+
+// buildTwoTier runs the Figure 6/7 caller/callee scenario and returns the
+// two stage dumps.
+func buildTwoTier(t *testing.T) []StageDump {
+	t.Helper()
+	s := vclock.New()
+	cpu := s.NewCPU("cpu", 2)
+	callerProf := profiler.New("caller", profiler.ModeWhodunit)
+	calleeProf := profiler.New("callee", profiler.ModeWhodunit)
+	callerEP, calleeEP := ipc.NewEndpoint("caller"), ipc.NewEndpoint("callee")
+	reqQ, respQ := s.NewQueue("req"), s.NewQueue("resp")
+
+	s.Go("callee", func(th *vclock.Thread) {
+		pr := calleeProf.NewProbe(th, cpu)
+		for i := 0; i < 2; i++ {
+			msg := th.Get(reqQ).(ipc.Msg)
+			calleeEP.Recv(pr, msg)
+			func() {
+				defer pr.Exit(pr.Enter("callee_rpc_svc"))
+				pr.Compute(5 * profiler.DefaultInterval)
+				respQ.Put(calleeEP.Send(pr, nil))
+			}()
+		}
+	})
+	s.Go("caller", func(th *vclock.Thread) {
+		pr := callerProf.NewProbe(th, cpu)
+		for _, path := range []string{"foo", "bar"} {
+			func() {
+				defer pr.Exit(pr.Enter("main_caller"))
+				defer pr.Exit(pr.Enter(path))
+				pr.Compute(2 * profiler.DefaultInterval)
+				reqQ.Put(callerEP.Send(pr, nil))
+				callerEP.Recv(pr, th.Get(respQ).(ipc.Msg))
+			}()
+		}
+	})
+	s.Run()
+	s.Shutdown()
+	return []StageDump{Dump(callerProf, callerEP), Dump(calleeProf, calleeEP)}
+}
+
+func TestBuildConnectsTiers(t *testing.T) {
+	g := Build(buildTwoTier(t))
+	// The callee should contribute two context nodes (foo path, bar path),
+	// each connected by a request and response edge.
+	var reqEdges, respEdges int
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case "request":
+			reqEdges++
+		case "response":
+			respEdges++
+		}
+	}
+	if reqEdges != 2 || respEdges != 2 {
+		t.Fatalf("edges: %d requests, %d responses, want 2/2 (graph: %+v)", reqEdges, respEdges, g.Edges)
+	}
+	// Request edges must cross stages.
+	for _, e := range g.Edges {
+		if g.Nodes[e.From].Stage == g.Nodes[e.To].Stage {
+			t.Fatalf("edge within one stage: %+v", e)
+		}
+	}
+}
+
+func TestCalleeTreesDuplicatedPerContext(t *testing.T) {
+	// Figure 7: the callee's call-path tree appears once per caller
+	// context.
+	g := Build(buildTwoTier(t))
+	calleeNodes := 0
+	for _, n := range g.Nodes {
+		if n.Stage == "callee" && n.Total > 0 {
+			calleeNodes++
+			if n.Tree.Find("callee_rpc_svc") == nil {
+				t.Fatalf("callee node missing svc frame: %+v", n)
+			}
+		}
+	}
+	if calleeNodes != 2 {
+		t.Fatalf("callee context nodes = %d, want 2", calleeNodes)
+	}
+}
+
+func TestDumpJSONRoundTrip(t *testing.T) {
+	dumps := buildTwoTier(t)
+	var buf bytes.Buffer
+	if err := dumps[1].Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stage != "callee" || len(back.Trees) != len(dumps[1].Trees) {
+		t.Fatalf("round trip: %+v", back)
+	}
+	// Graph built from decoded dumps must match.
+	g := Build([]StageDump{dumps[0], back})
+	if len(g.Edges) != 4 {
+		t.Fatalf("edges after round trip = %d", len(g.Edges))
+	}
+}
+
+func TestRenderAndDOT(t *testing.T) {
+	g := Build(buildTwoTier(t))
+	var txt, dot bytes.Buffer
+	g.Render(&txt)
+	g.DOT(&dot)
+	if !strings.Contains(txt.String(), "request") {
+		t.Fatalf("render: %s", txt.String())
+	}
+	out := dot.String()
+	if !strings.HasPrefix(out, "digraph whodunit {") || !strings.Contains(out, "style=dashed") {
+		t.Fatalf("dot: %s", out)
+	}
+}
+
+func TestDecodeBadJSON(t *testing.T) {
+	if _, err := DecodeDump(strings.NewReader("{nope")); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+}

@@ -1,0 +1,81 @@
+package tranctx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Chain is the synopsis chain piggy-backed on messages (§7.4). A request
+// carries [synopsis(α)] — the sender's context at the send point. A
+// response carries [synopsis(α), synopsis(β)] — the original request
+// synopsis followed by the callee's call-path synopsis, rendered
+// "synopsis(α)#synopsis(β)". The receiver of a response recognises that a
+// prefix of the chain originated from itself and infers "this is a reply",
+// switching back to the CCT from which the request was issued, rather than
+// inheriting the callee's context (§5).
+type Chain []Synopsis
+
+// String renders the chain with the paper's '#' delimiter.
+func (ch Chain) String() string {
+	parts := make([]string, len(ch))
+	for i, s := range ch {
+		parts[i] = fmt.Sprintf("%08x", uint32(s))
+	}
+	return strings.Join(parts, "#")
+}
+
+// chainMax bounds decoded chains; real chains have 1 or 2 entries
+// (request / response) but stitching records may concatenate a few more.
+const chainMax = 64
+
+// AppendWire appends the chain's wire form to buf: a 1-byte count followed
+// by count big-endian 4-byte synopses. The encoding is deliberately tiny —
+// the 4-byte synopsis is the whole point of §7.4.
+func (ch Chain) AppendWire(buf []byte) []byte {
+	if len(ch) > chainMax {
+		panic("tranctx: chain too long to encode")
+	}
+	buf = append(buf, byte(len(ch)))
+	for _, s := range ch {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s))
+	}
+	return buf
+}
+
+// WireSize reports the encoded size in bytes.
+func (ch Chain) WireSize() int { return 1 + 4*len(ch) }
+
+// DecodeChain parses a chain from the front of buf, returning the chain
+// and the number of bytes consumed.
+func DecodeChain(buf []byte) (Chain, int, error) {
+	if len(buf) < 1 {
+		return nil, 0, fmt.Errorf("tranctx: short chain header")
+	}
+	n := int(buf[0])
+	if n > chainMax {
+		return nil, 0, fmt.Errorf("tranctx: chain length %d exceeds max %d", n, chainMax)
+	}
+	need := 1 + 4*n
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("tranctx: chain truncated: need %d bytes, have %d", need, len(buf))
+	}
+	ch := make(Chain, n)
+	for i := 0; i < n; i++ {
+		ch[i] = Synopsis(binary.BigEndian.Uint32(buf[1+4*i:]))
+	}
+	return ch, need, nil
+}
+
+// Equal reports element-wise equality.
+func (ch Chain) Equal(other Chain) bool {
+	if len(ch) != len(other) {
+		return false
+	}
+	for i := range ch {
+		if ch[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,254 @@
+// Package tranctx implements Whodunit's transaction contexts (paper §2).
+//
+// A transaction context is the complete execution history of a request
+// through the stages of a multi-tier application: the per-stage execution
+// paths (call paths, event-handler sequences, SEDA stage sequences)
+// concatenated in execution order. Contexts are immutable interned chains
+// of hops; each distinct context has a 4-byte Synopsis (§7.4) that is what
+// actually travels between threads and stages.
+package tranctx
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a hop in a transaction context.
+type Kind uint8
+
+const (
+	// KindCall is a call-path hop: the call path of a stage at the point
+	// where it handed the transaction onward (message send, queue push).
+	KindCall Kind = iota
+	// KindHandler is an event-handler hop in an event-driven stage (§4.1).
+	KindHandler
+	// KindStage is a SEDA stage hop (§4.2).
+	KindStage
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindHandler:
+		return "handler"
+	case KindStage:
+		return "stage"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Hop is one step of a transaction context.
+type Hop struct {
+	Kind  Kind
+	Stage string   // the program/stage the hop belongs to (e.g. "apache")
+	Label string   // handler or stage name; for KindCall, the joined path
+	Path  []string // call-path frames for KindCall hops, outermost first
+}
+
+// CallHop builds a call-path hop for the given stage.
+func CallHop(stage string, path ...string) Hop {
+	return Hop{Kind: KindCall, Stage: stage, Label: strings.Join(path, ">"), Path: path}
+}
+
+// HandlerHop builds an event-handler hop.
+func HandlerHop(stage, handler string) Hop {
+	return Hop{Kind: KindHandler, Stage: stage, Label: handler}
+}
+
+// StageHop builds a SEDA stage hop.
+func StageHop(program, stage string) Hop {
+	return Hop{Kind: KindStage, Stage: program, Label: stage}
+}
+
+func (h Hop) key() string {
+	return fmt.Sprintf("%d\x00%s\x00%s", h.Kind, h.Stage, h.Label)
+}
+
+// String renders the hop compactly, e.g. "apache/listener:apr_accept>push"
+// or "squid@httpAccept".
+func (h Hop) String() string {
+	switch h.Kind {
+	case KindHandler:
+		return h.Stage + "@" + h.Label
+	case KindStage:
+		return h.Stage + "#" + h.Label
+	default:
+		return h.Stage + ":" + h.Label
+	}
+}
+
+// Synopsis is the compact, unique, 4-byte representation of a transaction
+// context that Whodunit propagates between threads and stages (§7.4).
+type Synopsis uint32
+
+// Ctxt is an interned, immutable transaction context: a chain of hops.
+// The zero context (Table.Root) is the empty history.
+type Ctxt struct {
+	id     Synopsis
+	parent *Ctxt
+	hop    Hop
+	depth  int
+	table  *Table
+}
+
+// Table interns contexts and maps synopses back to contexts. Each stage of
+// an application owns one Table; synopses are only meaningful relative to
+// the table that issued them plus the stitching metadata exchanged in
+// messages.
+//
+// A Table is safe for concurrent use so the library can also run under real
+// goroutines outside the simulator.
+type Table struct {
+	mu    sync.Mutex
+	byKey map[string]*Ctxt
+	byID  []*Ctxt
+	root  *Ctxt
+}
+
+// NewTable returns a table containing only the root (empty) context, whose
+// synopsis is 0.
+func NewTable() *Table {
+	tb := &Table{byKey: make(map[string]*Ctxt)}
+	tb.root = &Ctxt{table: tb}
+	tb.byID = []*Ctxt{tb.root}
+	return tb
+}
+
+// Root returns the empty context.
+func (tb *Table) Root() *Ctxt { return tb.root }
+
+// Size reports how many distinct contexts have been interned (including
+// the root).
+func (tb *Table) Size() int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return len(tb.byID)
+}
+
+// Lookup resolves a synopsis issued by this table.
+func (tb *Table) Lookup(s Synopsis) (*Ctxt, bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if int(s) >= len(tb.byID) {
+		return nil, false
+	}
+	return tb.byID[s], true
+}
+
+// Synopsis returns c's 4-byte synopsis.
+func (c *Ctxt) Synopsis() Synopsis { return c.id }
+
+// Parent returns the context with the last hop removed (nil for the root).
+func (c *Ctxt) Parent() *Ctxt { return c.parent }
+
+// Depth reports the number of hops in the context.
+func (c *Ctxt) Depth() int { return c.depth }
+
+// IsRoot reports whether c is the empty context.
+func (c *Ctxt) IsRoot() bool { return c.parent == nil }
+
+// Last returns the final hop (zero Hop for the root).
+func (c *Ctxt) Last() Hop { return c.hop }
+
+// Table returns the owning table.
+func (c *Ctxt) Table() *Table { return c.table }
+
+// Extend returns the interned context c + hop, with no sequence rewriting.
+// Use Append for event-handler/SEDA hops that need §4.1's collapse and
+// loop-pruning rules.
+func (c *Ctxt) Extend(hop Hop) *Ctxt {
+	tb := c.table
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	key := fmt.Sprintf("%d\x01%s", c.id, hop.key())
+	if got, ok := tb.byKey[key]; ok {
+		return got
+	}
+	n := &Ctxt{id: Synopsis(len(tb.byID)), parent: c, hop: hop, depth: c.depth + 1, table: tb}
+	tb.byKey[key] = n
+	tb.byID = append(tb.byID, n)
+	return n
+}
+
+// Append extends c with hop applying the paper's sequence rules (§4.1):
+//
+//   - consecutive occurrences of the same handler/stage collapse into one;
+//   - a loop in the handler/stage sequence is pruned by truncating back to
+//     the first occurrence of the handler (e.g. [accept read write] + read
+//     becomes [accept read]).
+//
+// The search is confined to the contiguous suffix of hops with the same
+// Kind and Stage; call-path hops from earlier stages are never pruned.
+// For KindCall hops Append behaves exactly like Extend.
+func (c *Ctxt) Append(hop Hop) *Ctxt {
+	if hop.Kind == KindCall {
+		return c.Extend(hop)
+	}
+	// Walk the same-kind, same-stage suffix from the tail towards the
+	// root, remembering the earliest (closest to the segment start) node
+	// whose label matches.
+	var match *Ctxt
+	for n := c; n != nil && !n.IsRoot(); n = n.parent {
+		if n.hop.Kind != hop.Kind || n.hop.Stage != hop.Stage {
+			break
+		}
+		if n.hop.Label == hop.Label {
+			match = n
+		}
+	}
+	if match != nil {
+		return match
+	}
+	return c.Extend(hop)
+}
+
+// Hops returns the context's hops from the root outward.
+func (c *Ctxt) Hops() []Hop {
+	out := make([]Hop, c.depth)
+	for n := c; n != nil && !n.IsRoot(); n = n.parent {
+		out[n.depth-1] = n.hop
+	}
+	return out
+}
+
+// HasPrefix reports whether p is a (non-strict) prefix of c.
+func (c *Ctxt) HasPrefix(p *Ctxt) bool {
+	if p.table != c.table {
+		return false
+	}
+	for n := c; n != nil; n = n.parent {
+		if n == p {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the context as its hop sequence joined by " | ", or
+// "(root)" for the empty context.
+func (c *Ctxt) String() string {
+	if c == nil {
+		return "(nil)"
+	}
+	if c.IsRoot() {
+		return "(root)"
+	}
+	hops := c.Hops()
+	parts := make([]string, len(hops))
+	for i, h := range hops {
+		parts[i] = h.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Labels returns just the hop labels, root outward. Handy in tests.
+func (c *Ctxt) Labels() []string {
+	hops := c.Hops()
+	out := make([]string, len(hops))
+	for i, h := range hops {
+		out[i] = h.Label
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package vclock
+
+// CPU models a multi-core processor. Compute requests occupy a core for
+// their full duration, non-preemptively, in FIFO order of issue; when all
+// cores are busy a request waits for the earliest core to free up. This is
+// the contention model behind every throughput/saturation experiment.
+type CPU struct {
+	Name string
+
+	sim      *Sim
+	nextFree []Time   // per-core time at which the core becomes free
+	busy     Duration // total core-occupancy accumulated
+}
+
+// NewCPU returns a CPU with `cores` cores attached to s.
+func (s *Sim) NewCPU(name string, cores int) *CPU {
+	if cores < 1 {
+		cores = 1
+	}
+	return &CPU{Name: name, sim: s, nextFree: make([]Time, cores)}
+}
+
+// Cores reports the number of cores.
+func (c *CPU) Cores() int { return len(c.nextFree) }
+
+// Busy reports the total core-occupancy time accumulated so far.
+func (c *CPU) Busy() Duration { return c.busy }
+
+// Utilization reports mean utilization over [0, now]: busy time divided by
+// cores * elapsed. It is 0 before any time has passed.
+func (c *CPU) Utilization() float64 {
+	elapsed := int64(c.sim.now)
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(c.busy) / (float64(len(c.nextFree)) * float64(elapsed))
+}
+
+// reserve books d of CPU starting no earlier than now and returns the time
+// the computation finishes.
+func (c *CPU) reserve(d Duration) Time {
+	best := 0
+	for i := 1; i < len(c.nextFree); i++ {
+		if c.nextFree[i] < c.nextFree[best] {
+			best = i
+		}
+	}
+	start := c.nextFree[best]
+	if start < c.sim.now {
+		start = c.sim.now
+	}
+	end := start.Add(d)
+	c.nextFree[best] = end
+	c.busy += d
+	return end
+}
+
+// Compute consumes d of CPU time on c: the calling thread blocks until a
+// core has executed its request. Zero and negative durations return
+// immediately.
+func (t *Thread) Compute(c *CPU, d Duration) {
+	if d <= 0 {
+		return
+	}
+	end := c.reserve(d)
+	t.SleepUntil(end)
+}

@@ -1,0 +1,171 @@
+package vclock
+
+// LockMode distinguishes shared (reader) from exclusive (writer) lock
+// acquisitions.
+type LockMode uint8
+
+const (
+	// Shared allows concurrent holders that all acquired in Shared mode.
+	Shared LockMode = iota
+	// Exclusive allows exactly one holder.
+	Exclusive
+)
+
+func (m LockMode) String() string {
+	if m == Exclusive {
+		return "exclusive"
+	}
+	return "shared"
+}
+
+// LockObserver receives lock events; the crosstalk monitor implements it.
+// All durations are virtual. blockers is the set of threads holding the
+// lock at the moment the waiter started waiting (nil when the acquisition
+// was immediate).
+type LockObserver interface {
+	LockAcquired(l *Lock, t *Thread, mode LockMode, wait Duration, blockers []*Thread)
+	LockReleased(l *Lock, t *Thread, mode LockMode, held Duration)
+}
+
+type lockWaiter struct {
+	t        *Thread
+	mode     LockMode
+	since    Time
+	blockers []*Thread
+}
+
+type lockHolder struct {
+	t     *Thread
+	mode  LockMode
+	since Time
+}
+
+// Lock is a reader/writer lock with FIFO fairness: requests are granted in
+// arrival order; consecutive shared requests at the head of the line are
+// granted together. This matches the behaviour the paper assumes (a writer
+// blocks later readers, so crosstalk is visible in both directions).
+type Lock struct {
+	Name string
+
+	sim      *Sim
+	holders  []lockHolder
+	waiters  []lockWaiter
+	Observer LockObserver
+
+	contended int64 // acquisitions that had to wait
+	acquired  int64 // total acquisitions
+	waitTotal Duration
+}
+
+// NewLock returns an unlocked lock attached to s.
+func (s *Sim) NewLock(name string) *Lock {
+	return &Lock{Name: name, sim: s}
+}
+
+// Stats reports total acquisitions, how many of them waited, and the total
+// wait time accumulated.
+func (l *Lock) Stats() (acquired, contended int64, waitTotal Duration) {
+	return l.acquired, l.contended, l.waitTotal
+}
+
+// HeldBy reports whether t currently holds the lock (in either mode).
+func (l *Lock) HeldBy(t *Thread) bool {
+	for _, h := range l.holders {
+		if h.t == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Holders returns the threads currently holding the lock.
+func (l *Lock) Holders() []*Thread {
+	out := make([]*Thread, len(l.holders))
+	for i, h := range l.holders {
+		out[i] = h.t
+	}
+	return out
+}
+
+func (l *Lock) grantable(mode LockMode) bool {
+	if len(l.holders) == 0 {
+		return true
+	}
+	if mode == Exclusive {
+		return false
+	}
+	// Shared: grantable only if every holder is shared.
+	for _, h := range l.holders {
+		if h.mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Lock acquires l in the given mode, blocking the calling thread until the
+// acquisition is granted. Recursive acquisition is not supported and
+// panics, as it would self-deadlock.
+func (t *Thread) Lock(l *Lock, mode LockMode) {
+	if l.HeldBy(t) {
+		panic("vclock: recursive lock acquisition by " + t.Name + " on " + l.Name)
+	}
+	l.acquired++
+	// FIFO fairness: even a grantable shared request must queue behind
+	// earlier waiters so writers are not starved.
+	if len(l.waiters) == 0 && l.grantable(mode) {
+		l.holders = append(l.holders, lockHolder{t, mode, l.sim.now})
+		if l.Observer != nil {
+			l.Observer.LockAcquired(l, t, mode, 0, nil)
+		}
+		return
+	}
+	l.contended++
+	w := lockWaiter{t: t, mode: mode, since: l.sim.now, blockers: l.Holders()}
+	l.waiters = append(l.waiters, w)
+	t.park()
+	// The releaser has installed us as a holder and scheduled this wake.
+	wait := l.sim.now.Sub(w.since)
+	l.waitTotal += wait
+	if l.Observer != nil {
+		l.Observer.LockAcquired(l, t, mode, wait, w.blockers)
+	}
+}
+
+// Unlock releases the calling thread's hold on l and grants the lock to
+// the next waiters per FIFO policy. It panics if t does not hold l.
+func (t *Thread) Unlock(l *Lock) {
+	idx := -1
+	for i, h := range l.holders {
+		if h.t == t {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("vclock: unlock of " + l.Name + " by non-holder " + t.Name)
+	}
+	h := l.holders[idx]
+	l.holders = append(l.holders[:idx], l.holders[idx+1:]...)
+	if l.Observer != nil {
+		l.Observer.LockReleased(l, t, h.mode, l.sim.now.Sub(h.since))
+	}
+	l.grantWaiters()
+}
+
+// grantWaiters admits the longest-waiting requests that are now grantable:
+// either one exclusive waiter, or the maximal prefix of shared waiters.
+func (l *Lock) grantWaiters() {
+	for len(l.waiters) > 0 {
+		w := l.waiters[0]
+		if !l.grantable(w.mode) {
+			return
+		}
+		l.waiters = l.waiters[1:]
+		l.holders = append(l.holders, lockHolder{w.t, w.mode, l.sim.now})
+		l.sim.wakeAt(l.sim.now, w.t, nil)
+		if w.mode == Exclusive {
+			return
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package vclock
+
+// Queue is an unbounded FIFO queue connecting simulated threads (and
+// scheduler callbacks) to simulated threads. Put never blocks; Get blocks
+// the calling thread until an item is available. Items are delivered in
+// FIFO order and waiting threads are served in FIFO order, so behaviour is
+// deterministic.
+type Queue struct {
+	Name string
+
+	sim     *Sim
+	items   []any
+	waiters []*Thread
+	puts    int64
+	gets    int64
+	maxLen  int
+}
+
+// NewQueue returns an empty queue attached to s.
+func (s *Sim) NewQueue(name string) *Queue {
+	return &Queue{Name: name, sim: s}
+}
+
+// Len reports the number of items currently buffered.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Stats reports the total number of puts and gets and the maximum buffered
+// length observed.
+func (q *Queue) Stats() (puts, gets int64, maxLen int) {
+	return q.puts, q.gets, q.maxLen
+}
+
+// Put appends v to the queue, waking the longest-waiting getter if any.
+// It never blocks and may be called from scheduler callbacks as well as
+// from simulated threads.
+func (q *Queue) Put(v any) {
+	q.puts++
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.gets++
+		q.sim.wakeAt(q.sim.now, w, queueItem{v})
+		return
+	}
+	q.items = append(q.items, v)
+	if len(q.items) > q.maxLen {
+		q.maxLen = len(q.items)
+	}
+}
+
+// queueItem wraps delivered values so a legitimate nil item is
+// distinguishable from a plain wake.
+type queueItem struct{ v any }
+
+// Get removes and returns the oldest item in the queue, blocking the
+// calling thread until one is available.
+func (t *Thread) Get(q *Queue) any {
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		q.gets++
+		return v
+	}
+	q.waiters = append(q.waiters, t)
+	v := t.park()
+	return v.(queueItem).v
+}
+
+// TryGet removes and returns the oldest item if one is buffered; it never
+// blocks. The second result reports whether an item was returned.
+func (t *Thread) TryGet(q *Queue) (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.gets++
+	return v, true
+}

@@ -1,0 +1,124 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCPUConservation: for any set of compute demands on any core
+// count, total busy time equals the sum of demands, and the finish time is
+// at least sum/cores (work conservation) and at most the serialized sum.
+func TestQuickCPUConservation(t *testing.T) {
+	f := func(demands []uint16, cores uint8) bool {
+		nc := int(cores%4) + 1
+		if len(demands) > 20 {
+			demands = demands[:20]
+		}
+		s := New()
+		cpu := s.NewCPU("cpu", nc)
+		var total Duration
+		for _, d := range demands {
+			d := Duration(d) + 1
+			total += d
+			s.Go("w", func(th *Thread) { th.Compute(cpu, d) })
+		}
+		s.Run()
+		s.Shutdown()
+		if cpu.Busy() != total {
+			return false
+		}
+		end := Duration(s.Now())
+		lower := total / Duration(nc)
+		return end >= lower && end <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQueueFIFOTotalOrder: any interleaving of producers with
+// distinct items delivers every item exactly once, in put order.
+func TestQuickQueueFIFO(t *testing.T) {
+	f := func(items uint8) bool {
+		n := int(items%30) + 1
+		s := New()
+		q := s.NewQueue("q")
+		var got []int
+		s.Go("consumer", func(th *Thread) {
+			for i := 0; i < n; i++ {
+				got = append(got, th.Get(q).(int))
+			}
+		})
+		s.Go("producer", func(th *Thread) {
+			for i := 0; i < n; i++ {
+				q.Put(i)
+				th.Sleep(Microsecond)
+			}
+		})
+		s.Run()
+		s.Shutdown()
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLockMutualExclusionInvariant: random mixes of shared and
+// exclusive holders never overlap illegally.
+func TestQuickLockInvariant(t *testing.T) {
+	f := func(pattern []bool) bool {
+		if len(pattern) > 12 {
+			pattern = pattern[:12]
+		}
+		if len(pattern) == 0 {
+			return true
+		}
+		s := New()
+		l := s.NewLock("l")
+		readers, writers := 0, 0
+		ok := true
+		for _, excl := range pattern {
+			excl := excl
+			s.Go("t", func(th *Thread) {
+				mode := Shared
+				if excl {
+					mode = Exclusive
+				}
+				th.Lock(l, mode)
+				if excl {
+					writers++
+					if writers != 1 || readers != 0 {
+						ok = false
+					}
+				} else {
+					readers++
+					if writers != 0 {
+						ok = false
+					}
+				}
+				th.Sleep(Millisecond)
+				if excl {
+					writers--
+				} else {
+					readers--
+				}
+				th.Unlock(l)
+			})
+		}
+		s.Run()
+		s.Shutdown()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

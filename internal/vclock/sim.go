@@ -1,0 +1,261 @@
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Sim is a deterministic discrete-event simulator. It owns the virtual
+// clock and schedules simulated threads. Create one with New, start threads
+// with Go, and drive the simulation with Run or RunUntil.
+//
+// A Sim is not safe for concurrent use from multiple host goroutines; all
+// interaction must happen either from the goroutine that calls Run or from
+// inside simulated threads.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	parked  chan parkMsg
+	live    int // threads started and not yet exited
+	nextID  int
+	threads map[int]*Thread
+}
+
+// poison is sent to a parked thread by Shutdown to unwind it.
+type poison struct{}
+
+type parkKind uint8
+
+const (
+	parkBlocked parkKind = iota
+	parkExited
+)
+
+type parkMsg struct {
+	t    *Thread
+	kind parkKind
+}
+
+type event struct {
+	when Time
+	seq  uint64
+	t    *Thread // thread to wake, or
+	fn   func()  // callback to run in scheduler context
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)          { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)            { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any              { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event            { return h[0] }
+func (s *Sim) push(e event)                { e.seq = s.seq; s.seq++; heap.Push(&s.events, e) }
+func (s *Sim) pop() event                  { return heap.Pop(&s.events).(event) }
+func (s *Sim) schedule(at Time, t *Thread) { s.push(event{when: at, t: t}) }
+
+// New returns an empty simulation with the clock at zero.
+func New() *Sim {
+	return &Sim{parked: make(chan parkMsg), threads: make(map[int]*Thread)}
+}
+
+// Now reports the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn to run in scheduler context at virtual time `at`
+// (or immediately if `at` is in the past). The callback must not block on
+// any vclock primitive; it may wake threads by putting items on queues.
+func (s *Sim) At(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.push(event{when: at, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Sim) After(d Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Thread is a simulated thread of execution. A Thread may only call its
+// blocking methods (Sleep, Compute, Get, Lock, ...) from inside its own
+// body function.
+type Thread struct {
+	ID   int
+	Name string
+
+	sim     *Sim
+	resume  chan any // scheduler -> thread; payload for queue gets
+	body    func(*Thread)
+	started bool
+
+	// Data is an arbitrary per-thread payload. The profiler attaches its
+	// per-thread probe here so that libraries handed only a *Thread can
+	// reach the probe without a package cycle.
+	Data any
+}
+
+// Sim returns the simulation the thread belongs to.
+func (t *Thread) Sim() *Sim { return t.sim }
+
+// Now reports the current virtual time.
+func (t *Thread) Now() Time { return t.sim.now }
+
+// Go creates a simulated thread named name running body, scheduled to start
+// at the current virtual time. It returns the thread handle immediately; the
+// body runs once the scheduler reaches it.
+func (s *Sim) Go(name string, body func(*Thread)) *Thread {
+	return s.GoAt(s.now, name, body)
+}
+
+// GoAt is like Go but delays the thread's start until virtual time `at`.
+func (s *Sim) GoAt(at Time, name string, body func(*Thread)) *Thread {
+	t := &Thread{ID: s.nextID, Name: name, sim: s, resume: make(chan any), body: body}
+	s.nextID++
+	s.live++
+	s.threads[t.ID] = t
+	if at < s.now {
+		at = s.now
+	}
+	s.push(event{when: at, fn: func() {
+		if t.started {
+			return
+		}
+		t.started = true
+		go t.run()
+		t.resume <- nil
+		s.waitParked()
+	}})
+	return t
+}
+
+// waitParked blocks until the currently running simulated thread parks or
+// exits, and performs exit bookkeeping.
+func (s *Sim) waitParked() {
+	msg := <-s.parked
+	if msg.kind == parkExited {
+		s.live--
+		delete(s.threads, msg.t.ID)
+	}
+}
+
+func (t *Thread) run() {
+	v := <-t.resume // wait for first dispatch
+	if _, dead := v.(poison); !dead {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(poison); !ok {
+						panic(r)
+					}
+				}
+			}()
+			t.body(t)
+		}()
+	}
+	t.sim.parked <- parkMsg{t, parkExited}
+}
+
+// park blocks the calling simulated thread until another event wakes it.
+// It returns the value passed by the waker (used by queues to hand items
+// over), or nil for plain wakes.
+func (t *Thread) park() any {
+	t.sim.parked <- parkMsg{t, parkBlocked}
+	v := <-t.resume
+	if p, dead := v.(poison); dead {
+		panic(p)
+	}
+	return v
+}
+
+// wakeAt schedules t to resume at virtual time `at` with payload v.
+func (s *Sim) wakeAt(at Time, t *Thread, v any) {
+	s.push(event{when: at, fn: func() {
+		t.resumeWith(v)
+		s.waitParked()
+	}})
+}
+
+func (t *Thread) resumeWith(v any) { t.resume <- v }
+
+// SleepUntil parks the calling thread until virtual time `at`.
+func (t *Thread) SleepUntil(at Time) {
+	if at < t.sim.now {
+		at = t.sim.now
+	}
+	t.sim.schedule(at, t)
+	t.park()
+}
+
+// Sleep parks the calling thread for duration d of virtual time.
+func (t *Thread) Sleep(d Duration) { t.SleepUntil(t.sim.now.Add(d)) }
+
+// Yield lets every other runnable thread scheduled at the current instant
+// run before the calling thread continues.
+func (t *Thread) Yield() { t.SleepUntil(t.sim.now) }
+
+// Run drives the simulation until no events remain. It panics if called
+// re-entrantly from a simulated thread.
+func (s *Sim) Run() { s.RunUntil(nil) }
+
+// RunFor drives the simulation until virtual time `end` (events after end
+// remain pending) or until no events remain.
+func (s *Sim) RunFor(end Time) {
+	s.RunUntil(func() bool { return s.now >= end })
+}
+
+// RunUntil drives the simulation until stop returns true (checked between
+// events) or until no events remain. A nil stop runs to completion.
+func (s *Sim) RunUntil(stop func() bool) {
+	for s.events.Len() > 0 {
+		if stop != nil && stop() {
+			return
+		}
+		e := s.pop()
+		if e.when < s.now {
+			panic(fmt.Sprintf("vclock: event scheduled in the past: %v < %v", e.when, s.now))
+		}
+		s.now = e.when
+		switch {
+		case e.fn != nil:
+			e.fn()
+		case e.t != nil:
+			e.t.resumeWith(nil)
+			s.waitParked()
+		}
+	}
+}
+
+// Live reports the number of simulated threads that have been created and
+// have not yet exited. A nonzero value after Run returns indicates threads
+// blocked forever (e.g. waiting on a queue nobody fills); that is legal and
+// common for server threads.
+func (s *Sim) Live() int { return s.live }
+
+// Shutdown unwinds every simulated thread that is still parked, releasing
+// their goroutines. It must be called only after Run/RunUntil has returned
+// (i.e. from the host goroutine, with no events pending that the caller
+// still cares about). Threads are unwound via a panic recovered inside the
+// thread wrapper, so their deferred functions run.
+func (s *Sim) Shutdown() {
+	// Collect first: waitParked mutates the map.
+	var ts []*Thread
+	for _, t := range s.threads {
+		ts = append(ts, t)
+	}
+	for _, t := range ts {
+		if !t.started {
+			// The goroutine was never created; just forget the thread.
+			s.live--
+			delete(s.threads, t.ID)
+			continue
+		}
+		t.resume <- poison{}
+		s.waitParked()
+	}
+}

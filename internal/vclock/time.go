@@ -1,0 +1,49 @@
+// Package vclock provides a deterministic discrete-event simulation
+// substrate: a virtual clock, simulated threads, multi-core CPU resources,
+// FIFO queues and reader/writer locks.
+//
+// Every experiment in this repository runs on virtual time so that results
+// are reproducible bit-for-bit. Simulated threads are ordinary goroutines,
+// but the scheduler runs exactly one of them at a time and picks the next
+// runnable thread deterministically (earliest wake time, ties broken by
+// sequence number), so no data race or nondeterminism is possible as long
+// as threads only communicate through vclock primitives.
+package vclock
+
+import "fmt"
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+)
+
+// String renders the time as seconds with microsecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%06ds", int64(t)/1e9, (int64(t)%1e9)/1000)
+}
+
+// Micros returns the duration in (fractional) microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Millis returns the duration in (fractional) milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e6 }
+
+// Seconds returns the duration in (fractional) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Add returns the time d later than t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }

@@ -1,0 +1,286 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly form into a Program. The syntax is
+// one instruction per line; `;` starts a comment; `label:` defines a jump
+// target. Registers are r0..r15; memory operands are written [rN+off] or
+// [rN-off] or [rN].
+//
+//	push:
+//	    lock 1
+//	    load r3, [r1+0]     ; r3 = queue->nelts
+//	    store [r2+8], r4    ; elem->sd = sd
+//	    storei [r2+16], 0
+//	    incm [r1+0]
+//	    unlock 1
+//	    halt
+func Assemble(name, src string) (*Program, error) {
+	p := &Program{Name: name, Labels: make(map[string]int)}
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []fixup
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.Contains(line, ":") {
+			i := strings.IndexByte(line, ':')
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("%s:%d: bad label %q", name, ln+1, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate label %q", name, ln+1, label)
+			}
+			p.Labels[label] = len(p.Code)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, lbl, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", name, ln+1, err)
+		}
+		if lbl != "" {
+			fixups = append(fixups, fixup{len(p.Code), lbl, ln + 1})
+		}
+		p.Code = append(p.Code, in)
+	}
+	for _, f := range fixups {
+		pc, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: undefined label %q", name, f.line, f.label)
+		}
+		p.Code[f.instr].Target = pc
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for statically known
+// programs in tests and the Apache model.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.SplitN(line, " ", 2)
+	mnem := strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = fields[1]
+	}
+	args := splitArgs(rest)
+	argn := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+	switch mnem {
+	case "nop":
+		return Instr{Op: NOP}, "", argn(0)
+	case "halt":
+		return Instr{Op: HALT}, "", argn(0)
+	case "mov":
+		if err := argn(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err1 := parseReg(args[0])
+		rs, err2 := parseReg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: MOVRR, RD: rd, RS: rs}, "", nil
+	case "movi":
+		if err := argn(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err1 := parseReg(args[0])
+		imm, err2 := parseImm(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: MOVI, RD: rd, Imm: imm}, "", nil
+	case "load":
+		if err := argn(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err1 := parseReg(args[0])
+		rs, off, err2 := parseMem(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: LOAD, RD: rd, RS: rs, Off: off}, "", nil
+	case "store":
+		if err := argn(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, off, err1 := parseMem(args[0])
+		rs, err2 := parseReg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: STORE, RD: rd, RS: rs, Off: off}, "", nil
+	case "storei":
+		if err := argn(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, off, err1 := parseMem(args[0])
+		imm, err2 := parseImm(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: STOREI, RD: rd, Imm: imm, Off: off}, "", nil
+	case "add", "sub":
+		if err := argn(3); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err1 := parseReg(args[0])
+		rs, err2 := parseReg(args[1])
+		rt, err3 := parseReg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return Instr{}, "", err
+		}
+		op := ADD
+		if mnem == "sub" {
+			op = SUB
+		}
+		return Instr{Op: op, RD: rd, RS: rs, RT: rt}, "", nil
+	case "addi":
+		if err := argn(3); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err1 := parseReg(args[0])
+		rs, err2 := parseReg(args[1])
+		imm, err3 := parseImm(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: ADDI, RD: rd, RS: rs, Imm: imm}, "", nil
+	case "incm", "decm":
+		if err := argn(1); err != nil {
+			return Instr{}, "", err
+		}
+		rd, off, err := parseMem(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		op := INCM
+		if mnem == "decm" {
+			op = DECM
+		}
+		return Instr{Op: op, RD: rd, Off: off}, "", nil
+	case "jmp":
+		if err := argn(1); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: JMP}, args[0], nil
+	case "jeq", "jne", "jlt", "jge":
+		if err := argn(3); err != nil {
+			return Instr{}, "", err
+		}
+		rs, err1 := parseReg(args[0])
+		imm, err2 := parseImm(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return Instr{}, "", err
+		}
+		op := map[string]Op{"jeq": JEQ, "jne": JNE, "jlt": JLT, "jge": JGE}[mnem]
+		return Instr{Op: op, RS: rs, Imm: imm}, args[2], nil
+	case "lock", "unlock":
+		if err := argn(1); err != nil {
+			return Instr{}, "", err
+		}
+		id, err := parseImm(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		op := LOCK
+		if mnem == "unlock" {
+			op = UNLOCK
+		}
+		return Instr{Op: op, Imm: id}, "", nil
+	}
+	return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (byte, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return byte(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses [rN], [rN+off] or [rN-off].
+func parseMem(s string) (byte, int64, error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	sep := strings.IndexAny(body, "+-")
+	if sep < 0 {
+		r, err := parseReg(strings.TrimSpace(body))
+		return r, 0, err
+	}
+	r, err := parseReg(strings.TrimSpace(body[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := strconv.ParseInt(strings.TrimSpace(body[sep:]), 0, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, off, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ExecMode selects how the machine runs critical sections.
+type ExecMode uint8
+
+const (
+	// ModeDirect executes everything natively (no tracing, direct costs).
+	ModeDirect ExecMode = iota
+	// ModeEmulateCS executes critical sections (and a MaxWindow-instruction
+	// window after each) under emulation with tracing, except for locks
+	// marked non-flow, which fall back to native execution (§7.2).
+	ModeEmulateCS
+)
+
+// CostModel gives per-instruction cycle costs under the three execution
+// regimes of Table 3: native (direct) execution, first-time translation
+// plus emulation, and cached-translation emulation.
+type CostModel struct {
+	Direct    map[Op]int64 // native cycles per op
+	DirectDef int64        // native cycles for ops missing from Direct
+	Translate int64        // one-time translation cycles per instruction
+	Emulate   int64        // emulation cycles per instruction execution
+}
+
+// DefaultCostModel is calibrated so Apache's ~12-instruction ap_queue_push
+// critical section costs on the order of 130 cycles natively, tens of
+// thousands with translation and ~10K cycles from the translation cache,
+// matching Table 3's relative magnitudes.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Direct: map[Op]int64{
+			NOP: 1, MOVRR: 4, MOVI: 4, LOAD: 10, STORE: 10, STOREI: 10,
+			ADD: 5, SUB: 5, ADDI: 5, INCM: 14, DECM: 14,
+			JMP: 4, JEQ: 6, JNE: 6, JLT: 6, JGE: 6,
+			LOCK: 24, UNLOCK: 18, HALT: 1,
+		},
+		DirectDef: 5,
+		Translate: 4300,
+		Emulate:   950,
+	}
+}
+
+func (c CostModel) direct(op Op) int64 {
+	if v, ok := c.Direct[op]; ok {
+		return v
+	}
+	return c.DirectDef
+}
+
+// DefaultMaxWindow is MAX from §7.2: the number of instructions emulated
+// past a critical-section exit to observe the consume.
+const DefaultMaxWindow = 128
+
+// Thread is one hardware thread of the machine.
+type Thread struct {
+	ID   int
+	Prog *Program
+	PC   int
+	Regs [NumRegs]int64
+
+	// Cycles accumulates the cycle cost of every instruction this thread
+	// executed, per the machine's cost model and execution mode.
+	Cycles int64
+
+	halted    bool
+	blockedOn int // lock id the thread is waiting for, or -1
+	granted   bool
+	heldLocks []int
+	window    int // remaining post-critical-section traced instructions
+}
+
+// Halted reports whether the thread has executed HALT or run off the end
+// of its program.
+func (t *Thread) Halted() bool { return t.halted }
+
+// Blocked reports whether the thread is waiting on a lock.
+func (t *Thread) Blocked() bool { return t.blockedOn >= 0 && !t.granted }
+
+type mlock struct {
+	owner   int // thread id, or -1
+	waiters []*Thread
+}
+
+// Machine is a multi-threaded execution engine over a shared word
+// memory. Threads are interleaved round-robin one instruction at a time,
+// deterministically.
+type Machine struct {
+	Mem     map[uint32]int64
+	Threads []*Thread
+	Tracer  Tracer
+	Cost    CostModel
+	Mode    ExecMode
+	// MaxWindow is the number of instructions traced after the outermost
+	// critical-section exit (§7.2's MAX, default 128).
+	MaxWindow int
+
+	// TotalCycles sums cycle costs across all threads.
+	TotalCycles int64
+
+	locks      map[int]*mlock
+	translated map[*Program][]bool
+	nonFlow    map[int]bool
+	rr         int
+	nextID     int
+}
+
+// NewMachine returns an empty machine with the default cost model in
+// direct mode.
+func NewMachine() *Machine {
+	return &Machine{
+		Mem:        make(map[uint32]int64),
+		Cost:       DefaultCostModel(),
+		MaxWindow:  DefaultMaxWindow,
+		locks:      make(map[int]*mlock),
+		translated: make(map[*Program][]bool),
+		nonFlow:    make(map[int]bool),
+	}
+}
+
+// Spawn creates a thread running prog from the given label.
+func (m *Machine) Spawn(prog *Program, label string) (*Thread, error) {
+	pc, err := prog.Entry(label)
+	if err != nil {
+		return nil, err
+	}
+	t := &Thread{ID: m.nextID, Prog: prog, PC: pc, blockedOn: -1}
+	m.nextID++
+	m.Threads = append(m.Threads, t)
+	return t, nil
+}
+
+// SetNonFlow marks a lock's critical sections for native execution —
+// the optimisation Whodunit applies once a lock's accesses are known not
+// to carry transaction flow (§7.2).
+func (m *Machine) SetNonFlow(lock int) { m.nonFlow[lock] = true }
+
+// NonFlow reports whether lock has been demoted to native execution.
+func (m *Machine) NonFlow(lock int) bool { return m.nonFlow[lock] }
+
+// FlushTranslation drops the translation cache (used by the Table 3
+// micro-benchmark to measure first-execution cost).
+func (m *Machine) FlushTranslation() { m.translated = make(map[*Program][]bool) }
+
+// Reap removes halted threads so long-running hosts (e.g. the Apache
+// model spawning one push/pop execution per connection) do not accumulate
+// dead threads. Thread IDs are not reused; the translation cache is
+// unaffected.
+func (m *Machine) Reap() {
+	live := m.Threads[:0]
+	for _, t := range m.Threads {
+		if !t.halted {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(m.Threads); i++ {
+		m.Threads[i] = nil
+	}
+	m.Threads = live
+	m.rr = 0
+}
+
+// ErrDeadlock is returned by Run when unhalted threads exist but none can
+// make progress.
+var ErrDeadlock = errors.New("vm: deadlock: all live threads blocked")
+
+// ErrStepLimit is returned by Run when maxSteps is exhausted.
+var ErrStepLimit = errors.New("vm: step limit exceeded")
+
+// Run interleaves all threads round-robin until every thread halts.
+func (m *Machine) Run(maxSteps int64) error {
+	for steps := int64(0); ; steps++ {
+		if steps >= maxSteps {
+			return ErrStepLimit
+		}
+		progressed, anyLive := m.Step()
+		if !anyLive {
+			return nil
+		}
+		if !progressed {
+			return ErrDeadlock
+		}
+	}
+}
+
+// Step executes one instruction on the next runnable thread (round-robin).
+// It reports whether any instruction executed and whether any thread is
+// still live (not halted).
+func (m *Machine) Step() (progressed, anyLive bool) {
+	n := len(m.Threads)
+	for i := 0; i < n; i++ {
+		t := m.Threads[(m.rr+i)%n]
+		if t.halted || t.Blocked() {
+			continue
+		}
+		m.rr = (m.rr + i + 1) % n
+		m.exec(t)
+		return true, m.live()
+	}
+	return false, m.live()
+}
+
+func (m *Machine) live() bool {
+	for _, t := range m.Threads {
+		if !t.halted {
+			return true
+		}
+	}
+	return false
+}
+
+// traced reports whether thread t's next instruction runs under emulation
+// (inside a flow-candidate critical section or its post-exit window).
+func (m *Machine) traced(t *Thread) bool {
+	if m.Mode != ModeEmulateCS {
+		return false
+	}
+	if len(t.heldLocks) > 0 {
+		return !m.nonFlow[t.heldLocks[0]]
+	}
+	return t.window > 0
+}
+
+// charge accounts the cycle cost of executing instruction pc of t's
+// program under the current regime.
+func (m *Machine) charge(t *Thread, pc int, emulated bool) {
+	var c int64
+	if emulated {
+		cache := m.translated[t.Prog]
+		if cache == nil {
+			cache = make([]bool, len(t.Prog.Code))
+			m.translated[t.Prog] = cache
+		}
+		c = m.Cost.Emulate
+		if !cache[pc] {
+			c += m.Cost.Translate
+			cache[pc] = true
+		}
+	} else {
+		c = m.Cost.direct(t.Prog.Code[pc].Op)
+	}
+	t.Cycles += c
+	m.TotalCycles += c
+}
+
+func (m *Machine) lock(id int) *mlock {
+	l, ok := m.locks[id]
+	if !ok {
+		l = &mlock{owner: -1}
+		m.locks[id] = l
+	}
+	return l
+}
+
+// exec executes one instruction of t.
+func (m *Machine) exec(t *Thread) {
+	if t.PC < 0 || t.PC >= len(t.Prog.Code) {
+		t.halted = true
+		return
+	}
+	pc := t.PC
+	in := t.Prog.Code[pc]
+	emu := m.traced(t)
+
+	// Lock operations are handled before generic charging because a LOCK
+	// may block (charged only when it completes).
+	switch in.Op {
+	case LOCK:
+		id := int(in.Imm)
+		l := m.lock(id)
+		switch {
+		case l.owner == t.ID && t.granted:
+			// Our pending acquisition was granted by the releaser.
+			t.granted = false
+			t.blockedOn = -1
+		case l.owner == -1:
+			l.owner = t.ID
+		default:
+			// Block; re-executed once granted.
+			t.blockedOn = id
+			l.waiters = append(l.waiters, t)
+			return
+		}
+		t.heldLocks = append(t.heldLocks, id)
+		// Entering the outermost critical section cancels any residual
+		// window and notifies the tracer.
+		if len(t.heldLocks) == 1 {
+			t.window = 0
+			if m.Tracer != nil && m.Mode == ModeEmulateCS && !m.nonFlow[id] {
+				m.Tracer.OnLock(t.ID, id)
+			}
+		}
+		m.charge(t, pc, m.traced(t))
+		t.PC++
+		return
+	case UNLOCK:
+		id := int(in.Imm)
+		idx := -1
+		for i, h := range t.heldLocks {
+			if h == id {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic(fmt.Sprintf("vm: thread %d unlocks %d it does not hold", t.ID, id))
+		}
+		wasEmu := m.traced(t)
+		outermost := idx == 0 && len(t.heldLocks) == 1
+		t.heldLocks = append(t.heldLocks[:idx], t.heldLocks[idx+1:]...)
+		l := m.lock(id)
+		l.owner = -1
+		if len(l.waiters) > 0 {
+			next := l.waiters[0]
+			l.waiters = l.waiters[1:]
+			l.owner = next.ID
+			next.granted = true
+		}
+		if outermost && wasEmu {
+			t.window = m.MaxWindow
+			if m.Tracer != nil {
+				m.Tracer.OnUnlock(t.ID, id)
+			}
+		}
+		m.charge(t, pc, wasEmu)
+		t.PC++
+		return
+	}
+
+	// Generic instruction: consume window budget if running post-CS.
+	if len(t.heldLocks) == 0 && t.window > 0 {
+		defer func() { t.window-- }()
+	}
+	m.charge(t, pc, emu)
+
+	var ac *Access
+	mem := func(base byte, off int64) uint32 { return uint32(t.Regs[base] + off) }
+	switch in.Op {
+	case NOP:
+	case HALT:
+		t.halted = true
+	case MOVRR:
+		ac = &Access{Kind: AccMove, Src: RegLoc(t.ID, in.RS), Dst: RegLoc(t.ID, in.RD),
+			Reads: []Loc{RegLoc(t.ID, in.RS)}}
+		t.Regs[in.RD] = t.Regs[in.RS]
+	case MOVI:
+		ac = &Access{Kind: AccWrite, Dst: RegLoc(t.ID, in.RD)}
+		t.Regs[in.RD] = in.Imm
+	case LOAD:
+		a := mem(in.RS, in.Off)
+		ac = &Access{Kind: AccMove, Src: MemLoc(a), Dst: RegLoc(t.ID, in.RD),
+			Reads: []Loc{RegLoc(t.ID, in.RS), MemLoc(a)}}
+		t.Regs[in.RD] = m.Mem[a]
+	case STORE:
+		a := mem(in.RD, in.Off)
+		ac = &Access{Kind: AccMove, Src: RegLoc(t.ID, in.RS), Dst: MemLoc(a),
+			Reads: []Loc{RegLoc(t.ID, in.RD), RegLoc(t.ID, in.RS)}}
+		m.Mem[a] = t.Regs[in.RS]
+	case STOREI:
+		a := mem(in.RD, in.Off)
+		ac = &Access{Kind: AccWrite, Dst: MemLoc(a), Reads: []Loc{RegLoc(t.ID, in.RD)}}
+		m.Mem[a] = in.Imm
+	case ADD:
+		ac = &Access{Kind: AccWrite, Dst: RegLoc(t.ID, in.RD),
+			Reads: []Loc{RegLoc(t.ID, in.RS), RegLoc(t.ID, in.RT)}}
+		t.Regs[in.RD] = t.Regs[in.RS] + t.Regs[in.RT]
+	case SUB:
+		ac = &Access{Kind: AccWrite, Dst: RegLoc(t.ID, in.RD),
+			Reads: []Loc{RegLoc(t.ID, in.RS), RegLoc(t.ID, in.RT)}}
+		t.Regs[in.RD] = t.Regs[in.RS] - t.Regs[in.RT]
+	case ADDI:
+		ac = &Access{Kind: AccWrite, Dst: RegLoc(t.ID, in.RD),
+			Reads: []Loc{RegLoc(t.ID, in.RS)}}
+		t.Regs[in.RD] = t.Regs[in.RS] + in.Imm
+	case INCM:
+		a := mem(in.RD, in.Off)
+		ac = &Access{Kind: AccWrite, Dst: MemLoc(a),
+			Reads: []Loc{RegLoc(t.ID, in.RD), MemLoc(a)}}
+		m.Mem[a]++
+	case DECM:
+		a := mem(in.RD, in.Off)
+		ac = &Access{Kind: AccWrite, Dst: MemLoc(a),
+			Reads: []Loc{RegLoc(t.ID, in.RD), MemLoc(a)}}
+		m.Mem[a]--
+	case JMP:
+		t.PC = in.Target
+		return
+	case JEQ, JNE, JLT, JGE:
+		ac = &Access{Kind: AccRead, Reads: []Loc{RegLoc(t.ID, in.RS)}}
+		v := t.Regs[in.RS]
+		taken := false
+		switch in.Op {
+		case JEQ:
+			taken = v == in.Imm
+		case JNE:
+			taken = v != in.Imm
+		case JLT:
+			taken = v < in.Imm
+		case JGE:
+			taken = v >= in.Imm
+		}
+		if m.Tracer != nil && emu {
+			m.emitAccess(t, pc, in, ac)
+		}
+		if taken {
+			t.PC = in.Target
+			return
+		}
+		t.PC++
+		return
+	}
+	if ac != nil && m.Tracer != nil && emu {
+		m.emitAccess(t, pc, in, ac)
+	}
+	if !t.halted {
+		t.PC++
+	}
+}
+
+func (m *Machine) emitAccess(t *Thread, pc int, in Instr, ac *Access) {
+	ac.Thread = t.ID
+	ac.PC = pc
+	ac.Instr = in
+	ac.InCS = len(t.heldLocks) > 0
+	if ac.InCS {
+		ac.Lock = t.heldLocks[0]
+	}
+	ac.InWindow = !ac.InCS && t.window > 0
+	m.Tracer.OnAccess(*ac)
+}

@@ -1,0 +1,124 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAssembleDisassembleStable: assembling the disassembly of a
+// random (valid) instruction yields the same instruction.
+func TestQuickAssembleDisassembleStable(t *testing.T) {
+	ops := []Op{MOVRR, MOVI, LOAD, STORE, STOREI, ADD, SUB, ADDI, INCM, DECM}
+	f := func(sel uint8, rd, rs, rt uint8, imm int16, off int8) bool {
+		in := Instr{
+			Op: ops[int(sel)%len(ops)],
+			RD: rd % NumRegs, RS: rs % NumRegs, RT: rt % NumRegs,
+			Imm: int64(imm), Off: int64(off),
+		}
+		src := "main:\n " + in.String() + "\n halt\n"
+		p, err := Assemble("q", src)
+		if err != nil {
+			t.Logf("assemble %q: %v", src, err)
+			return false
+		}
+		got := p.Code[0]
+		return got.String() == in.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCostsNonNegativeAndAdditive: executing any straight-line
+// program charges positive cycles, and total machine cycles equal the sum
+// over threads.
+func TestQuickCostsAdditive(t *testing.T) {
+	f := func(nops uint8, threads uint8) bool {
+		var sb strings.Builder
+		sb.WriteString("main:\n")
+		for i := 0; i < int(nops%20)+1; i++ {
+			fmt.Fprintf(&sb, " movi r1, %d\n", i)
+		}
+		sb.WriteString(" halt\n")
+		p := MustAssemble("q", sb.String())
+		m := NewMachine()
+		n := int(threads%4) + 1
+		for i := 0; i < n; i++ {
+			if _, err := m.Spawn(p, "main"); err != nil {
+				return false
+			}
+		}
+		if err := m.Run(100000); err != nil {
+			return false
+		}
+		var sum int64
+		for _, th := range m.Threads {
+			if th.Cycles <= 0 {
+				return false
+			}
+			sum += th.Cycles
+		}
+		return sum == m.TotalCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLockCounterAtomic: any number of threads doing any number of
+// locked increments leaves the counter exactly equal to the total.
+func TestQuickLockCounterAtomic(t *testing.T) {
+	f := func(threads, iters uint8) bool {
+		n := int(threads%5) + 1
+		k := int(iters%40) + 1
+		src := fmt.Sprintf(`
+		main:
+			movi r1, 0x100
+			movi r2, %d
+		loop:
+			lock 1
+			incm [r1]
+			unlock 1
+			addi r2, r2, -1
+			jne r2, 0, loop
+			halt
+		`, k)
+		p := MustAssemble("q", src)
+		m := NewMachine()
+		for i := 0; i < n; i++ {
+			if _, err := m.Spawn(p, "main"); err != nil {
+				return false
+			}
+		}
+		if err := m.Run(10_000_000); err != nil {
+			return false
+		}
+		return m.Mem[0x100] == int64(n*k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReapPreservesIDsAndCache(t *testing.T) {
+	p := MustAssemble("q", "main:\n lock 1\n movi r1, 1\n unlock 1\n halt\n")
+	m := NewMachine()
+	m.Mode = ModeEmulateCS
+	t1, _ := m.Spawn(p, "main")
+	m.Run(1000)
+	cold := t1.Cycles
+	m.Reap()
+	if len(m.Threads) != 0 {
+		t.Fatalf("reap left %d threads", len(m.Threads))
+	}
+	t2, _ := m.Spawn(p, "main")
+	if t2.ID == t1.ID {
+		t.Fatal("thread id reused after reap")
+	}
+	m.Run(1000)
+	if t2.Cycles >= cold {
+		t.Fatalf("translation cache lost across reap: %d >= %d", t2.Cycles, cold)
+	}
+}

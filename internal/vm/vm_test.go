@@ -1,0 +1,360 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble("t", `
+		; a comment
+		start:
+			movi r1, 5
+			addi r1, r1, -2
+			jne r1, 0, start
+			halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 4 {
+		t.Fatalf("code len = %d, want 4", len(p.Code))
+	}
+	if pc, _ := p.Entry("start"); pc != 0 {
+		t.Fatalf("start = %d", pc)
+	}
+	if p.Code[2].Target != 0 {
+		t.Fatalf("jump target = %d, want 0", p.Code[2].Target)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"mov r1",
+		"movi r99, 1",
+		"jmp nowhere",
+		"load r1, r2",
+		"store [r1+x], r2",
+		"dup: nop\ndup: nop",
+	}
+	for _, src := range cases {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("assembling %q should fail", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTripMnemonic(t *testing.T) {
+	p := MustAssemble("t", `
+		mov r1, r2
+		load r3, [r4+8]
+		store [r5-4], r6
+		storei [r7], 9
+		incm [r1]
+		lock 3
+		unlock 3
+	`)
+	wants := []string{"mov r1, r2", "load r3, [r4+8]", "store [r5-4], r6",
+		"storei [r7+0], 9", "incm [r1+0]", "lock 3", "unlock 3"}
+	for i, w := range wants {
+		if got := p.Code[i].String(); got != w {
+			t.Errorf("instr %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func run(t *testing.T, src string) (*Machine, *Thread) {
+	t.Helper()
+	p := MustAssemble("t", src)
+	m := NewMachine()
+	th, err := m.Spawn(p, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	return m, th
+}
+
+func TestArithmeticAndMemory(t *testing.T) {
+	m, th := run(t, `
+	main:
+		movi r1, 0x100
+		movi r2, 7
+		store [r1], r2
+		load r3, [r1]
+		add r4, r3, r3
+		sub r5, r4, r3
+		incm [r1]
+		halt
+	`)
+	if th.Regs[4] != 14 || th.Regs[5] != 7 {
+		t.Fatalf("regs = %v", th.Regs[:6])
+	}
+	if m.Mem[0x100] != 8 {
+		t.Fatalf("mem = %d, want 8", m.Mem[0x100])
+	}
+}
+
+func TestLoopExecution(t *testing.T) {
+	_, th := run(t, `
+	main:
+		movi r1, 0
+		movi r2, 10
+	loop:
+		addi r1, r1, 1
+		sub r3, r2, r1
+		jne r3, 0, loop
+		halt
+	`)
+	if th.Regs[1] != 10 {
+		t.Fatalf("r1 = %d, want 10", th.Regs[1])
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	// Two threads each do 100 increments of a shared counter under a lock;
+	// interleaved execution must still total 200 because LOCK serializes.
+	prog := MustAssemble("counter", `
+	main:
+		movi r1, 0x100
+		movi r2, 100
+	loop:
+		lock 1
+		incm [r1]
+		unlock 1
+		addi r2, r2, -1
+		jne r2, 0, loop
+		halt
+	`)
+	m := NewMachine()
+	if _, err := m.Spawn(prog, "main"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(prog, "main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1000000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[0x100] != 200 {
+		t.Fatalf("counter = %d, want 200", m.Mem[0x100])
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Two threads acquire two locks in opposite order with a handshake that
+	// guarantees the classic deadlock interleaving under round-robin.
+	a := MustAssemble("a", `
+	main:
+		lock 1
+		nop
+		nop
+		lock 2
+		unlock 2
+		unlock 1
+		halt
+	`)
+	b := MustAssemble("b", `
+	main:
+		lock 2
+		nop
+		nop
+		lock 1
+		unlock 1
+		unlock 2
+		halt
+	`)
+	m := NewMachine()
+	m.Spawn(a, "main")
+	m.Spawn(b, "main")
+	if err := m.Run(10000); err != ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := NewMachine()
+	m.Spawn(MustAssemble("spin", "main: jmp main"), "main")
+	if err := m.Run(100); err != ErrStepLimit {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestUnlockWithoutHoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewMachine()
+	m.Spawn(MustAssemble("bad", "main: unlock 1\nhalt"), "main")
+	m.Run(100)
+}
+
+func TestDirectCostsCharged(t *testing.T) {
+	m, th := run(t, `
+	main:
+		movi r1, 1
+		halt
+	`)
+	want := m.Cost.direct(MOVI) + m.Cost.direct(HALT)
+	if th.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", th.Cycles, want)
+	}
+}
+
+func TestEmulationCostsAndTranslationCache(t *testing.T) {
+	src := `
+	main:
+		lock 1
+		movi r1, 1
+		unlock 1
+		halt
+	`
+	cold := func() *Machine {
+		p := MustAssemble("t", src)
+		m := NewMachine()
+		m.Mode = ModeEmulateCS
+		m.Spawn(p, "main")
+		m.Run(1000)
+		return m
+	}
+	m1 := cold()
+	// Second run of the same program text on a machine with a warm cache.
+	p := MustAssemble("t", src)
+	m2 := NewMachine()
+	m2.Mode = ModeEmulateCS
+	m2.Spawn(p, "main")
+	m2.Run(1000)
+	warmThread, _ := m2.Spawn(p, "main")
+	m2.Run(1000)
+
+	coldCycles := m1.Threads[0].Cycles
+	warmCycles := warmThread.Cycles
+	if coldCycles <= warmCycles {
+		t.Fatalf("cold %d should exceed warm %d (translation cached)", coldCycles, warmCycles)
+	}
+	// Warm emulation must still be far costlier than direct execution.
+	m3 := NewMachine()
+	m3.Spawn(MustAssemble("t", src), "main")
+	m3.Run(1000)
+	direct := m3.Threads[0].Cycles
+	if warmCycles < 10*direct {
+		t.Fatalf("warm emulation %d not >> direct %d", warmCycles, direct)
+	}
+}
+
+func TestNonFlowLockRunsNative(t *testing.T) {
+	src := `
+	main:
+		lock 1
+		movi r1, 1
+		unlock 1
+		halt
+	`
+	m := NewMachine()
+	m.Mode = ModeEmulateCS
+	m.SetNonFlow(1)
+	m.Spawn(MustAssemble("t", src), "main")
+	m.Run(1000)
+	native := NewMachine()
+	native.Spawn(MustAssemble("t", src), "main")
+	native.Run(1000)
+	if m.Threads[0].Cycles != native.Threads[0].Cycles {
+		t.Fatalf("non-flow CS cycles %d != native %d", m.Threads[0].Cycles, native.Threads[0].Cycles)
+	}
+}
+
+type recordTracer struct {
+	accesses []Access
+	locks    []int
+	unlocks  []int
+}
+
+func (r *recordTracer) OnAccess(ac Access)     { r.accesses = append(r.accesses, ac) }
+func (r *recordTracer) OnLock(tid, lock int)   { r.locks = append(r.locks, lock) }
+func (r *recordTracer) OnUnlock(tid, lock int) { r.unlocks = append(r.unlocks, lock) }
+
+func TestTracerSeesOnlyCriticalSectionAndWindow(t *testing.T) {
+	src := `
+	main:
+		movi r1, 0x100   ; outside: not traced
+		lock 1
+		store [r1], r2   ; traced, in CS
+		unlock 1
+		movi r3, 5       ; traced, window
+		halt
+	`
+	p := MustAssemble("t", src)
+	m := NewMachine()
+	m.Mode = ModeEmulateCS
+	tr := &recordTracer{}
+	m.Tracer = tr
+	m.Spawn(p, "main")
+	m.Run(1000)
+	if len(tr.locks) != 1 || len(tr.unlocks) != 1 {
+		t.Fatalf("lock events = %v %v", tr.locks, tr.unlocks)
+	}
+	if len(tr.accesses) != 2 {
+		t.Fatalf("accesses = %d, want 2 (store in CS + movi in window)", len(tr.accesses))
+	}
+	if !tr.accesses[0].InCS || tr.accesses[0].Lock != 1 {
+		t.Fatalf("first access should be in CS of lock 1: %+v", tr.accesses[0])
+	}
+	if !tr.accesses[1].InWindow || tr.accesses[1].InCS {
+		t.Fatalf("second access should be in window: %+v", tr.accesses[1])
+	}
+}
+
+func TestWindowExpires(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("main:\n lock 1\n store [r1], r2\n unlock 1\n")
+	for i := 0; i < DefaultMaxWindow+10; i++ {
+		sb.WriteString(" movi r3, 1\n")
+	}
+	sb.WriteString(" halt\n")
+	p := MustAssemble("t", sb.String())
+	m := NewMachine()
+	m.Mode = ModeEmulateCS
+	tr := &recordTracer{}
+	m.Tracer = tr
+	m.Spawn(p, "main")
+	if err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	// 1 store in CS + exactly MaxWindow window instructions.
+	if got := len(tr.accesses); got != 1+DefaultMaxWindow {
+		t.Fatalf("traced %d accesses, want %d", got, 1+DefaultMaxWindow)
+	}
+}
+
+func TestNestedLocksTracedUnderOutermost(t *testing.T) {
+	src := `
+	main:
+		lock 1
+		lock 2
+		store [r1], r2
+		unlock 2
+		store [r1], r3
+		unlock 1
+		halt
+	`
+	p := MustAssemble("t", src)
+	m := NewMachine()
+	m.Mode = ModeEmulateCS
+	tr := &recordTracer{}
+	m.Tracer = tr
+	m.Spawn(p, "main")
+	m.Run(1000)
+	if len(tr.locks) != 1 || tr.locks[0] != 1 {
+		t.Fatalf("outermost lock events = %v", tr.locks)
+	}
+	for _, ac := range tr.accesses {
+		if ac.InCS && ac.Lock != 1 {
+			t.Fatalf("access attributed to lock %d, want outermost 1", ac.Lock)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package workload generates the synthetic workloads driving the case
+// studies: a web trace standing in for the Rice CS department trace used
+// throughout §8-§9 (Zipf file popularity, heavy-tailed sizes, sessioned
+// connections with a few requests each), and the TPC-W browsing mix with
+// its fourteen interactions and exponential think times (§8.4).
+//
+// Everything is generated from explicit seeds so experiments are
+// reproducible.
+package workload
+
+import (
+	"whodunit/internal/vclock"
+)
+
+// Request is one HTTP request: a file id and its size in bytes.
+type Request struct {
+	File int
+	Size int64
+}
+
+// Connection is one client connection carrying a few requests
+// (persistent connections, then closed — the pattern that makes Apache's
+// listener push new work through shared memory, §9.2).
+type Connection struct {
+	ID   int
+	Reqs []Request
+}
+
+// WebTrace is a generated web workload.
+type WebTrace struct {
+	Conns      []Connection
+	Files      []int64 // size per file id
+	TotalBytes int64
+}
+
+// WebConfig parameterises web trace generation.
+type WebConfig struct {
+	Seed      uint64
+	NumFiles  int     // distinct files on the server
+	NumConns  int     // connections in the trace
+	MeanReqs  int     // mean requests per connection (geometric, >=1)
+	ZipfS     float64 // popularity skew
+	MinSize   int64   // bytes
+	MaxSize   int64   // bytes
+	SizeAlpha float64 // bounded-Pareto shape for file sizes
+}
+
+// DefaultWebConfig mimics a departmental web server trace: 2000 files,
+// skewed popularity, mostly-small files with a heavy tail.
+func DefaultWebConfig() WebConfig {
+	return WebConfig{
+		Seed:      42,
+		NumFiles:  2000,
+		NumConns:  600,
+		MeanReqs:  4,
+		ZipfS:     0.9,
+		MinSize:   512,
+		MaxSize:   2 << 20,
+		SizeAlpha: 1.2,
+	}
+}
+
+// GenWeb generates a web trace from cfg.
+func GenWeb(cfg WebConfig) *WebTrace {
+	rng := vclock.NewRNG(cfg.Seed)
+	sizes := make([]int64, cfg.NumFiles)
+	for i := range sizes {
+		sizes[i] = int64(rng.Pareto(float64(cfg.MinSize), float64(cfg.MaxSize), cfg.SizeAlpha))
+	}
+	zipf := vclock.NewZipf(rng, cfg.NumFiles, cfg.ZipfS)
+	tr := &WebTrace{Files: sizes}
+	for c := 0; c < cfg.NumConns; c++ {
+		n := 1
+		// Geometric number of requests with the configured mean.
+		for rng.Float64() > 1.0/float64(cfg.MeanReqs) {
+			n++
+			if n >= 8*cfg.MeanReqs {
+				break
+			}
+		}
+		conn := Connection{ID: c}
+		for r := 0; r < n; r++ {
+			f := zipf.Next()
+			conn.Reqs = append(conn.Reqs, Request{File: f, Size: sizes[f]})
+			tr.TotalBytes += sizes[f]
+		}
+		tr.Conns = append(tr.Conns, conn)
+	}
+	return tr
+}
+
+// The fourteen TPC-W interactions (§8.4, Table 1).
+const (
+	AdminConfirm         = "AdminConfirm"
+	AdminRequest         = "AdminRequest"
+	BestSellers          = "BestSellers"
+	BuyConfirm           = "BuyConfirm"
+	BuyRequest           = "BuyRequest"
+	CustomerRegistration = "CustomerRegistration"
+	Home                 = "Home"
+	NewProducts          = "NewProducts"
+	OrderDisplay         = "OrderDisplay"
+	OrderInquiry         = "OrderInquiry"
+	ProductDetail        = "ProductDetail"
+	SearchRequest        = "SearchRequest"
+	SearchResult         = "SearchResult"
+	ShoppingCart         = "ShoppingCart"
+)
+
+// Interactions lists all fourteen TPC-W interactions in a stable order.
+var Interactions = []string{
+	AdminConfirm, AdminRequest, BestSellers, BuyConfirm, BuyRequest,
+	CustomerRegistration, Home, NewProducts, OrderDisplay, OrderInquiry,
+	ProductDetail, SearchRequest, SearchResult, ShoppingCart,
+}
+
+// BrowsingMix gives the TPC-W browsing-mix probability (percent) per
+// interaction — the mix used throughout §8.4.
+var BrowsingMix = map[string]float64{
+	Home:                 29.00,
+	NewProducts:          11.00,
+	BestSellers:          11.00,
+	ProductDetail:        21.00,
+	SearchRequest:        12.00,
+	SearchResult:         11.00,
+	ShoppingCart:         2.00,
+	CustomerRegistration: 0.82,
+	BuyRequest:           0.75,
+	BuyConfirm:           0.69,
+	OrderInquiry:         0.30,
+	OrderDisplay:         0.25,
+	AdminRequest:         0.10,
+	AdminConfirm:         0.09,
+}
+
+// ShoppingMix is the TPC-W shopping mix (WIPSo): more cart and order
+// activity than browsing. Provided for experiments beyond the paper's
+// browsing-mix runs.
+var ShoppingMix = map[string]float64{
+	Home:                 16.00,
+	NewProducts:          5.00,
+	BestSellers:          5.00,
+	ProductDetail:        17.00,
+	SearchRequest:        20.00,
+	SearchResult:         17.00,
+	ShoppingCart:         11.60,
+	CustomerRegistration: 3.00,
+	BuyRequest:           2.60,
+	BuyConfirm:           1.20,
+	OrderInquiry:         0.75,
+	OrderDisplay:         0.66,
+	AdminRequest:         0.10,
+	AdminConfirm:         0.09,
+}
+
+// OrderingMix is the TPC-W ordering mix (WIPSb): order-heavy, exercising
+// the write paths (BuyConfirm's order_line inserts) hardest.
+var OrderingMix = map[string]float64{
+	Home:                 9.12,
+	NewProducts:          0.46,
+	BestSellers:          0.46,
+	ProductDetail:        12.35,
+	SearchRequest:        14.53,
+	SearchResult:         13.08,
+	ShoppingCart:         13.53,
+	CustomerRegistration: 12.86,
+	BuyRequest:           12.73,
+	BuyConfirm:           10.18,
+	OrderInquiry:         0.25,
+	OrderDisplay:         0.22,
+	AdminRequest:         0.12,
+	AdminConfirm:         0.11,
+}
+
+// MixSampler draws interactions from a weighted mix.
+type MixSampler struct {
+	rng     *vclock.RNG
+	names   []string
+	weights []float64
+}
+
+// NewMixSampler builds a sampler over the given mix with its own seeded
+// stream.
+func NewMixSampler(seed uint64, mix map[string]float64) *MixSampler {
+	s := &MixSampler{rng: vclock.NewRNG(seed)}
+	for _, name := range Interactions {
+		if w, ok := mix[name]; ok && w > 0 {
+			s.names = append(s.names, name)
+			s.weights = append(s.weights, w)
+		}
+	}
+	return s
+}
+
+// Next draws the next interaction name.
+func (s *MixSampler) Next() string { return s.names[s.rng.Pick(s.weights)] }
+
+// ThinkTime draws a TPC-W think time: exponential with mean 7s, capped at
+// ten times the mean per the TPC-W spec.
+func (s *MixSampler) ThinkTime() vclock.Duration {
+	d := s.rng.Exp(7 * vclock.Second)
+	if max := 70 * vclock.Second; d > max {
+		d = max
+	}
+	return d
+}

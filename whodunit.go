@@ -1,0 +1,238 @@
+// Package whodunit is a transactional profiler for multi-tier
+// applications, reproducing Chanda, Cox & Zwaenepoel, "Whodunit:
+// Transactional Profiling for Multi-Tier Applications" (EuroSys 2007).
+//
+// A *transaction* is the execution of one client request through the
+// stages of a multi-tier application; its *transaction context* is the
+// concatenation of the per-stage execution paths (call paths,
+// event-handler sequences, SEDA stages). Whodunit annotates statistical
+// call-path profile samples with transaction contexts, so the cost of,
+// say, a database sort can be attributed to the front-end request type
+// that triggered it, and measures *crosstalk* — lock waiting attributed
+// to the (waiting, holding) transaction pair.
+//
+// The package is a facade over the building blocks in internal/:
+//
+//   - Sim, Thread, CPU, Queue, Lock — the deterministic virtual-time
+//     substrate everything runs on (internal/vclock);
+//   - Profiler, Probe, TxnCtxt — the csprof-style sampling profiler with
+//     per-transaction-context calling context trees (internal/profiler,
+//     internal/cct, internal/tranctx);
+//   - EventLoop / SEDA worker — libevent- and SEDA-style libraries with
+//     automatic context propagation (internal/event, internal/seda);
+//   - Endpoint / Conn — message send/receive wrappers piggy-backing
+//     4-byte context synopses across tiers (internal/ipc);
+//   - CrosstalkMonitor — the §6 interference matrix (internal/crosstalk);
+//   - flow detection for implicit shared-memory handoff on the bundled
+//     machine emulator (internal/vm, internal/shmflow);
+//   - Stitch — post-mortem assembly of per-stage profiles into the
+//     global transaction graph (internal/stitch).
+//
+// See examples/quickstart for a complete two-stage walkthrough, and
+// cmd/whodunit-bench for the paper's full evaluation.
+package whodunit
+
+import (
+	"io"
+
+	"whodunit/internal/cct"
+	"whodunit/internal/crosstalk"
+	"whodunit/internal/event"
+	"whodunit/internal/ipc"
+	"whodunit/internal/profiler"
+	"whodunit/internal/seda"
+	"whodunit/internal/shmflow"
+	"whodunit/internal/stitch"
+	"whodunit/internal/tranctx"
+	"whodunit/internal/vclock"
+	"whodunit/internal/vm"
+)
+
+// Simulation substrate.
+type (
+	// Sim is the deterministic discrete-event simulator.
+	Sim = vclock.Sim
+	// Thread is a simulated thread.
+	Thread = vclock.Thread
+	// CPU is a multi-core processor resource.
+	CPU = vclock.CPU
+	// Queue is a FIFO queue between simulated threads.
+	Queue = vclock.Queue
+	// Lock is a reader/writer lock with wait observation.
+	Lock = vclock.Lock
+	// Time is a point in virtual time (nanoseconds).
+	Time = vclock.Time
+	// Duration is a span of virtual time (nanoseconds).
+	Duration = vclock.Duration
+)
+
+// Re-exported duration units.
+const (
+	Nanosecond  = vclock.Nanosecond
+	Microsecond = vclock.Microsecond
+	Millisecond = vclock.Millisecond
+	Second      = vclock.Second
+	Minute      = vclock.Minute
+)
+
+// Lock modes.
+const (
+	Shared    = vclock.Shared
+	Exclusive = vclock.Exclusive
+)
+
+// NewSim returns an empty simulation with the clock at zero.
+func NewSim() *Sim { return vclock.New() }
+
+// Profiler core.
+type (
+	// Profiler is a per-stage transactional profiler.
+	Profiler = profiler.Profiler
+	// Probe is a per-thread instrumentation handle.
+	Probe = profiler.Probe
+	// Mode selects Off / Sampling (csprof) / Whodunit / Instrumented
+	// (gprof) profiling.
+	Mode = profiler.Mode
+	// TxnCtxt is a transaction context (remote synopsis prefix + local
+	// interned context).
+	TxnCtxt = profiler.TxnCtxt
+	// Ctxt is an interned local transaction context chain.
+	Ctxt = tranctx.Ctxt
+	// Synopsis is the 4-byte compact context representation.
+	Synopsis = tranctx.Synopsis
+	// Tree is a calling context tree of profile samples.
+	Tree = cct.Tree
+)
+
+// Profiling modes.
+const (
+	ModeOff          = profiler.ModeOff
+	ModeSampling     = profiler.ModeSampling
+	ModeWhodunit     = profiler.ModeWhodunit
+	ModeInstrumented = profiler.ModeInstrumented
+)
+
+// NewProfiler returns a profiler for the named stage.
+func NewProfiler(stage string, mode Mode) *Profiler { return profiler.New(stage, mode) }
+
+// Context hop constructors.
+var (
+	CallHop    = tranctx.CallHop
+	HandlerHop = tranctx.HandlerHop
+	StageHop   = tranctx.StageHop
+)
+
+// Event-driven and SEDA libraries.
+type (
+	// EventLoop is a libevent-style loop with context propagation.
+	EventLoop = event.Loop
+	// Event is a continuation carrying its transaction context.
+	Event = event.Event
+	// EventHandler is a named handler.
+	EventHandler = event.Handler
+	// SEDAStage is a named stage with an input queue.
+	SEDAStage = seda.Stage
+	// SEDAWorker tracks a stage worker's current context.
+	SEDAWorker = seda.Worker
+	// SEDAElem is a stage-queue element with its captured context.
+	SEDAElem = seda.Elem
+)
+
+// NewEventLoop returns an event loop for stage, interning contexts in the
+// profiler's table.
+func NewEventLoop(stage string, p *Profiler) *EventLoop {
+	return event.NewLoop(stage, p.Table)
+}
+
+// NewSEDAStage declares a stage of program with the given input queue.
+func NewSEDAStage(program, name string, in seda.Putter) *SEDAStage {
+	return seda.NewStage(program, name, in)
+}
+
+// NewSEDAWorker returns a worker for stage using the profiler's table.
+func NewSEDAWorker(stage *SEDAStage, p *Profiler) *SEDAWorker {
+	return seda.NewWorker(stage, p.Table)
+}
+
+// Distribution.
+type (
+	// Endpoint tracks sent synopsis chains for request/response
+	// inference.
+	Endpoint = ipc.Endpoint
+	// Msg is a message with its piggy-backed synopsis chain.
+	Msg = ipc.Msg
+	// Conn wraps an Endpoint around a byte stream.
+	Conn = ipc.Conn
+	// MsgKind classifies received messages as requests or responses.
+	MsgKind = ipc.Kind
+)
+
+// Message kinds.
+const (
+	KindRequest  = ipc.Request
+	KindResponse = ipc.Response
+)
+
+// NewEndpoint returns a message endpoint for the named stage.
+func NewEndpoint(stage string) *Endpoint { return ipc.NewEndpoint(stage) }
+
+// Crosstalk.
+type (
+	// CrosstalkMonitor accumulates the (waiter, holder) wait matrix.
+	CrosstalkMonitor = crosstalk.Monitor
+	// CrosstalkPair is one matrix row.
+	CrosstalkPair = crosstalk.PairStat
+)
+
+// NewCrosstalkMonitor returns a monitor classifying transactions with
+// classify; attach it to locks via Lock.Observer.
+func NewCrosstalkMonitor(classify func(TxnCtxt) string) *CrosstalkMonitor {
+	return crosstalk.NewMonitor(classify, nil)
+}
+
+// Shared-memory flow detection.
+type (
+	// Machine is the bundled CPU emulator for critical sections.
+	Machine = vm.Machine
+	// FlowTracker runs the §3 shared-memory flow detection algorithm.
+	FlowTracker = shmflow.Tracker
+	// FlowEvent is one detected producer→consumer transaction flow.
+	FlowEvent = shmflow.FlowEvent
+	// FlowToken identifies a transaction context opaquely to the flow
+	// tracker.
+	FlowToken = shmflow.Token
+)
+
+// VM execution modes.
+const (
+	VMDirect    = vm.ModeDirect
+	VMEmulateCS = vm.ModeEmulateCS
+)
+
+// NewMachine returns a machine with the default cost model.
+func NewMachine() *Machine { return vm.NewMachine() }
+
+// NewFlowTracker returns an empty flow tracker; assign ThreadCtxt and set
+// it as the machine's Tracer.
+func NewFlowTracker() *FlowTracker { return shmflow.NewTracker() }
+
+// AssembleProgram assembles VM assembly text into a program.
+var AssembleProgram = vm.Assemble
+
+// Stitching.
+type (
+	// StageDump is one stage's serialized profile.
+	StageDump = stitch.StageDump
+	// TransactionGraph is the stitched end-to-end profile.
+	TransactionGraph = stitch.Graph
+)
+
+// DumpStage captures a stage's profiler (plus endpoints) for post-mortem
+// stitching.
+func DumpStage(p *Profiler, eps ...*Endpoint) StageDump { return stitch.Dump(p, eps...) }
+
+// Stitch assembles per-stage dumps into the global transaction graph.
+func Stitch(dumps []StageDump) *TransactionGraph { return stitch.Build(dumps) }
+
+// ReadStageDump decodes a stage dump from JSON.
+func ReadStageDump(r io.Reader) (StageDump, error) { return stitch.DecodeDump(r) }

@@ -1,0 +1,136 @@
+package whodunit_test
+
+import (
+	"strings"
+	"testing"
+
+	"whodunit"
+)
+
+// TestPublicAPITwoStagePipeline exercises the facade end to end: two
+// stages over queues, per-context CCTs at the callee, stitching.
+func TestPublicAPITwoStagePipeline(t *testing.T) {
+	s := whodunit.NewSim()
+	cpu := s.NewCPU("cpu", 2)
+	webProf := whodunit.NewProfiler("web", whodunit.ModeWhodunit)
+	dbProf := whodunit.NewProfiler("db", whodunit.ModeWhodunit)
+	webEP := whodunit.NewEndpoint("web")
+	dbEP := whodunit.NewEndpoint("db")
+	reqQ, respQ := s.NewQueue("req"), s.NewQueue("resp")
+
+	s.Go("db", func(th *whodunit.Thread) {
+		pr := dbProf.NewProbe(th, cpu)
+		for i := 0; i < 2; i++ {
+			msg := th.Get(reqQ).(whodunit.Msg)
+			if kind := dbEP.Recv(pr, msg); kind != whodunit.KindRequest {
+				t.Errorf("db got %v", kind)
+			}
+			func() {
+				defer pr.Exit(pr.Enter("run_query"))
+				pr.Compute(20 * whodunit.Millisecond)
+				respQ.Put(dbEP.Send(pr, nil))
+			}()
+		}
+	})
+	s.Go("web", func(th *whodunit.Thread) {
+		pr := webProf.NewProbe(th, cpu)
+		for _, page := range []string{"home", "search"} {
+			func() {
+				defer pr.Exit(pr.Enter("handle_" + page))
+				pr.Compute(2 * whodunit.Millisecond)
+				reqQ.Put(webEP.Send(pr, nil))
+				if kind := webEP.Recv(pr, th.Get(respQ).(whodunit.Msg)); kind != whodunit.KindResponse {
+					t.Errorf("web got %v", kind)
+				}
+			}()
+		}
+	})
+	s.Run()
+	s.Shutdown()
+
+	// Two distinct db-side contexts with samples.
+	withSamples := 0
+	for _, e := range dbProf.Entries() {
+		if e.Tree.Total() > 0 {
+			withSamples++
+		}
+	}
+	if withSamples != 2 {
+		t.Fatalf("db context trees with samples = %d, want 2", withSamples)
+	}
+
+	g := whodunit.Stitch([]whodunit.StageDump{
+		whodunit.DumpStage(webProf, webEP),
+		whodunit.DumpStage(dbProf, dbEP),
+	})
+	if len(g.Edges) != 4 {
+		t.Fatalf("stitched edges = %d, want 4", len(g.Edges))
+	}
+	var sb strings.Builder
+	g.Render(&sb)
+	if !strings.Contains(sb.String(), "request") {
+		t.Fatal("graph render incomplete")
+	}
+}
+
+func TestPublicAPIEventLoop(t *testing.T) {
+	p := whodunit.NewProfiler("srv", whodunit.ModeWhodunit)
+	l := whodunit.NewEventLoop("srv", p)
+	var ctxts []string
+	read := &whodunit.EventHandler{Name: "read", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
+		ctxts = append(ctxts, l.Curr().String())
+	}}
+	accept := &whodunit.EventHandler{Name: "accept", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
+		l.Ready(l.NewEvent(read, nil))
+	}}
+	l.Ready(&whodunit.Event{Handler: accept})
+	l.Run()
+	if len(ctxts) != 1 || ctxts[0] != "srv@accept | srv@read" {
+		t.Fatalf("ctxts = %v", ctxts)
+	}
+}
+
+func TestPublicAPIFlowDetection(t *testing.T) {
+	// A user-written producer/consumer pair in VM assembly; the tracker
+	// detects the handoff with no annotation of the programs themselves.
+	push, err := whodunit.AssembleProgram("push", `
+	main:
+		lock 1
+		store [r1], r4   ; produce
+		unlock 1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := whodunit.AssembleProgram("pop", `
+	main:
+		lock 1
+		load r4, [r1]
+		unlock 1
+		store [r9], r4   ; consume
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := whodunit.NewMachine()
+	m.Mode = whodunit.VMEmulateCS
+	tr := whodunit.NewFlowTracker()
+	tr.ThreadCtxt = func(tid int) whodunit.FlowToken { return whodunit.FlowToken(tid + 100) }
+	m.Tracer = tr
+	p, _ := m.Spawn(push, "main")
+	p.Regs[1], p.Regs[4] = 0x100, 42
+	c, _ := m.Spawn(pop, "main")
+	c.Regs[1], c.Regs[9] = 0x100, 0x200
+	if err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	flows := tr.Flows()
+	if len(flows) == 0 {
+		t.Fatal("no flow detected through the public API")
+	}
+	if flows[0].Token != whodunit.FlowToken(p.ID+100) {
+		t.Fatalf("flow token = %d", flows[0].Token)
+	}
+}
