@@ -1,0 +1,172 @@
+package whodunit
+
+import (
+	"fmt"
+
+	"whodunit/internal/vclock"
+)
+
+// RNG is the deterministic random number generator used by workloads.
+type RNG = vclock.RNG
+
+// App is the composition root of a Whodunit run: it owns the virtual-time
+// simulator and a set of named Stages (tiers), and wires the cross-cutting
+// machinery — crosstalk monitoring, shared-memory flow detection, and the
+// post-mortem stitching of per-stage profiles — so that applications are
+// declared rather than hand-plumbed.
+//
+//	app := whodunit.NewApp("shop", whodunit.WithMode(whodunit.ModeWhodunit))
+//	web := app.Stage("web")
+//	db := app.Stage("db", whodunit.StageCPU(4))
+//	... declare threads with web.Go / db.Go ...
+//	report := app.Run()
+//	report.Text(os.Stdout)
+//
+// App.Run drives the simulation to completion, shuts it down, and returns
+// a unified Report carrying per-stage profiles, the crosstalk matrix,
+// detected flows, and the automatically stitched transaction graph.
+type App struct {
+	Name string
+
+	sim      *Sim
+	cpu      *CPU // shared CPU, created lazily
+	cores    int
+	mode     Mode
+	interval Duration
+	seed     uint64
+	rng      *RNG
+
+	stages  []*Stage
+	byName  map[string]*Stage
+	monitor *CrosstalkMonitor
+	machine *Machine
+	tracker *FlowTracker
+
+	ran bool
+}
+
+// NewApp returns an app with a fresh simulator, configured by opts. The
+// defaults are ModeWhodunit profiling, a 2-core shared CPU, the standard
+// sampling interval, and no crosstalk or flow machinery.
+func NewApp(name string, opts ...Option) *App {
+	a := &App{
+		Name:   name,
+		sim:    NewSim(),
+		cores:  2,
+		mode:   ModeWhodunit,
+		byName: make(map[string]*Stage),
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	a.rng = vclock.NewRNG(a.seed)
+	return a
+}
+
+// Sim returns the app's simulator, for direct access to scheduling
+// primitives (At, After, RunFor, ...).
+func (a *App) Sim() *Sim { return a.sim }
+
+// RNG returns the app's seeded random number generator (see WithSeed).
+func (a *App) RNG() *RNG { return a.rng }
+
+// CPU returns the app's shared CPU, creating it on first use.
+func (a *App) CPU() *CPU {
+	if a.cpu == nil {
+		a.cpu = a.sim.NewCPU(a.Name+"-cpu", a.cores)
+	}
+	return a.cpu
+}
+
+// Stage declares (or, called without options, fetches) the named stage.
+// Redeclaring an existing stage with options panics — a stage is
+// configured exactly once.
+func (a *App) Stage(name string, opts ...StageOption) *Stage {
+	if st, ok := a.byName[name]; ok {
+		if len(opts) > 0 {
+			panic(fmt.Sprintf("whodunit: stage %q already declared", name))
+		}
+		return st
+	}
+	st := newStage(a, name, opts...)
+	a.byName[name] = st
+	a.stages = append(a.stages, st)
+	return st
+}
+
+// Stages returns the app's stages in declaration order.
+func (a *App) Stages() []*Stage {
+	out := make([]*Stage, len(a.stages))
+	copy(out, a.stages)
+	return out
+}
+
+// NewQueue creates a simulator queue (a convenience passthrough).
+func (a *App) NewQueue(name string) *Queue { return a.sim.NewQueue(name) }
+
+// NewLock creates a lock; if the app has a crosstalk monitor
+// (WithCrosstalk), the lock reports contention to it.
+func (a *App) NewLock(name string) *Lock {
+	l := a.sim.NewLock(name)
+	if a.monitor != nil {
+		l.Observer = a.monitor
+	}
+	return l
+}
+
+// Crosstalk returns the app's crosstalk monitor, or nil without
+// WithCrosstalk.
+func (a *App) Crosstalk() *CrosstalkMonitor { return a.monitor }
+
+// Machine returns the app's machine emulator, or nil without
+// WithFlowDetection.
+func (a *App) Machine() *Machine { return a.machine }
+
+// FlowTracker returns the app's flow tracker, or nil without
+// WithFlowDetection.
+func (a *App) FlowTracker() *FlowTracker { return a.tracker }
+
+// Run drives the simulation until no events remain, unwinds surviving
+// threads, and returns the unified report — per-stage profiles stitched
+// into the global transaction graph, plus crosstalk and flow data.
+func (a *App) Run() *Report { return a.run(nil) }
+
+// RunUntil is Run with a stop predicate, checked between simulator
+// events (e.g. "all requests served").
+func (a *App) RunUntil(stop func() bool) *Report { return a.run(stop) }
+
+// RunFor is Run bounded to d of virtual time.
+func (a *App) RunFor(d Duration) *Report {
+	end := a.sim.Now().Add(d)
+	return a.run(func() bool { return a.sim.Now() >= end })
+}
+
+func (a *App) run(stop func() bool) *Report {
+	if a.ran {
+		panic(fmt.Sprintf("whodunit: app %q already run", a.Name))
+	}
+	a.ran = true
+	a.sim.RunUntil(stop)
+	a.sim.Shutdown()
+	return a.Report()
+}
+
+// Report assembles the current state of every stage into a unified
+// Report, stitching the per-stage profiles into the transaction graph.
+// App.Run calls it automatically; call it directly only when driving the
+// simulator by hand through App.Sim.
+func (a *App) Report() *Report {
+	srs := make([]StageReport, 0, len(a.stages))
+	for _, st := range a.stages {
+		srs = append(srs, NewStageReport(st.prof, st.endpoints...))
+	}
+	rep := NewReport(a.Name, srs...)
+	rep.Elapsed = Duration(a.sim.Now())
+	if a.monitor != nil {
+		rep.Crosstalk = a.monitor.Pairs()
+	}
+	if a.tracker != nil {
+		rep.Flows = a.tracker.Flows()
+	}
+	return rep
+}

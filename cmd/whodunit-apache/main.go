@@ -9,41 +9,38 @@ import (
 	"fmt"
 	"os"
 
+	"whodunit"
 	"whodunit/internal/apps/apacheweb"
-	"whodunit/internal/profiler"
+	"whodunit/internal/cmdutil"
 	"whodunit/internal/workload"
 )
 
 func main() {
 	conns := flag.Int("conns", 1000, "connections in the web trace")
 	workers := flag.Int("workers", 8, "worker threads")
-	mode := flag.String("mode", "whodunit", "off|csprof|whodunit|gprof")
+	mode := cmdutil.ModeFlag()
+	jsonOut := cmdutil.JSONFlag()
 	flag.Parse()
 
 	wcfg := workload.DefaultWebConfig()
 	wcfg.NumConns = *conns
 	cfg := apacheweb.DefaultConfig(workload.GenWeb(wcfg))
 	cfg.Workers = *workers
-	cfg.Mode = parseMode(*mode)
+	cfg.Mode = *mode
 
 	res := apacheweb.Run(cfg)
-	fmt.Printf("served %d connections, %d requests, %.2f MB in %v virtual (%.2f Mb/s)\n",
-		res.Conns, res.Requests, float64(res.BytesSent)/1e6, res.Elapsed.Seconds(), res.ThroughputMbps)
-	fmt.Printf("shared-memory flows detected: %d; emulation cycles: %d\n", len(res.Flows), res.EmulationCycles)
+	report := whodunit.NewReport("apache", whodunit.NewStageReport(res.Profiler))
+	report.Elapsed = res.Elapsed
+	report.Flows = res.Flows
+	if *jsonOut {
+		cmdutil.EmitJSON("whodunit-apache", report)
+		return
+	}
+
+	fmt.Printf("served %d connections, %d requests, %.2f MB at %.2f Mb/s; emulation cycles: %d\n\n",
+		res.Conns, res.Requests, float64(res.BytesSent)/1e6, res.ThroughputMbps, res.EmulationCycles)
+	report.Text(os.Stdout)
 	fmt.Println("\ntransactional profile (merged):")
 	m := res.Profiler.Merged()
 	m.Render(os.Stdout, m.Total(), 0.5)
-}
-
-func parseMode(s string) profiler.Mode {
-	switch s {
-	case "off":
-		return profiler.ModeOff
-	case "csprof":
-		return profiler.ModeSampling
-	case "gprof":
-		return profiler.ModeInstrumented
-	default:
-		return profiler.ModeWhodunit
-	}
 }

@@ -1,21 +1,45 @@
 // Command whodunit-bench regenerates every table and figure of the
 // paper's evaluation (§8, §9). Run with -quick for a fast, reduced-scale
 // pass (the same scale the test suite uses) or without flags for the
-// full paper-scale sweep.
+// full paper-scale sweep. -mode switches the case-study figures
+// (fig8/fig9/fig10) to a different profiling mode for baseline
+// comparisons.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"whodunit/internal/cmdutil"
 	"whodunit/internal/experiments"
 )
 
+var experimentNames = []string{
+	"validate", "fig8", "fig9", "fig10", "table1", "fig11", "fig12", "table2", "table3", "overheads",
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run")
-	only := flag.String("only", "", "run a single experiment: fig8|fig9|fig10|table1|fig11|fig12|table2|table3|overheads|validate")
+	only := flag.String("only", "", "run a single experiment: "+strings.Join(experimentNames, "|"))
+	mode := cmdutil.ModeFlag()
 	flag.Parse()
+
+	if *only != "" {
+		known := false
+		for _, n := range experimentNames {
+			if *only == n {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "whodunit-bench: unknown experiment %q (want %s)\n",
+				*only, strings.Join(experimentNames, "|"))
+			os.Exit(2)
+		}
+	}
 
 	sc := experiments.FullScale
 	tp := experiments.FullTPCW
@@ -34,9 +58,9 @@ func main() {
 	}
 
 	run("validate", func() { experiments.FlowValidation().Render(w) })
-	run("fig8", func() { experiments.Fig8Apache(sc).Render(w) })
-	run("fig9", func() { experiments.Fig9Squid(sc).Render(w) })
-	run("fig10", func() { experiments.Fig10Haboob(sc).Render(w) })
+	run("fig8", func() { experiments.Fig8Apache(sc, *mode).Render(w) })
+	run("fig9", func() { experiments.Fig9Squid(sc, *mode).Render(w) })
+	run("fig10", func() { experiments.Fig10Haboob(sc, *mode).Render(w) })
 	run("table1", func() { experiments.Table1TPCW(tp).Render(w) })
 	run("fig11", func() { experiments.Fig11ResponseTimes(tp).Render(w) })
 	run("fig12", func() { experiments.Fig12Throughput(tp).Render(w) })

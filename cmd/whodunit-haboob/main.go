@@ -6,28 +6,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"whodunit"
 	"whodunit/internal/apps/haboob"
+	"whodunit/internal/cmdutil"
 	"whodunit/internal/workload"
 )
 
 func main() {
 	conns := flag.Int("conns", 800, "connections in the web trace")
 	threads := flag.Int("threads", 2, "threads per stage")
+	mode := cmdutil.ModeFlag()
+	jsonOut := cmdutil.JSONFlag()
 	flag.Parse()
 
 	wcfg := workload.DefaultWebConfig()
 	wcfg.NumConns = *conns
 	cfg := haboob.DefaultConfig(workload.GenWeb(wcfg))
 	cfg.ThreadsPerStage = *threads
+	cfg.Mode = *mode
 
 	res := haboob.Run(cfg)
-	fmt.Printf("served %d requests (%d hits, %d misses) in %v virtual (%.2f Mb/s)\n",
-		res.Requests, res.Hits, res.Misses, res.Elapsed.Seconds(), res.ThroughputMbps)
-	fmt.Println("\nper-context CPU shares (stage sequences):")
-	for _, sh := range res.Profiler.Shares() {
-		if sh.Samples > 0 {
-			fmt.Printf("  %6.2f%%  %s\n", 100*sh.Share, sh.Label)
-		}
+	report := whodunit.NewReport("haboob", whodunit.NewStageReport(res.Profiler))
+	report.Elapsed = res.Elapsed
+	if *jsonOut {
+		cmdutil.EmitJSON("whodunit-haboob", report)
+		return
 	}
+
+	fmt.Printf("served %d requests (%d hits, %d misses) in %v virtual (%.2f Mb/s)\n\n",
+		res.Requests, res.Hits, res.Misses, res.Elapsed.Seconds(), res.ThroughputMbps)
+	report.Text(os.Stdout)
 }

@@ -6,28 +6,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"whodunit"
 	"whodunit/internal/apps/squidproxy"
+	"whodunit/internal/cmdutil"
 	"whodunit/internal/workload"
 )
 
 func main() {
 	conns := flag.Int("conns", 1000, "connections in the web trace")
 	cacheObjs := flag.Int("cache", 400, "LRU cache capacity (objects)")
+	mode := cmdutil.ModeFlag()
+	jsonOut := cmdutil.JSONFlag()
 	flag.Parse()
 
 	wcfg := workload.DefaultWebConfig()
 	wcfg.NumConns = *conns
 	cfg := squidproxy.DefaultConfig(workload.GenWeb(wcfg))
 	cfg.CacheObjects = *cacheObjs
+	cfg.Mode = *mode
 
 	res := squidproxy.Run(cfg)
-	fmt.Printf("served %d requests (%d hits, %d misses) in %v virtual (%.2f Mb/s)\n",
-		res.Requests, res.Hits, res.Misses, res.Elapsed.Seconds(), res.ThroughputMbps)
-	fmt.Println("\nper-context CPU shares (event-handler sequences):")
-	for _, sh := range res.Profiler.Shares() {
-		if sh.Samples > 0 {
-			fmt.Printf("  %6.2f%%  %s\n", 100*sh.Share, sh.Label)
-		}
+	report := whodunit.NewReport("squid", whodunit.NewStageReport(res.Profiler))
+	report.Elapsed = res.Elapsed
+	if *jsonOut {
+		cmdutil.EmitJSON("whodunit-squid", report)
+		return
 	}
+
+	fmt.Printf("served %d requests (%d hits, %d misses) in %v virtual (%.2f Mb/s)\n\n",
+		res.Requests, res.Hits, res.Misses, res.Elapsed.Seconds(), res.ThroughputMbps)
+	report.Text(os.Stdout)
 }

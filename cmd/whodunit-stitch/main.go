@@ -1,10 +1,12 @@
 // Command whodunit-stitch performs the post-mortem presentation phase
 // (§7.1, Figure 7) as a standalone tool: it reads per-stage profile dumps
-// (JSON files written with StageDump.Encode, one per stage) and stitches
-// them into the global transaction graph, printed as text or Graphviz dot.
+// (JSON files written with StageDump.Encode, one per stage) and assembles
+// them into a unified Report whose transaction graph spans every stage,
+// printed as text, Graphviz dot, or the Report's own JSON form.
 //
 //	whodunit-stitch web.json app.json db.json
 //	whodunit-stitch -dot web.json app.json db.json > graph.dot
+//	whodunit-stitch -json web.json app.json db.json > report.json
 package main
 
 import (
@@ -12,35 +14,49 @@ import (
 	"fmt"
 	"os"
 
-	"whodunit/internal/stitch"
+	"whodunit"
+	"whodunit/internal/cmdutil"
 )
 
 func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text")
+	jsonOut := cmdutil.JSONFlag()
+	name := flag.String("name", "stitched", "application name for the report")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: whodunit-stitch [-dot] stage1.json stage2.json ...")
+		fmt.Fprintln(os.Stderr, "usage: whodunit-stitch [-dot|-json] [-name app] stage1.json stage2.json ...")
 		os.Exit(2)
 	}
-	var dumps []stitch.StageDump
+	var dumps []whodunit.StageDump
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "whodunit-stitch: %v\n", err)
 			os.Exit(1)
 		}
-		d, err := stitch.DecodeDump(f)
+		d, err := whodunit.ReadStageDump(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "whodunit-stitch: %s: %v\n", path, err)
 			os.Exit(1)
 		}
+		// JSON decoding ignores unknown fields, so a non-dump file (e.g. a
+		// whole Report written with -json) decodes to an empty dump; catch
+		// that instead of emitting an empty report.
+		if d.Stage == "" {
+			fmt.Fprintf(os.Stderr, "whodunit-stitch: %s: not a stage dump (no stage name; "+
+				"expected a file written with StageDump.Encode)\n", path)
+			os.Exit(1)
+		}
 		dumps = append(dumps, d)
 	}
-	g := stitch.Build(dumps)
-	if *dot {
-		g.DOT(os.Stdout)
-	} else {
-		g.Render(os.Stdout)
+	report := whodunit.ReportFromDumps(*name, dumps...)
+	switch {
+	case *jsonOut:
+		cmdutil.EmitJSON("whodunit-stitch", report)
+	case *dot:
+		report.DOT(os.Stdout)
+	default:
+		report.Text(os.Stdout)
 	}
 }

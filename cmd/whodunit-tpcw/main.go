@@ -1,6 +1,8 @@
 // Command whodunit-tpcw runs the TPC-W case study (§8.4, §9.1): the
 // three-tier bookstore under the browsing mix, reporting per-interaction
-// MySQL CPU shares, crosstalk waits, response times and throughput.
+// MySQL CPU shares, crosstalk waits, response times and throughput, plus
+// the three-tier transaction graph stitched across Squid, Tomcat and
+// MySQL.
 package main
 
 import (
@@ -8,9 +10,10 @@ import (
 	"fmt"
 	"os"
 
+	"whodunit"
 	"whodunit/internal/apps/tpcw"
+	"whodunit/internal/cmdutil"
 	"whodunit/internal/minidb"
-	"whodunit/internal/profiler"
 	"whodunit/internal/vclock"
 	"whodunit/internal/workload"
 )
@@ -20,7 +23,9 @@ func main() {
 	minutes := flag.Int("minutes", 3, "virtual run length")
 	innodb := flag.Bool("innodb", false, "use InnoDB (row locks) for the item table")
 	caching := flag.Bool("caching", false, "enable servlet result caching")
-	mode := flag.String("mode", "whodunit", "off|csprof|whodunit|gprof")
+	mode := cmdutil.ModeFlag()
+	jsonOut := cmdutil.JSONFlag()
+	dot := flag.Bool("dot", false, "emit the stitched graph as Graphviz dot")
 	flag.Parse()
 
 	cfg := tpcw.DefaultConfig(*clients)
@@ -29,16 +34,24 @@ func main() {
 	if *innodb {
 		cfg.ItemEngine = minidb.EngineInnoDB
 	}
-	switch *mode {
-	case "off":
-		cfg.Mode = profiler.ModeOff
-	case "csprof":
-		cfg.Mode = profiler.ModeSampling
-	case "gprof":
-		cfg.Mode = profiler.ModeInstrumented
-	}
+	cfg.Mode = *mode
 
 	res := tpcw.Run(cfg)
+	report := whodunit.NewReport("tpcw",
+		whodunit.NewStageReport(res.SquidProf, res.SquidEP),
+		whodunit.NewStageReport(res.TomcatProf, res.TomcatEP),
+		whodunit.NewStageReport(res.MySQLProf, res.MySQLEP))
+	report.Elapsed = res.Elapsed
+	report.Crosstalk = res.Crosstalk.Pairs()
+	switch {
+	case *jsonOut:
+		cmdutil.EmitJSON("whodunit-tpcw", report)
+		return
+	case *dot:
+		report.DOT(os.Stdout)
+		return
+	}
+
 	fmt.Printf("completed %d interactions in %v virtual: %.0f interactions/min\n",
 		res.Completed, res.Elapsed.Seconds(), res.ThroughputPerMin)
 	fmt.Printf("synopsis bytes %.3f MB vs app bytes %.1f MB (%.2f%%)\n\n",
@@ -51,6 +64,6 @@ func main() {
 		fmt.Printf("%-24s %8d %12.0f %14.2f %14.2f\n",
 			name, st.Count, st.Mean().Millis(), 100*res.DBShare[name], res.MeanCrosstalk[name].Millis())
 	}
-	fmt.Println("\ncrosstalk matrix (waiter <- holder):")
-	res.Crosstalk.Render(os.Stdout)
+	fmt.Println()
+	report.Text(os.Stdout)
 }

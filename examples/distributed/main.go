@@ -1,10 +1,12 @@
 // Command distributed shows Whodunit's cross-process story over a real
-// byte stream: two "processes" (goroutines) talk over a net.Pipe using
-// the framed wire protocol; the 4-byte context synopses piggy-backed on
-// each message let the server keep one calling context tree per client
-// transaction type, and the receive wrapper recognises responses by
-// matching its own synopsis prefix. Each side then dumps its profile as
-// JSON — the artefact Whodunit's post-mortem phase stitches.
+// byte stream: two "processes" (each its own App, as each would be in a
+// genuinely distributed deployment) talk over a net.Pipe using the framed
+// wire protocol; the 4-byte context synopses piggy-backed on each message
+// let the server keep one calling context tree per client transaction
+// type, and the receive wrapper recognises responses by matching its own
+// synopsis prefix. Each side then dumps its profile, and ReportFromDumps
+// performs the post-mortem phase: a unified Report whose transaction
+// graph spans both processes.
 package main
 
 import (
@@ -15,28 +17,28 @@ import (
 	"whodunit"
 )
 
+// newStage builds a one-stage App for one side of the wire and returns
+// the stage plus a ready probe. Probes normally charge CPU to a simulated
+// core; the wire protocol itself is simulation-free, so the probe's
+// thread runs (and exits) inside a private simulator.
+func newStage(name string) (*whodunit.Stage, *whodunit.Probe) {
+	app := whodunit.NewApp(name, whodunit.WithMode(whodunit.ModeWhodunit))
+	st := app.Stage(name)
+	var pr *whodunit.Probe
+	st.Go("init", func(th *whodunit.Thread, p *whodunit.Probe) { pr = p })
+	app.Sim().Run()
+	return st, pr
+}
+
 func main() {
 	clientSide, serverSide := net.Pipe()
 	defer clientSide.Close()
 	defer serverSide.Close()
 
-	clientProf := whodunit.NewProfiler("client", whodunit.ModeWhodunit)
-	serverProf := whodunit.NewProfiler("server", whodunit.ModeWhodunit)
-
-	// Probes normally charge CPU to a simulated core; the wire protocol
-	// itself is simulation-free, so give each probe a tiny private sim.
-	mkProbe := func(p *whodunit.Profiler) *whodunit.Probe {
-		s := whodunit.NewSim()
-		cpu := s.NewCPU("cpu", 1)
-		var pr *whodunit.Probe
-		s.Go("init", func(th *whodunit.Thread) { pr = p.NewProbe(th, cpu) })
-		s.Run()
-		return pr
-	}
-	clientPr, serverPr := mkProbe(clientProf), mkProbe(serverProf)
-
-	clientConn := &whodunit.Conn{E: whodunit.NewEndpoint("client"), RW: clientSide}
-	serverConn := &whodunit.Conn{E: whodunit.NewEndpoint("server"), RW: serverSide}
+	client, clientPr := newStage("client")
+	server, serverPr := newStage("server")
+	clientConn := client.Conn(clientSide)
+	serverConn := server.Conn(serverSide)
 
 	serverDone := make(chan struct{})
 	var serverPrefixes []string
@@ -85,9 +87,14 @@ func main() {
 		fmt.Printf("  prefix %s\n", p)
 	}
 
-	fmt.Println("\nServer profile dump (stitchable JSON):")
-	dump := whodunit.DumpStage(serverProf)
-	if err := dump.Encode(os.Stdout); err != nil {
+	// The post-mortem phase: each process dumps its stage, and the dumps
+	// are stitched into one report spanning both sides of the wire.
+	report := whodunit.ReportFromDumps("distributed", client.Dump(), server.Dump())
+	fmt.Println("\nUnified cross-process report:")
+	report.Text(os.Stdout)
+
+	fmt.Println("\nReport as JSON (the artefact a collector would ship):")
+	if err := report.JSON(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "encode:", err)
 		os.Exit(1)
 	}

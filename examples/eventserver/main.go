@@ -1,8 +1,9 @@
 // Command eventserver profiles an event-driven server (a miniature Squid)
-// with Whodunit's event library: handlers need no instrumentation — the
-// loop propagates transaction contexts through continuations, splitting
-// the shared write handler's cost between cache-hit and cache-miss
-// transaction contexts (the Figure 9 effect).
+// with Whodunit's event library through the App/Stage API: handlers need
+// no instrumentation — the stage's event loop propagates transaction
+// contexts through continuations, splitting the shared write handler's
+// cost between cache-hit and cache-miss transaction contexts (the
+// Figure 9 effect).
 package main
 
 import (
@@ -12,19 +13,16 @@ import (
 )
 
 func main() {
-	s := whodunit.NewSim()
-	cpu := s.NewCPU("cpu", 1)
-	prof := whodunit.NewProfiler("proxy", whodunit.ModeWhodunit)
-	loop := whodunit.NewEventLoop("proxy", prof)
-	ready := s.NewQueue("ready")
-
-	var pr *whodunit.Probe
-	loop.OnDispatch = func(curr *whodunit.Ctxt) { pr.SetLocal(curr) }
+	app := whodunit.NewApp("eventserver", whodunit.WithCores(1))
+	proxy := app.Stage("proxy")
+	loop := proxy.EventLoop()
+	ready := app.NewQueue("ready")
 
 	cache := map[int]bool{}
 	served := 0
 	const total = 200
 
+	var pr *whodunit.Probe
 	var hWrite, hFetch, hRead *whodunit.EventHandler
 	hWrite = &whodunit.EventHandler{Name: "write_reply", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
 		pr.Compute(4 * whodunit.Millisecond)
@@ -49,17 +47,17 @@ func main() {
 		ready.Put(&whodunit.Event{Handler: hRead, Data: i % 40})
 	}
 
-	s.Go("event_loop", func(th *whodunit.Thread) {
-		pr = prof.NewProbe(th, cpu)
+	proxy.Go("event_loop", func(th *whodunit.Thread, probe *whodunit.Probe) {
+		pr = probe
+		proxy.BindLoop(pr)
 		for served < total {
 			loop.Dispatch(th.Get(ready).(*whodunit.Event))
 		}
 	})
-	s.Run()
-	s.Shutdown()
+	report := app.Run()
 
 	fmt.Println("Proxy CPU by event-handler transaction context:")
-	for _, sh := range prof.Shares() {
+	for _, sh := range report.StageNamed("proxy").Shares {
 		if sh.Samples > 0 {
 			fmt.Printf("  %6.2f%%  %s\n", 100*sh.Share, sh.Label)
 		}

@@ -1,9 +1,10 @@
 // Command quickstart is the smallest complete Whodunit example: a
-// two-stage application (web front end + database back end) running on
-// the virtual-time simulator, profiled transactionally. It shows the
+// two-stage application (web front end + database back end) declared
+// with the App/Stage runtime API, profiled transactionally. It shows the
 // paper's core claim in miniature: the database's per-query CPU is
 // attributed back to the *front-end page* that triggered it, something a
-// conventional profiler cannot do.
+// conventional profiler cannot do — and App.Run stitches the per-stage
+// profiles into the end-to-end transaction graph automatically.
 package main
 
 import (
@@ -14,25 +15,21 @@ import (
 )
 
 func main() {
-	s := whodunit.NewSim()
-	cpu := s.NewCPU("cpu", 2)
-	webProf := whodunit.NewProfiler("web", whodunit.ModeWhodunit)
-	dbProf := whodunit.NewProfiler("db", whodunit.ModeWhodunit)
-	webEP := whodunit.NewEndpoint("web")
-	dbEP := whodunit.NewEndpoint("db")
-	reqQ := s.NewQueue("requests")
-	respQ := s.NewQueue("responses")
+	app := whodunit.NewApp("quickstart",
+		whodunit.WithMode(whodunit.ModeWhodunit),
+		whodunit.WithCores(2))
+	web, db := app.Stage("web"), app.Stage("db")
+	reqQ, respQ := app.NewQueue("requests"), app.NewQueue("responses")
 
 	const rounds = 50
 
 	// Database stage: every received request establishes the sender's
 	// transaction context; samples taken while serving it land in that
 	// context's calling context tree.
-	s.Go("db", func(th *whodunit.Thread) {
-		pr := dbProf.NewProbe(th, cpu)
+	db.Go("db", func(th *whodunit.Thread, pr *whodunit.Probe) {
 		for i := 0; i < 2*rounds; i++ {
 			msg := th.Get(reqQ).(whodunit.Msg)
-			dbEP.Recv(pr, msg)
+			db.Endpoint().Recv(pr, msg)
 			func() {
 				defer pr.Exit(pr.Enter("exec_query"))
 				// "search" queries sort; "home" queries just look up.
@@ -42,32 +39,30 @@ func main() {
 				} else {
 					pr.Compute(3 * whodunit.Millisecond)
 				}
-				respQ.Put(dbEP.Send(pr, nil))
+				respQ.Put(db.Endpoint().Send(pr, nil))
 			}()
 		}
 	})
 
 	// Web stage: two page types, each a distinct call path and therefore
 	// a distinct transaction type.
-	s.Go("web", func(th *whodunit.Thread) {
-		pr := webProf.NewProbe(th, cpu)
+	web.Go("web", func(th *whodunit.Thread, pr *whodunit.Probe) {
 		for i := 0; i < rounds; i++ {
 			for _, page := range []string{"home", "search"} {
 				func() {
 					defer pr.Exit(pr.Enter("serve_" + page))
 					pr.Compute(whodunit.Millisecond)
-					reqQ.Put(webEP.Send(pr, page))
-					webEP.Recv(pr, th.Get(respQ).(whodunit.Msg))
+					reqQ.Put(web.Endpoint().Send(pr, page))
+					web.Endpoint().Recv(pr, th.Get(respQ).(whodunit.Msg))
 				}()
 			}
 		}
 	})
 
-	s.Run()
-	s.Shutdown()
+	report := app.Run()
 
 	fmt.Println("Database CPU by front-end transaction context:")
-	for _, sh := range dbProf.Shares() {
+	for _, sh := range report.StageNamed("db").Shares {
 		if sh.Samples == 0 {
 			continue
 		}
@@ -75,9 +70,5 @@ func main() {
 	}
 
 	fmt.Println("\nStitched transaction graph:")
-	g := whodunit.Stitch([]whodunit.StageDump{
-		whodunit.DumpStage(webProf, webEP),
-		whodunit.DumpStage(dbProf, dbEP),
-	})
-	g.Render(os.Stdout)
+	report.Graph.Render(os.Stdout)
 }

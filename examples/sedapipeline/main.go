@@ -1,40 +1,35 @@
 // Command sedapipeline profiles a SEDA-style staged pipeline (a
-// miniature Haboob): stage workers dequeue elements, the middleware
-// computes each element's transaction context, and the shared output
-// stage's CPU is split between the paths that reach it (the Figure 10
-// effect).
+// miniature Haboob) through the App/Stage API: stage workers dequeue
+// elements, the middleware computes each element's transaction context,
+// and the shared output stage's CPU is split between the paths that
+// reach it (the Figure 10 effect).
 package main
 
 import (
 	"fmt"
 
 	"whodunit"
-	"whodunit/internal/seda"
 )
 
 func main() {
-	s := whodunit.NewSim()
-	cpu := s.NewCPU("cpu", 2)
-	prof := whodunit.NewProfiler("pipeline", whodunit.ModeWhodunit)
+	app := whodunit.NewApp("sedapipeline", whodunit.WithCores(2))
+	pipe := app.Stage("pipe")
 
-	qIn, qHit, qMiss, qOut := s.NewQueue("in"), s.NewQueue("hit"), s.NewQueue("miss"), s.NewQueue("out")
-	stIn := whodunit.NewSEDAStage("pipe", "Classify", qIn)
-	stHit := whodunit.NewSEDAStage("pipe", "FastPath", qHit)
-	stMiss := whodunit.NewSEDAStage("pipe", "SlowPath", qMiss)
-	stOut := whodunit.NewSEDAStage("pipe", "Reply", qOut)
+	qIn, qHit, qMiss, qOut := app.NewQueue("in"), app.NewQueue("hit"), app.NewQueue("miss"), app.NewQueue("out")
+	stIn := pipe.SEDAStage("Classify", qIn)
+	stHit := pipe.SEDAStage("FastPath", qHit)
+	stMiss := pipe.SEDAStage("SlowPath", qMiss)
+	stOut := pipe.SEDAStage("Reply", qOut)
 
 	const total = 300
 	done := 0
 
 	worker := func(st *whodunit.SEDAStage, body func(w *whodunit.SEDAWorker, pr *whodunit.Probe, data any)) {
-		s.Go(st.Name, func(th *whodunit.Thread) {
-			pr := prof.NewProbe(th, cpu)
-			w := whodunit.NewSEDAWorker(st, prof)
-			w.OnDispatch = func(c *whodunit.Ctxt) { pr.SetLocal(c) }
+		pipe.Go(st.Name, func(th *whodunit.Thread, pr *whodunit.Probe) {
+			w := pipe.Worker(st, pr)
 			q := st.In.(*whodunit.Queue)
 			for {
-				elem := th.Get(q).(*whodunit.SEDAElem)
-				data := w.Begin(elem)
+				data := w.Begin(th.Get(q).(*whodunit.SEDAElem))
 				func() {
 					defer pr.Exit(pr.Enter(st.Name))
 					body(w, pr, data)
@@ -65,13 +60,12 @@ func main() {
 	})
 
 	for i := 0; i < total; i++ {
-		seda.Inject(prof.Table, stIn, i)
+		pipe.Inject(stIn, i)
 	}
-	s.RunUntil(func() bool { return done >= total })
-	s.Shutdown()
+	report := app.RunUntil(func() bool { return done >= total })
 
 	fmt.Println("Pipeline CPU by stage-sequence transaction context:")
-	for _, sh := range prof.Shares() {
+	for _, sh := range report.StageNamed("pipe").Shares {
 		if sh.Samples > 0 {
 			fmt.Printf("  %6.2f%%  %s\n", 100*sh.Share, sh.Label)
 		}

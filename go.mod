@@ -1,0 +1,3 @@
+module whodunit
+
+go 1.24

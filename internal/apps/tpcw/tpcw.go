@@ -67,6 +67,12 @@ type Result struct {
 	MySQLProf  *profiler.Profiler
 	Crosstalk  *crosstalk.Monitor
 
+	// Per-tier message endpoints, exposed so callers can stitch the
+	// three tiers into the global transaction graph.
+	SquidEP  *ipc.Endpoint
+	TomcatEP *ipc.Endpoint
+	MySQLEP  *ipc.Endpoint
+
 	Elapsed          vclock.Duration
 	Completed        int64
 	PerType          map[string]*TypeStats
@@ -200,6 +206,7 @@ func Run(cfg Config) *Result {
 	squidEP := ipc.NewEndpoint("squid")
 	tomcatEP := ipc.NewEndpoint("tomcat")
 	mysqlEP := ipc.NewEndpoint("mysql")
+	res.SquidEP, res.TomcatEP, res.MySQLEP = squidEP, tomcatEP, mysqlEP
 
 	countMsg := func(m ipc.Msg, appBytes int64) {
 		res.CtxtBytes += int64(m.Chain.WireSize())

@@ -1,0 +1,35 @@
+// Package cmdutil holds the flag and output plumbing shared by the
+// cmd/whodunit-* binaries, so mode parsing and report emission have a
+// single implementation.
+package cmdutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whodunit"
+	"whodunit/internal/profiler"
+)
+
+// ModeFlag registers the standard -mode flag (default whodunit, parsed
+// through profiler.ParseMode) and returns a pointer to the chosen mode.
+func ModeFlag() *profiler.Mode {
+	m := profiler.ModeWhodunit
+	flag.Var(&m, "mode", "profiling mode: off|csprof|whodunit|gprof")
+	return &m
+}
+
+// JSONFlag registers the standard -json flag.
+func JSONFlag() *bool {
+	return flag.Bool("json", false, "emit the report as JSON instead of text")
+}
+
+// EmitJSON writes the report as JSON to stdout, exiting the tool with
+// status 1 on error.
+func EmitJSON(tool string, r *whodunit.Report) {
+	if err := r.JSON(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}

@@ -48,9 +48,14 @@ type Fig8Result struct {
 	ProfileText    string
 }
 
-// Fig8Apache reproduces Figure 8.
-func Fig8Apache(sc Scale) Fig8Result {
-	res := apacheweb.Run(apacheweb.DefaultConfig(webTrace(sc)))
+// Fig8Apache reproduces Figure 8. An optional mode overrides the default
+// Whodunit profiling (e.g. to compare against the csprof baseline).
+func Fig8Apache(sc Scale, mode ...profiler.Mode) Fig8Result {
+	cfg := apacheweb.DefaultConfig(webTrace(sc))
+	if len(mode) > 0 {
+		cfg.Mode = mode[0]
+	}
+	res := apacheweb.Run(cfg)
 	m := res.Profiler.Merged()
 	total := m.Total()
 	share := func(path ...string) float64 {
@@ -95,9 +100,14 @@ type Fig9Result struct {
 	Hits, Misses int64
 }
 
-// Fig9Squid reproduces Figure 9.
-func Fig9Squid(sc Scale) Fig9Result {
-	res := squidproxy.Run(squidproxy.DefaultConfig(webTrace(sc)))
+// Fig9Squid reproduces Figure 9. An optional mode overrides the default
+// Whodunit profiling.
+func Fig9Squid(sc Scale, mode ...profiler.Mode) Fig9Result {
+	cfg := squidproxy.DefaultConfig(webTrace(sc))
+	if len(mode) > 0 {
+		cfg.Mode = mode[0]
+	}
+	res := squidproxy.Run(cfg)
 	out := Fig9Result{Hits: res.Hits, Misses: res.Misses}
 	for _, sh := range res.Profiler.Shares() {
 		if sh.Samples == 0 {
@@ -141,9 +151,14 @@ type Fig10Result struct {
 	MissWritePct float64
 }
 
-// Fig10Haboob reproduces Figure 10.
-func Fig10Haboob(sc Scale) Fig10Result {
-	res := haboob.Run(haboob.DefaultConfig(webTrace(sc)))
+// Fig10Haboob reproduces Figure 10. An optional mode overrides the
+// default Whodunit profiling.
+func Fig10Haboob(sc Scale, mode ...profiler.Mode) Fig10Result {
+	cfg := haboob.DefaultConfig(webTrace(sc))
+	if len(mode) > 0 {
+		cfg.Mode = mode[0]
+	}
+	res := haboob.Run(cfg)
 	out := Fig10Result{}
 	for _, sh := range res.Profiler.Shares() {
 		if sh.Samples == 0 {

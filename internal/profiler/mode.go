@@ -1,0 +1,45 @@
+package profiler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ModeNames lists the accepted spellings of each Mode, in Mode order.
+// These are the strings Mode.String produces and ParseMode accepts.
+var ModeNames = []string{"off", "csprof", "whodunit", "gprof"}
+
+// ParseMode parses a mode name ("off", "csprof", "whodunit", "gprof",
+// case-insensitively; "sampling" and "instrumented" are accepted synonyms)
+// into a Mode. Unknown names return an error listing the valid ones.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "off":
+		return ModeOff, nil
+	case "csprof", "sampling":
+		return ModeSampling, nil
+	case "whodunit":
+		return ModeWhodunit, nil
+	case "gprof", "instrumented":
+		return ModeInstrumented, nil
+	}
+	return ModeOff, fmt.Errorf("profiler: unknown mode %q (want %s)", s, strings.Join(ModeNames, "|"))
+}
+
+// Set implements flag.Value, so a Mode can be bound directly to a
+// command-line flag: mode := ModeWhodunit; flag.Var(&mode, "mode", ...).
+func (m *Mode) Set(s string) error {
+	v, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler; modes serialize as their
+// canonical names in JSON reports.
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *Mode) UnmarshalText(b []byte) error { return m.Set(string(b)) }

@@ -1,0 +1,73 @@
+package profiler
+
+import (
+	"encoding/json"
+	"flag"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+	}{
+		{"off", ModeOff},
+		{"csprof", ModeSampling},
+		{"sampling", ModeSampling},
+		{"whodunit", ModeWhodunit},
+		{"WHODUNIT", ModeWhodunit},
+		{" gprof ", ModeInstrumented},
+		{"instrumented", ModeInstrumented},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if err != nil {
+			t.Errorf("ParseMode(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseMode(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode(bogus) succeeded, want error")
+	}
+}
+
+func TestModeFlagValue(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	mode := ModeWhodunit
+	fs.Var(&mode, "mode", "profiling mode")
+	if err := fs.Parse([]string{"-mode", "gprof"}); err != nil {
+		t.Fatal(err)
+	}
+	if mode != ModeInstrumented {
+		t.Fatalf("mode = %v, want gprof", mode)
+	}
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	fs2.SetOutput(discard{})
+	mode2 := ModeOff
+	fs2.Var(&mode2, "mode", "profiling mode")
+	if err := fs2.Parse([]string{"-mode", "nope"}); err == nil {
+		t.Fatal("parsing -mode nope succeeded, want error")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestModeJSONRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModeOff, ModeSampling, ModeWhodunit, ModeInstrumented} {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Mode
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != m {
+			t.Fatalf("round trip %v -> %s -> %v", m, b, back)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package whodunit
+
+// Option configures an App at construction time.
+type Option func(*App)
+
+// WithMode sets the default profiling mode for every stage of the app
+// (individual stages can override it with StageMode).
+func WithMode(m Mode) Option {
+	return func(a *App) { a.mode = m }
+}
+
+// WithCores sets the core count of the app's shared CPU (default 2).
+// Stages with a private CPU (StageCPU) are unaffected.
+func WithCores(n int) Option {
+	return func(a *App) {
+		if n < 1 {
+			panic("whodunit: WithCores needs at least one core")
+		}
+		a.cores = n
+	}
+}
+
+// WithSeed seeds the app's deterministic random number generator,
+// available through App.RNG for workload generation.
+func WithSeed(seed uint64) Option {
+	return func(a *App) { a.seed = seed }
+}
+
+// WithSamplingInterval overrides the profilers' sampling period (the
+// default is profiler.DefaultInterval, 666 samples per CPU-second).
+func WithSamplingInterval(d Duration) Option {
+	return func(a *App) {
+		if d <= 0 {
+			panic("whodunit: sampling interval must be positive")
+		}
+		a.interval = d
+	}
+}
+
+// WithCrosstalk attaches a crosstalk monitor to the app: every lock
+// created through App.NewLock reports contention to it, classified into
+// transaction types by classify. The resulting matrix lands in
+// Report.Crosstalk.
+func WithCrosstalk(classify func(TxnCtxt) string) Option {
+	return func(a *App) {
+		if classify == nil {
+			panic("whodunit: WithCrosstalk needs a classifier")
+		}
+		a.monitor = NewCrosstalkMonitor(classify)
+	}
+}
+
+// WithFlowDetection equips the app with a machine emulator running
+// critical sections under emulation and a shared-memory flow tracker
+// (§3 of the paper). Detected flows land in Report.Flows; wire token
+// resolution through App.FlowTracker and run code on App.Machine.
+func WithFlowDetection() Option {
+	return func(a *App) {
+		a.machine = NewMachine()
+		a.machine.Mode = VMEmulateCS
+		a.tracker = NewFlowTracker()
+		a.machine.Tracer = a.tracker
+	}
+}
+
+// StageOption configures a single Stage at declaration time.
+type StageOption func(*Stage)
+
+// StageMode overrides the app-wide profiling mode for one stage.
+func StageMode(m Mode) StageOption {
+	return func(st *Stage) { st.mode = m }
+}
+
+// StageCPU gives the stage a private CPU with the given core count
+// instead of the app's shared one — a stage on its own machine.
+func StageCPU(cores int) StageOption {
+	return func(st *Stage) {
+		if cores < 1 {
+			panic("whodunit: StageCPU needs at least one core")
+		}
+		st.privateCores = cores
+	}
+}

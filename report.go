@@ -1,0 +1,199 @@
+package whodunit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"whodunit/internal/profiler"
+	"whodunit/internal/stitch"
+)
+
+// ContextShare is one context's share of a stage's profile samples.
+type ContextShare = profiler.ContextShare
+
+// StageReport is one stage's slice of a Report: profiler statistics,
+// per-context sample shares, and the raw dump the stitcher consumes.
+type StageReport struct {
+	Stage string `json:"stage"`
+	// Mode is ModeOff both for genuine off-mode runs and for reports
+	// rebuilt from raw dumps, which do not record the mode (the two are
+	// indistinguishable anyway: off-mode runs take no samples). It is
+	// omitted from JSON in that case rather than asserted.
+	Mode         Mode           `json:"mode,omitempty"`
+	Samples      int64          `json:"samples"`
+	Calls        int64          `json:"calls,omitempty"`
+	CtxtSwitches int64          `json:"ctxt_switches,omitempty"`
+	Overhead     Duration       `json:"overhead_ns"`
+	Shares       []ContextShare `json:"shares,omitempty"`
+	Dump         StageDump      `json:"dump"`
+}
+
+// NewStageReport captures a profiler (and the endpoints whose sends
+// should become request edges) into a StageReport.
+func NewStageReport(p *Profiler, eps ...*Endpoint) StageReport {
+	samples, calls, switches, overhead := p.Stats()
+	return StageReport{
+		Stage:        p.Stage,
+		Mode:         p.Mode,
+		Samples:      samples,
+		Calls:        calls,
+		CtxtSwitches: switches,
+		Overhead:     overhead,
+		Shares:       p.Shares(),
+		Dump:         DumpStage(p, eps...),
+	}
+}
+
+// stageReportFromDump rebuilds the derivable parts of a StageReport from
+// a raw dump (mode and overheads are not recorded in dumps).
+func stageReportFromDump(d StageDump) StageReport {
+	sr := StageReport{Stage: d.Stage, Dump: d}
+	for _, td := range d.Trees {
+		sr.Samples += td.Total
+	}
+	for _, td := range d.Trees {
+		share := 0.0
+		if sr.Samples > 0 {
+			share = float64(td.Total) / float64(sr.Samples)
+		}
+		sr.Shares = append(sr.Shares, ContextShare{Label: td.Label, Samples: td.Total, Share: share})
+	}
+	return sr
+}
+
+// Report is the unified outcome of a Whodunit run: every stage's
+// transactional profile, the crosstalk matrix, detected shared-memory
+// flows, and the stitched end-to-end transaction graph. App.Run returns
+// one; the Text, JSON and DOT renderers present it.
+type Report struct {
+	App       string          `json:"app"`
+	Elapsed   Duration        `json:"elapsed_ns"`
+	Stages    []StageReport   `json:"stages"`
+	Crosstalk []CrosstalkPair `json:"crosstalk,omitempty"`
+	Flows     []FlowEvent     `json:"flows,omitempty"`
+
+	// Graph is stitched from the stage dumps; it is rebuilt on decode
+	// rather than serialized.
+	Graph *TransactionGraph `json:"-"`
+}
+
+// NewReport assembles stage reports into a Report, stitching their dumps
+// into the transaction graph.
+func NewReport(app string, stages ...StageReport) *Report {
+	r := &Report{App: app, Stages: stages}
+	r.restitch()
+	return r
+}
+
+// ReportFromDumps builds a Report from raw per-stage dumps (e.g. JSON
+// files written by separate processes) — the post-mortem presentation
+// phase as a single call.
+func ReportFromDumps(app string, dumps ...StageDump) *Report {
+	srs := make([]StageReport, 0, len(dumps))
+	for _, d := range dumps {
+		srs = append(srs, stageReportFromDump(d))
+	}
+	return NewReport(app, srs...)
+}
+
+func (r *Report) restitch() {
+	dumps := make([]StageDump, 0, len(r.Stages))
+	for _, sr := range r.Stages {
+		dumps = append(dumps, sr.Dump)
+	}
+	r.Graph = stitch.Build(dumps)
+}
+
+// StageNamed returns the report of the named stage, or nil.
+func (r *Report) StageNamed(name string) *StageReport {
+	for i := range r.Stages {
+		if r.Stages[i].Stage == name {
+			return &r.Stages[i]
+		}
+	}
+	return nil
+}
+
+// TotalSamples sums profile samples across every stage.
+func (r *Report) TotalSamples() int64 {
+	var n int64
+	for _, sr := range r.Stages {
+		n += sr.Samples
+	}
+	return n
+}
+
+// JSON writes the report as indented JSON. The stitched graph is derived
+// data and is omitted; ReadReport rebuilds it.
+func (r *Report) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("whodunit: encode report: %w", err)
+	}
+	return nil
+}
+
+// ReadReport decodes a JSON report and restitches its transaction graph.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("whodunit: decode report: %w", err)
+	}
+	r.restitch()
+	return &r, nil
+}
+
+// Text writes the full human-readable report: per-stage context shares,
+// the crosstalk matrix, detected flows, and the stitched graph.
+func (r *Report) Text(w io.Writer) {
+	fmt.Fprintf(w, "=== whodunit report: %s ===\n", r.App)
+	if r.Elapsed > 0 {
+		fmt.Fprintf(w, "virtual time elapsed: %.6fs\n", r.Elapsed.Seconds())
+	}
+	for _, sr := range r.Stages {
+		fmt.Fprintf(w, "\nstage %s", sr.Stage)
+		// A dump-derived report does not know the mode; ModeOff next to a
+		// nonzero sample count means exactly that, so suppress it.
+		if sr.Mode != ModeOff || sr.Samples == 0 {
+			fmt.Fprintf(w, " (%s)", sr.Mode)
+		}
+		fmt.Fprintf(w, ": %d samples", sr.Samples)
+		if sr.CtxtSwitches > 0 {
+			fmt.Fprintf(w, ", %d context switches", sr.CtxtSwitches)
+		}
+		if sr.Calls > 0 {
+			fmt.Fprintf(w, ", %d instrumented calls", sr.Calls)
+		}
+		fmt.Fprintln(w)
+		for _, sh := range sr.Shares {
+			if sh.Samples == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %6.2f%%  %s\n", 100*sh.Share, sh.Label)
+		}
+	}
+	if len(r.Crosstalk) > 0 {
+		fmt.Fprintf(w, "\ncrosstalk (waiter <- holder):\n")
+		fmt.Fprintf(w, "  %-24s %-24s %8s %12s\n", "waiter", "holder", "count", "mean wait")
+		for _, p := range r.Crosstalk {
+			fmt.Fprintf(w, "  %-24s %-24s %8d %10.2fms\n", p.Waiter, p.Holder, p.Count, p.Mean.Millis())
+		}
+	}
+	if len(r.Flows) > 0 {
+		fmt.Fprintf(w, "\nshared-memory flows detected: %d\n", len(r.Flows))
+	}
+	if r.Graph != nil && len(r.Graph.Nodes) > 0 {
+		fmt.Fprintf(w, "\nstitched transaction graph:\n")
+		r.Graph.Render(w)
+	}
+}
+
+// DOT writes the stitched transaction graph in Graphviz dot syntax.
+func (r *Report) DOT(w io.Writer) {
+	if r.Graph == nil {
+		r.restitch()
+	}
+	r.Graph.DOT(w)
+}

@@ -1,0 +1,148 @@
+package whodunit
+
+import (
+	"io"
+
+	"whodunit/internal/event"
+	"whodunit/internal/ipc"
+	"whodunit/internal/profiler"
+	"whodunit/internal/seda"
+)
+
+// Stage is one tier of an App: a named profiling domain bundling a
+// Profiler, the threads that run in it, and the context-propagation
+// machinery it uses — message endpoints, an event loop, SEDA stages.
+// Everything a Stage creates is registered with it, so App.Run can dump
+// and stitch the whole application without any manual bookkeeping.
+type Stage struct {
+	Name string
+
+	app          *App
+	mode         Mode
+	prof         *Profiler
+	cpu          *CPU // private CPU, nil means the app's shared one
+	privateCores int
+
+	defaultEP *Endpoint
+	endpoints []*Endpoint
+	loop      *EventLoop
+	seda      map[string]*SEDAStage
+}
+
+func newStage(a *App, name string, opts ...StageOption) *Stage {
+	st := &Stage{Name: name, app: a, mode: a.mode}
+	for _, opt := range opts {
+		opt(st)
+	}
+	st.prof = profiler.New(name, st.mode)
+	if a.interval > 0 {
+		st.prof.Interval = a.interval
+	}
+	if st.privateCores > 0 {
+		st.cpu = a.sim.NewCPU(name+"-cpu", st.privateCores)
+	}
+	return st
+}
+
+// App returns the owning app.
+func (st *Stage) App() *App { return st.app }
+
+// Mode returns the stage's profiling mode.
+func (st *Stage) Mode() Mode { return st.mode }
+
+// Profiler returns the stage's profiler.
+func (st *Stage) Profiler() *Profiler { return st.prof }
+
+// CPU returns the CPU this stage's probes charge: its private one
+// (StageCPU) or the app's shared CPU.
+func (st *Stage) CPU() *CPU {
+	if st.cpu != nil {
+		return st.cpu
+	}
+	return st.app.CPU()
+}
+
+// Go starts a simulated thread in this stage. The body receives the
+// thread and a ready probe charging the stage's CPU; the probe is also
+// attached to the thread (Thread.Data) so crosstalk monitoring can
+// resolve the thread's transaction context.
+func (st *Stage) Go(name string, body func(th *Thread, pr *Probe)) *Thread {
+	return st.app.sim.Go(name, func(th *Thread) {
+		pr := st.prof.NewProbe(th, st.CPU())
+		th.Data = pr
+		body(th, pr)
+	})
+}
+
+// Endpoint returns the stage's default message endpoint, creating and
+// registering it on first use. Its sends are included in the stage's
+// dump, so cross-stage request edges appear in the stitched graph.
+func (st *Stage) Endpoint() *Endpoint {
+	if st.defaultEP == nil {
+		st.defaultEP = st.NewEndpoint()
+	}
+	return st.defaultEP
+}
+
+// NewEndpoint creates and registers an additional endpoint (one per peer
+// connection, for stages that talk to several others).
+func (st *Stage) NewEndpoint() *Endpoint {
+	e := ipc.NewEndpoint(st.Name)
+	st.endpoints = append(st.endpoints, e)
+	return e
+}
+
+// Conn wraps a fresh registered endpoint around a byte stream, for
+// profiling across real transports (pipes, sockets).
+func (st *Stage) Conn(rw io.ReadWriter) *Conn {
+	return &Conn{E: st.NewEndpoint(), RW: rw}
+}
+
+// EventLoop returns the stage's event loop, created on first use and
+// interning contexts in the stage's table. Bind it to the dispatching
+// thread's probe with BindLoop.
+func (st *Stage) EventLoop() *EventLoop {
+	if st.loop == nil {
+		st.loop = event.NewLoop(st.Name, st.prof.Table)
+	}
+	return st.loop
+}
+
+// BindLoop ties the stage's event loop to pr: before each handler runs,
+// pr switches to the freshly computed transaction context, so samples
+// taken in the handler land in the per-context tree.
+func (st *Stage) BindLoop(pr *Probe) *EventLoop {
+	l := st.EventLoop()
+	l.OnDispatch = func(curr *Ctxt) { pr.SetLocal(curr) }
+	return l
+}
+
+// SEDAStage declares (or fetches) a named SEDA stage within this stage's
+// program, with in as its input queue.
+func (st *Stage) SEDAStage(name string, in seda.Putter) *SEDAStage {
+	if ss, ok := st.seda[name]; ok {
+		return ss
+	}
+	if st.seda == nil {
+		st.seda = make(map[string]*SEDAStage)
+	}
+	ss := seda.NewStage(st.Name, name, in)
+	st.seda[name] = ss
+	return ss
+}
+
+// Worker returns a SEDA worker for ss bound to pr: each dequeued
+// element switches pr to the element's freshly computed context.
+func (st *Stage) Worker(ss *SEDAStage, pr *Probe) *SEDAWorker {
+	w := seda.NewWorker(ss, st.prof.Table)
+	w.OnDispatch = func(curr *Ctxt) { pr.SetLocal(curr) }
+	return w
+}
+
+// Inject enqueues external stimulus data to SEDA stage ss with the root
+// context — the feed for the first stage of a pipeline.
+func (st *Stage) Inject(ss *SEDAStage, data any) { seda.Inject(st.prof.Table, ss, data) }
+
+// Dump captures the stage's profile (and every registered endpoint) for
+// post-mortem stitching; App.Run does this automatically.
+func (st *Stage) Dump() StageDump { return DumpStage(st.prof, st.endpoints...) }

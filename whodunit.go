@@ -11,7 +11,36 @@
 // that triggered it, and measures *crosstalk* — lock waiting attributed
 // to the (waiting, holding) transaction pair.
 //
-// The package is a facade over the building blocks in internal/:
+// # Composing applications
+//
+// The primary API is the App/Stage runtime: declare an App, declare its
+// Stages (tiers), start simulated threads with Stage.Go, and let App.Run
+// drive the simulation and return a unified Report — per-stage profiles,
+// the crosstalk matrix, detected shared-memory flows, and the stitched
+// end-to-end transaction graph, with Text, JSON and DOT renderers:
+//
+//	app := whodunit.NewApp("shop",
+//		whodunit.WithMode(whodunit.ModeWhodunit),
+//		whodunit.WithCores(2))
+//	web, db := app.Stage("web"), app.Stage("db")
+//	reqQ, respQ := app.NewQueue("req"), app.NewQueue("resp")
+//	db.Go("db", func(th *whodunit.Thread, pr *whodunit.Probe) { ... })
+//	web.Go("web", func(th *whodunit.Thread, pr *whodunit.Probe) { ... })
+//	report := app.Run() // stitching happens automatically
+//	report.Text(os.Stdout)
+//
+// Stages bundle the context-propagation machinery: Stage.Endpoint and
+// Stage.Conn for messaging tiers, Stage.EventLoop/BindLoop for
+// event-driven programs, Stage.SEDAStage/Worker/Inject for staged
+// pipelines. Functional options (WithMode, WithSeed, WithCrosstalk,
+// WithFlowDetection, WithSamplingInterval, StageMode, StageCPU) select
+// the run configuration.
+//
+// # Building blocks
+//
+// The remainder of this file re-exports the underlying building blocks
+// for programs that wire stages by hand (and as the compatibility
+// surface for code written against earlier versions):
 //
 //   - Sim, Thread, CPU, Queue, Lock — the deterministic virtual-time
 //     substrate everything runs on (internal/vclock);
@@ -111,6 +140,14 @@ const (
 	ModeWhodunit     = profiler.ModeWhodunit
 	ModeInstrumented = profiler.ModeInstrumented
 )
+
+// ParseMode parses a mode name ("off", "csprof", "whodunit", "gprof")
+// into a Mode; Mode also implements flag.Value, so it can be bound to a
+// command-line flag directly with flag.Var.
+var ParseMode = profiler.ParseMode
+
+// Overhead models the profiler's own CPU costs in virtual time.
+type Overhead = profiler.Overhead
 
 // NewProfiler returns a profiler for the named stage.
 func NewProfiler(stage string, mode Mode) *Profiler { return profiler.New(stage, mode) }
