@@ -3,6 +3,7 @@ package whodunit
 import (
 	"fmt"
 
+	"whodunit/internal/par"
 	"whodunit/internal/vclock"
 )
 
@@ -149,6 +150,20 @@ func (a *App) run(stop func() bool) *Report {
 	a.sim.RunUntil(stop)
 	a.sim.Shutdown()
 	return a.Report()
+}
+
+// RunApps runs independent apps concurrently across GOMAXPROCS workers
+// and returns their reports in input order. Each app owns its simulator,
+// profilers, context tables and seeded RNG (WithSeed), so a parallel
+// sweep produces bit-identical reports to running the same apps one by
+// one — this is how the experiment harness regenerates every
+// client-count point of a figure at once. Apps must not share mutable
+// state (queues, locks, stages); read-only inputs like a generated
+// workload trace are fine.
+func RunApps(apps ...*App) []*Report {
+	reports := make([]*Report, len(apps))
+	par.Do(len(apps), func(i int) { reports[i] = apps[i].Run() })
+	return reports
 }
 
 // Report assembles the current state of every stage into a unified

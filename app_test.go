@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"whodunit"
+	"whodunit/internal/experiments"
 )
 
 // runTwoStageWorkload drives the canonical web+db workload against the
@@ -179,6 +180,44 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	for i, e := range back.Graph.Edges {
 		if e != rep.Graph.Edges[i] {
 			t.Errorf("restitched edge %d = %+v, want %+v", i, e, rep.Graph.Edges[i])
+		}
+	}
+}
+
+// TestRunAppsMatchesSerialRuns builds the same set of independent apps
+// twice and checks that RunApps (across a deliberately oversized worker
+// pool) returns reports bit-identical to running each app serially —
+// parallel sweeps must be a pure wall-clock optimisation.
+func TestRunAppsMatchesSerialRuns(t *testing.T) {
+	build := func(name string, seed uint64) *whodunit.App {
+		app := whodunit.NewApp(name, whodunit.WithMode(whodunit.ModeWhodunit), whodunit.WithSeed(seed))
+		web, db := app.Stage("web"), app.Stage("db")
+		reqQ, respQ := app.NewQueue("req"), app.NewQueue("resp")
+		twoStageWorkload(app.Sim(), reqQ, respQ, web.Endpoint(), db.Endpoint(),
+			func(body func(*whodunit.Thread, *whodunit.Probe)) { web.Go("web", body) },
+			func(body func(*whodunit.Thread, *whodunit.Probe)) { db.Go("db", body) })
+		return app
+	}
+	asJSON := func(rep *whodunit.Report) string {
+		var buf bytes.Buffer
+		if err := rep.JSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	const n = 4
+	serial := make([]string, n)
+	apps := make([]*whodunit.App, n)
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		serial[i] = asJSON(build(name, uint64(i)).Run())
+		apps[i] = build(name, uint64(i))
+	}
+	defer experiments.SetWorkers(experiments.SetWorkers(8))
+	for i, rep := range whodunit.RunApps(apps...) {
+		if got := asJSON(rep); got != serial[i] {
+			t.Errorf("app %d report differs between serial Run and RunApps:\n%s\nvs\n%s", i, serial[i], got)
 		}
 	}
 }

@@ -218,6 +218,7 @@ func BenchmarkEventDispatch(b *testing.B) {
 // with sampling under Whodunit mode, including the simulator round-trip
 // each blocking Compute implies.
 func BenchmarkProbeCompute(b *testing.B) {
+	b.ReportAllocs()
 	s := vclock.New()
 	cpu := s.NewCPU("cpu", 1)
 	p := profiler.New("s", profiler.ModeWhodunit)

@@ -4,11 +4,16 @@
 // full paper-scale sweep. -mode switches the case-study figures
 // (fig8/fig9/fig10) to a different profiling mode for baseline
 // comparisons.
+//
+// Experiments (and the client-count sweeps inside them) run across
+// GOMAXPROCS workers; every simulation draws from explicitly seeded RNG
+// streams, so the output is identical to a serial run (-workers=1).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,6 +28,7 @@ var experimentNames = []string{
 func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	only := flag.String("only", "", "run a single experiment: "+strings.Join(experimentNames, "|"))
+	workers := flag.Int("workers", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial)")
 	mode := cmdutil.ModeFlag()
 	flag.Parse()
 
@@ -47,24 +53,28 @@ func main() {
 		sc = experiments.QuickScale
 		tp = experiments.QuickTPCW
 	}
+	experiments.SetWorkers(*workers)
 
-	w := os.Stdout
-	run := func(name string, fn func()) {
-		if *only != "" && *only != name {
-			return
-		}
-		fn()
-		fmt.Fprintln(w)
+	all := []experiments.Job{
+		{Name: "validate", Run: func(w io.Writer) { experiments.FlowValidation().Render(w) }},
+		{Name: "fig8", Run: func(w io.Writer) { experiments.Fig8Apache(sc, *mode).Render(w) }},
+		{Name: "fig9", Run: func(w io.Writer) { experiments.Fig9Squid(sc, *mode).Render(w) }},
+		{Name: "fig10", Run: func(w io.Writer) { experiments.Fig10Haboob(sc, *mode).Render(w) }},
+		{Name: "table1", Run: func(w io.Writer) { experiments.Table1TPCW(tp).Render(w) }},
+		{Name: "fig11", Run: func(w io.Writer) { experiments.Fig11ResponseTimes(tp).Render(w) }},
+		{Name: "fig12", Run: func(w io.Writer) { experiments.Fig12Throughput(tp).Render(w) }},
+		{Name: "table2", Run: func(w io.Writer) { experiments.Table2Overhead(tp).Render(w) }},
+		{Name: "table3", Run: func(w io.Writer) { experiments.Table3Emulation().Render(w) }},
+		{Name: "overheads", Run: func(w io.Writer) { experiments.ServerOverheads(sc).Render(w) }},
 	}
-
-	run("validate", func() { experiments.FlowValidation().Render(w) })
-	run("fig8", func() { experiments.Fig8Apache(sc, *mode).Render(w) })
-	run("fig9", func() { experiments.Fig9Squid(sc, *mode).Render(w) })
-	run("fig10", func() { experiments.Fig10Haboob(sc, *mode).Render(w) })
-	run("table1", func() { experiments.Table1TPCW(tp).Render(w) })
-	run("fig11", func() { experiments.Fig11ResponseTimes(tp).Render(w) })
-	run("fig12", func() { experiments.Fig12Throughput(tp).Render(w) })
-	run("table2", func() { experiments.Table2Overhead(tp).Render(w) })
-	run("table3", func() { experiments.Table3Emulation().Render(w) })
-	run("overheads", func() { experiments.ServerOverheads(sc).Render(w) })
+	jobs := all[:0:0]
+	for _, j := range all {
+		if *only == "" || *only == j.Name {
+			jobs = append(jobs, j)
+		}
+	}
+	if err := experiments.RunAll(os.Stdout, jobs); err != nil {
+		fmt.Fprintf(os.Stderr, "whodunit-bench: %v\n", err)
+		os.Exit(1)
+	}
 }

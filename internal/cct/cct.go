@@ -3,6 +3,14 @@
 // context (§7.1). Each tree accumulates statistical profile samples (and
 // call counts, for the gprof-style baseline) along call paths; the root of
 // each tree is annotated with the transaction context it profiles.
+//
+// Frame names are interned: a FrameTable maps each distinct procedure
+// name to a small integer FrameID exactly once, tree nodes key their
+// children by FrameID, and the hot accumulation paths (AddSamplesIDs,
+// AddCallIDs) walk ID slices without touching a string. Names are
+// resolved back only at presentation time (Render, Flatten, Children).
+// A profiler shares one FrameTable across all its trees so a probe's
+// interned call stack is valid in whichever context tree a sample lands.
 package cct
 
 import (
@@ -12,15 +20,50 @@ import (
 	"strings"
 )
 
+// FrameID is an interned procedure-frame name. IDs are dense and start at
+// 0, so they double as indexes into the table's name slice.
+type FrameID uint32
+
+// FrameTable interns frame names. It is not safe for concurrent use; each
+// profiler (or tree) owns one.
+type FrameTable struct {
+	ids   map[string]FrameID
+	names []string
+}
+
+// NewFrameTable returns an empty table.
+func NewFrameTable() *FrameTable {
+	return &FrameTable{ids: make(map[string]FrameID)}
+}
+
+// ID interns name, returning its stable FrameID.
+func (ft *FrameTable) ID(name string) FrameID {
+	if id, ok := ft.ids[name]; ok {
+		return id
+	}
+	id := FrameID(len(ft.names))
+	ft.ids[name] = id
+	ft.names = append(ft.names, name)
+	return id
+}
+
+// Name resolves an ID issued by this table.
+func (ft *FrameTable) Name(id FrameID) string { return ft.names[id] }
+
+// Len reports the number of interned frames.
+func (ft *FrameTable) Len() int { return len(ft.names) }
+
 // Node is one procedure frame in a calling context tree. Self counts
 // samples attributed to the frame itself; call counts are kept for the
 // instrumented (gprof-like) mode.
 type Node struct {
-	Frame    string
+	Frame    string // resolved name, fixed at node creation
 	Self     int64
 	Calls    int64
+	id       FrameID
+	ft       *FrameTable
 	parent   *Node
-	children map[string]*Node
+	children map[FrameID]*Node
 }
 
 // Tree is a calling context tree. Label carries the transaction-context
@@ -29,25 +72,39 @@ type Tree struct {
 	Label string
 	Root  *Node
 	total int64
+	ft    *FrameTable
 }
 
-// New returns an empty tree annotated with label.
-func New(label string) *Tree {
-	return &Tree{Label: label, Root: &Node{Frame: "(root)"}}
+// New returns an empty tree annotated with label, owning a private frame
+// table.
+func New(label string) *Tree { return NewShared(label, NewFrameTable()) }
+
+// NewShared returns an empty tree annotated with label whose frames are
+// interned in ft. Trees sharing one table can exchange FrameIDs directly
+// — the profiler keeps one table per stage so a probe's interned stack
+// lands in any of the stage's per-context trees without re-interning.
+func NewShared(label string, ft *FrameTable) *Tree {
+	return &Tree{Label: label, Root: &Node{Frame: "(root)", ft: ft}, ft: ft}
 }
+
+// Frames returns the tree's frame table.
+func (t *Tree) Frames() *FrameTable { return t.ft }
 
 // Total reports the total number of samples in the tree.
 func (t *Tree) Total() int64 { return t.total }
 
 // Child returns (creating if necessary) the child of n for frame.
-func (n *Node) Child(frame string) *Node {
+func (n *Node) Child(frame string) *Node { return n.child(n.ft.ID(frame)) }
+
+// child is the hot-path variant of Child: the frame is already interned.
+func (n *Node) child(id FrameID) *Node {
 	if n.children == nil {
-		n.children = make(map[string]*Node)
+		n.children = make(map[FrameID]*Node)
 	}
-	c, ok := n.children[frame]
+	c, ok := n.children[id]
 	if !ok {
-		c = &Node{Frame: frame, parent: n}
-		n.children[frame] = c
+		c = &Node{Frame: n.ft.Name(id), id: id, ft: n.ft, parent: n}
+		n.children[id] = c
 	}
 	return c
 }
@@ -71,7 +128,16 @@ func (n *Node) Children() []*Node {
 func (t *Tree) Path(path []string) *Node {
 	n := t.Root
 	for _, f := range path {
-		n = n.Child(f)
+		n = n.child(t.ft.ID(f))
+	}
+	return n
+}
+
+// PathIDs is Path for an already-interned call path.
+func (t *Tree) PathIDs(ids []FrameID) *Node {
+	n := t.Root
+	for _, id := range ids {
+		n = n.child(id)
 	}
 	return n
 }
@@ -80,10 +146,11 @@ func (t *Tree) Path(path []string) *Node {
 func (t *Tree) Find(path ...string) *Node {
 	n := t.Root
 	for _, f := range path {
-		if n.children == nil {
+		id, ok := t.ft.ids[f]
+		if !ok || n.children == nil {
 			return nil
 		}
-		c, ok := n.children[f]
+		c, ok := n.children[id]
 		if !ok {
 			return nil
 		}
@@ -98,9 +165,22 @@ func (t *Tree) AddSamples(path []string, n int64) {
 	t.total += n
 }
 
+// AddSamplesIDs is AddSamples for an already-interned call path — the
+// profiler's per-sample hot path. It performs no string work and, once
+// the path's nodes exist, no allocation.
+func (t *Tree) AddSamplesIDs(ids []FrameID, n int64) {
+	t.PathIDs(ids).Self += n
+	t.total += n
+}
+
 // AddCall counts one invocation of the leaf of path (instrumented mode).
 func (t *Tree) AddCall(path []string) {
 	t.Path(path).Calls++
+}
+
+// AddCallIDs is AddCall for an already-interned call path.
+func (t *Tree) AddCallIDs(ids []FrameID) {
+	t.PathIDs(ids).Calls++
 }
 
 // Inclusive reports the node's inclusive sample count (itself plus all
@@ -113,7 +193,8 @@ func (n *Node) Inclusive() int64 {
 	return sum
 }
 
-// Merge adds every sample and call count of src into t.
+// Merge adds every sample and call count of src into t. The trees need
+// not share a frame table: frames are matched by name.
 func (t *Tree) Merge(src *Tree) {
 	var rec func(dst, s *Node)
 	rec = func(dst, s *Node) {

@@ -1,0 +1,47 @@
+package cct
+
+import "testing"
+
+// BenchmarkCCTAddSamples measures the per-sample CCT accumulation: walk
+// the current call path to its node and bump the counter. The IDs
+// variant is the profiler's hot path (the probe keeps its stack interned);
+// the Strings variant is the compatibility path and shows what interning
+// saves.
+func BenchmarkCCTAddSamples(b *testing.B) {
+	path := []string{"main", "serve", "handler", "read", "parse"}
+
+	b.Run("IDs", func(b *testing.B) {
+		b.ReportAllocs()
+		tr := New("(bench)")
+		ids := make([]FrameID, len(path))
+		for i, f := range path {
+			ids[i] = tr.Frames().ID(f)
+		}
+		tr.AddSamplesIDs(ids, 1) // create the path nodes
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.AddSamplesIDs(ids, 1)
+		}
+	})
+
+	b.Run("Strings", func(b *testing.B) {
+		b.ReportAllocs()
+		tr := New("(bench)")
+		tr.AddSamples(path, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.AddSamples(path, 1)
+		}
+	})
+}
+
+// TestAddSamplesIDsZeroAllocSteadyState pins the allocation contract the
+// profiler relies on.
+func TestAddSamplesIDsZeroAllocSteadyState(t *testing.T) {
+	tr := New("(t)")
+	ids := []FrameID{tr.Frames().ID("a"), tr.Frames().ID("b"), tr.Frames().ID("c")}
+	tr.AddSamplesIDs(ids, 1)
+	if allocs := testing.AllocsPerRun(200, func() { tr.AddSamplesIDs(ids, 1) }); allocs != 0 {
+		t.Fatalf("AddSamplesIDs allocates %.2f allocs/op in steady state, want 0", allocs)
+	}
+}

@@ -259,30 +259,46 @@ type OverheadRow struct {
 type OverheadResult struct{ Rows []OverheadRow }
 
 // ServerOverheads measures Whodunit's throughput cost on the three web
-// servers.
+// servers. The six runs (three servers, profiled and baseline) are
+// independent simulations sharing one read-only trace, so they fan out
+// across the worker pool.
 func ServerOverheads(sc Scale) OverheadResult {
 	tr := webTrace(sc)
-	row := func(name string, base, prof float64) OverheadRow {
-		return OverheadRow{Server: name, BaselineMbps: base, ProfiledMbps: prof,
-			OverheadPct: 100 * (base - prof) / base}
+	runs := []struct {
+		name string
+		run  func(mode profiler.Mode) float64
+	}{
+		{"apache (§9.2)", func(m profiler.Mode) float64 {
+			cfg := apacheweb.DefaultConfig(tr)
+			cfg.Mode = m
+			return apacheweb.Run(cfg).ThroughputMbps
+		}},
+		{"squid (§9.3)", func(m profiler.Mode) float64 {
+			cfg := squidproxy.DefaultConfig(tr)
+			cfg.Mode = m
+			return squidproxy.Run(cfg).ThroughputMbps
+		}},
+		{"haboob (§9.3)", func(m profiler.Mode) float64 {
+			cfg := haboob.DefaultConfig(tr)
+			cfg.Mode = m
+			return haboob.Run(cfg).ThroughputMbps
+		}},
 	}
+	mbps := make([]float64, 2*len(runs))
+	Parallel(2*len(runs), func(j int) {
+		r := runs[j/2]
+		mode := profiler.ModeOff
+		if j%2 == 1 {
+			mode = profiler.ModeWhodunit
+		}
+		mbps[j] = r.run(mode)
+	})
 	var out OverheadResult
-
-	aOff := apacheweb.DefaultConfig(tr)
-	aOff.Mode = profiler.ModeOff
-	aOn := apacheweb.DefaultConfig(tr)
-	out.Rows = append(out.Rows, row("apache (§9.2)",
-		apacheweb.Run(aOff).ThroughputMbps, apacheweb.Run(aOn).ThroughputMbps))
-
-	sOff := squidproxy.DefaultConfig(tr)
-	sOff.Mode = profiler.ModeOff
-	out.Rows = append(out.Rows, row("squid (§9.3)",
-		squidproxy.Run(sOff).ThroughputMbps, squidproxy.Run(squidproxy.DefaultConfig(tr)).ThroughputMbps))
-
-	hOff := haboob.DefaultConfig(tr)
-	hOff.Mode = profiler.ModeOff
-	out.Rows = append(out.Rows, row("haboob (§9.3)",
-		haboob.Run(hOff).ThroughputMbps, haboob.Run(haboob.DefaultConfig(tr)).ThroughputMbps))
+	for i, r := range runs {
+		base, prof := mbps[2*i], mbps[2*i+1]
+		out.Rows = append(out.Rows, OverheadRow{Server: r.name, BaselineMbps: base,
+			ProfiledMbps: prof, OverheadPct: 100 * (base - prof) / base})
+	}
 	return out
 }
 

@@ -89,20 +89,29 @@ type Fig11Result struct{ Rows []Fig11Row }
 // Fig11ResponseTimes sweeps client counts, comparing the original system
 // (MyISAM item table, no caching) against the optimized one (InnoDB item
 // table for AdminConfirm; servlet caching for BestSellers/SearchResult).
+// Every (client count, configuration) run is an independent simulation,
+// so the whole sweep fans out across the worker pool; rows are assembled
+// by sweep index, identical to the serial order.
 func Fig11ResponseTimes(sc TPCWScale) Fig11Result {
-	var out Fig11Result
-	for _, clients := range sc.Sweep {
-		orig := tpcw.DefaultConfig(clients)
-		orig.Duration = sc.Duration
-		ro := tpcw.Run(orig)
-
-		opt := tpcw.DefaultConfig(clients)
-		opt.Duration = sc.Duration
-		opt.ItemEngine = minidb.EngineInnoDB
-		opt.ServletCaching = true
-		rp := tpcw.Run(opt)
-
-		out.Rows = append(out.Rows, Fig11Row{
+	n := len(sc.Sweep)
+	origs := make([]*tpcw.Result, n)
+	opts := make([]*tpcw.Result, n)
+	Parallel(2*n, func(j int) {
+		i, optimized := j/2, j%2 == 1
+		cfg := tpcw.DefaultConfig(sc.Sweep[i])
+		cfg.Duration = sc.Duration
+		if optimized {
+			cfg.ItemEngine = minidb.EngineInnoDB
+			cfg.ServletCaching = true
+			opts[i] = tpcw.Run(cfg)
+		} else {
+			origs[i] = tpcw.Run(cfg)
+		}
+	})
+	out := Fig11Result{Rows: make([]Fig11Row, n)}
+	for i, clients := range sc.Sweep {
+		ro, rp := origs[i], opts[i]
+		out.Rows[i] = Fig11Row{
 			Clients:      clients,
 			AdminOrig:    ro.PerType[workload.AdminConfirm].Mean().Millis(),
 			AdminOpt:     rp.PerType[workload.AdminConfirm].Mean().Millis(),
@@ -110,7 +119,7 @@ func Fig11ResponseTimes(sc TPCWScale) Fig11Result {
 			BestCached:   rp.PerType[workload.BestSellers].Mean().Millis(),
 			SearchOrig:   ro.PerType[workload.SearchResult].Mean().Millis(),
 			SearchCached: rp.PerType[workload.SearchResult].Mean().Millis(),
-		})
+		}
 	}
 	return out
 }
@@ -140,20 +149,25 @@ type Fig12Row struct {
 // Fig12Result reproduces Figure 12.
 type Fig12Result struct{ Rows []Fig12Row }
 
-// Fig12Throughput sweeps client counts with and without servlet caching.
+// Fig12Throughput sweeps client counts with and without servlet caching,
+// fanning the independent (client count, caching) runs across the worker
+// pool.
 func Fig12Throughput(sc TPCWScale) Fig12Result {
-	var out Fig12Result
-	for _, clients := range sc.Sweep {
-		orig := tpcw.DefaultConfig(clients)
-		orig.Duration = sc.Duration
-		cached := tpcw.DefaultConfig(clients)
-		cached.Duration = sc.Duration
-		cached.ServletCaching = true
-		out.Rows = append(out.Rows, Fig12Row{
+	n := len(sc.Sweep)
+	perMin := make([]float64, 2*n)
+	Parallel(2*n, func(j int) {
+		cfg := tpcw.DefaultConfig(sc.Sweep[j/2])
+		cfg.Duration = sc.Duration
+		cfg.ServletCaching = j%2 == 1
+		perMin[j] = tpcw.Run(cfg).ThroughputPerMin
+	})
+	out := Fig12Result{Rows: make([]Fig12Row, n)}
+	for i, clients := range sc.Sweep {
+		out.Rows[i] = Fig12Row{
 			Clients:        clients,
-			OriginalPerMin: tpcw.Run(orig).ThroughputPerMin,
-			CachedPerMin:   tpcw.Run(cached).ThroughputPerMin,
-		})
+			OriginalPerMin: perMin[2*i],
+			CachedPerMin:   perMin[2*i+1],
+		}
 	}
 	return out
 }
@@ -188,16 +202,17 @@ type Table2Result struct {
 // Table2Overhead measures peak TPC-W throughput (past the saturation
 // point) under no profiling, csprof, Whodunit and gprof.
 func Table2Overhead(sc TPCWScale) Table2Result {
-	run := func(mode profiler.Mode) *tpcw.Result {
+	modes := []profiler.Mode{
+		profiler.ModeOff, profiler.ModeSampling, profiler.ModeWhodunit, profiler.ModeInstrumented,
+	}
+	results := make([]*tpcw.Result, len(modes))
+	Parallel(len(modes), func(i int) {
 		cfg := tpcw.DefaultConfig(300) // beyond the no-caching knee
 		cfg.Duration = sc.Duration
-		cfg.Mode = mode
-		return tpcw.Run(cfg)
-	}
-	base := run(profiler.ModeOff)
-	cs := run(profiler.ModeSampling)
-	who := run(profiler.ModeWhodunit)
-	gp := run(profiler.ModeInstrumented)
+		cfg.Mode = modes[i]
+		results[i] = tpcw.Run(cfg)
+	})
+	base, cs, who, gp := results[0], results[1], results[2], results[3]
 	row := func(name string, r *tpcw.Result) Table2Row {
 		return Table2Row{Mode: name, PerMin: r.ThroughputPerMin,
 			OverheadPct: 100 * (base.ThroughputPerMin - r.ThroughputPerMin) / base.ThroughputPerMin}

@@ -17,7 +17,7 @@ package minidb
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"whodunit/internal/profiler"
 	"whodunit/internal/vclock"
@@ -85,7 +85,36 @@ type Table struct {
 	byID     map[int64]int
 	lock     *vclock.Lock
 	rowLocks map[int64]*vclock.Lock
+
+	// Profiler frame names for this table's operators, concatenated once
+	// at creation instead of on every query (Select/Lookup run thousands
+	// of times per experiment).
+	frameSelect, frameLookup, frameUpdate, frameInsert string
+
+	// cols caches one []int64 column per attribute for WhereAttr scans,
+	// built lazily and dropped whole on any write.
+	cols map[string][]int64
 }
+
+// column returns the cached column for attr, building it on first use
+// after a write.
+func (t *Table) column(attr string) []int64 {
+	if c, ok := t.cols[attr]; ok {
+		return c
+	}
+	if t.cols == nil {
+		t.cols = make(map[string][]int64)
+	}
+	c := make([]int64, len(t.rows))
+	for i := range t.rows {
+		c[i] = t.rows[i].Attrs[attr]
+	}
+	t.cols[attr] = c
+	return c
+}
+
+// invalidateCols drops the column cache after a write.
+func (t *Table) invalidateCols() { t.cols = nil }
 
 // DB is one database instance bound to a simulation and a CPU.
 type DB struct {
@@ -118,12 +147,16 @@ func (db *DB) SetLockObserver(obs vclock.LockObserver) {
 // CreateTable adds an empty table with the given engine.
 func (db *DB) CreateTable(name string, engine Engine) *Table {
 	t := &Table{
-		Name:     name,
-		Engine:   engine,
-		db:       db,
-		byID:     make(map[int64]int),
-		lock:     db.sim.NewLock(db.Name + "." + name),
-		rowLocks: make(map[int64]*vclock.Lock),
+		Name:        name,
+		Engine:      engine,
+		db:          db,
+		byID:        make(map[int64]int),
+		lock:        db.sim.NewLock(db.Name + "." + name),
+		rowLocks:    make(map[int64]*vclock.Lock),
+		frameSelect: "select_" + name,
+		frameLookup: "lookup_" + name,
+		frameUpdate: "update_" + name,
+		frameInsert: "insert_" + name,
 	}
 	t.lock.Observer = db.observer
 	db.tables[name] = t
@@ -152,6 +185,7 @@ func (t *Table) Len() int { return len(t.rows) }
 func (t *Table) LoadRow(r Row) {
 	t.byID[r.ID] = len(t.rows)
 	t.rows = append(t.rows, r)
+	t.invalidateCols()
 }
 
 func (t *Table) rowLock(id int64) *vclock.Lock {
@@ -198,10 +232,31 @@ type Pred func(Row) bool
 // table *while the read lock is held* — the heavy query shape of
 // BestSellers / SearchResult / AdminConfirm (§8.4), and the reason those
 // queries hold their table locks long enough to cause crosstalk.
+//
+// Two execution-shape options keep the modelled cost identical while
+// skipping work the caller does not want:
+//
+//   - WhereAttr/WhereEquals (with a nil Pred) filter by attribute
+//     equality through a per-table column cache — an integer-compare scan
+//     instead of one map lookup per row;
+//   - CountOnly charges exactly the CPU demand, takes exactly the locks
+//     and emits exactly the profiler frames the full query would, but
+//     materialises no result rows (callers that only want the query's
+//     cost and contention — the TPC-W servlets — drop ~half their
+//     allocation and sort work this way).
 type SelectOpts struct {
 	SortBy       string
 	Limit        int
 	TempSortRows int
+
+	// WhereAttr, when non-empty and Pred is nil, selects rows whose named
+	// attribute equals WhereEquals.
+	WhereAttr   string
+	WhereEquals int64
+
+	// CountOnly suppresses result materialisation; Select returns nil.
+	// CPU demand, lock hold times and profiler frames are unchanged.
+	CountOnly bool
 }
 
 // log2 returns ceil(log2(n)) for cost computation, minimum 1.
@@ -218,7 +273,7 @@ func log2(n int) int64 {
 // pr. The returned rows are copies of the row headers (attribute maps are
 // shared — the workload treats them as immutable).
 func (db *DB) Select(pr *profiler.Probe, t *Table, pred Pred, opts SelectOpts) []Row {
-	defer pr.Exit(pr.Enter("select_" + t.Name))
+	defer pr.Exit(pr.Enter(t.frameSelect))
 	unlock := t.readLock(pr.Thread())
 	defer unlock()
 
@@ -226,33 +281,87 @@ func (db *DB) Select(pr *profiler.Probe, t *Table, pred Pred, opts SelectOpts) [
 		defer pr.Exit(pr.Enter("scan_rows"))
 		pr.ComputeN(vclock.Duration(len(t.rows))*db.Cost.ScanPerRow, len(t.rows))
 	}()
+	// Filter. The three shapes (everything, attribute equality, arbitrary
+	// predicate) agree on `matched`; only the non-CountOnly ones
+	// materialise rows.
 	var out []Row
-	for _, r := range t.rows {
-		if pred == nil || pred(r) {
-			out = append(out, r)
+	matched := 0
+	switch {
+	case pred == nil && opts.WhereAttr != "":
+		col := t.column(opts.WhereAttr)
+		for i, v := range col {
+			if v == opts.WhereEquals {
+				matched++
+				if !opts.CountOnly {
+					out = append(out, t.rows[i])
+				}
+			}
+		}
+	case pred == nil:
+		matched = len(t.rows)
+		if !opts.CountOnly {
+			out = slices.Clone(t.rows)
+		}
+	default:
+		for _, r := range t.rows {
+			if pred(r) {
+				matched++
+				if !opts.CountOnly {
+					out = append(out, r)
+				}
+			}
 		}
 	}
-	if opts.SortBy != "" && len(out) > 1 {
+	if opts.SortBy != "" && matched > 1 {
 		func() {
 			defer pr.Exit(pr.Enter("sort_rows"))
-			pr.ComputeN(vclock.Duration(int64(len(out))*log2(len(out)))*db.Cost.SortPerCmp, len(out))
+			pr.ComputeN(vclock.Duration(int64(matched)*log2(matched))*db.Cost.SortPerCmp, matched)
 		}()
-		key := opts.SortBy
-		sort.SliceStable(out, func(i, j int) bool { return out[i].Attr(key) > out[j].Attr(key) })
+		if !opts.CountOnly {
+			// Decorate-sort-undecorate: extract each row's sort key once
+			// and sort descending with a reflection-free generic stable
+			// sort — no map lookup per comparison, no reflect.Swapper per
+			// swap (sort.SliceStable cost the old Select most of its
+			// time).
+			key := opts.SortBy
+			type decorated struct {
+				key int64
+				row Row
+			}
+			dec := make([]decorated, len(out))
+			for i, r := range out {
+				dec[i] = decorated{key: r.Attr(key), row: r}
+			}
+			slices.SortStableFunc(dec, func(a, b decorated) int {
+				switch {
+				case a.key > b.key:
+					return -1
+				case a.key < b.key:
+					return 1
+				}
+				return 0
+			})
+			for i := range dec {
+				out[i] = dec[i].row
+			}
+		}
 	}
 	if opts.TempSortRows > 0 {
 		db.TempSort(pr, opts.TempSortRows)
 	}
-	if opts.Limit > 0 && len(out) > opts.Limit {
-		out = out[:opts.Limit]
+	if opts.Limit > 0 && matched > opts.Limit {
+		matched = opts.Limit
+		if !opts.CountOnly {
+			out = out[:opts.Limit]
+		}
 	}
-	pr.Compute(vclock.Duration(len(out)) * db.Cost.ReturnPerRow)
+	pr.Compute(vclock.Duration(matched) * db.Cost.ReturnPerRow)
 	return out
 }
 
 // Lookup fetches a row by primary key under read locking.
 func (db *DB) Lookup(pr *profiler.Probe, t *Table, id int64) (Row, bool) {
-	defer pr.Exit(pr.Enter("lookup_" + t.Name))
+	defer pr.Exit(pr.Enter(t.frameLookup))
 	unlock := t.readLock(pr.Thread())
 	defer unlock()
 	pr.Compute(db.Cost.LookupCost)
@@ -266,7 +375,7 @@ func (db *DB) Lookup(pr *profiler.Probe, t *Table, id int64) (Row, bool) {
 // Update applies fn to the row with the given id under the engine's write
 // locking. It reports whether the row existed.
 func (db *DB) Update(pr *profiler.Probe, t *Table, id int64, fn func(*Row)) bool {
-	defer pr.Exit(pr.Enter("update_" + t.Name))
+	defer pr.Exit(pr.Enter(t.frameUpdate))
 	unlock := t.writeLock(pr.Thread(), id)
 	defer unlock()
 	pr.Compute(db.Cost.UpdateCost)
@@ -275,13 +384,14 @@ func (db *DB) Update(pr *profiler.Probe, t *Table, id int64, fn func(*Row)) bool
 		return false
 	}
 	fn(&t.rows[idx])
+	t.invalidateCols()
 	return true
 }
 
 // Insert appends a row under write locking (the whole table for MyISAM,
 // the new row's lock for InnoDB).
 func (db *DB) Insert(pr *profiler.Probe, t *Table, r Row) {
-	defer pr.Exit(pr.Enter("insert_" + t.Name))
+	defer pr.Exit(pr.Enter(t.frameInsert))
 	unlock := t.writeLock(pr.Thread(), r.ID)
 	defer unlock()
 	pr.Compute(db.Cost.InsertCost)

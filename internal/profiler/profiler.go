@@ -90,7 +90,11 @@ type TxnCtxt struct {
 	Local  *tranctx.Ctxt
 }
 
-// Key returns the CCT dictionary key for the context.
+// Key returns the CCT dictionary key for the context. It is a rendered,
+// serializable form used in stage dumps and stitching metadata; the
+// profiler's own dictionary is keyed by the interned numeric identity
+// (see ctxtID), so Key is only built at send points and presentation
+// time, never per sample.
 func (tc TxnCtxt) Key() string {
 	if len(tc.Prefix) == 0 {
 		return localKey(tc.Local)
@@ -103,6 +107,35 @@ func localKey(c *tranctx.Ctxt) string {
 		return "0"
 	}
 	return fmt.Sprintf("%d", c.Synopsis())
+}
+
+// localSynopsis is the numeric identity Key's local part renders: the nil
+// context and the root context both map to synopsis 0.
+func localSynopsis(c *tranctx.Ctxt) tranctx.Synopsis {
+	if c == nil {
+		return 0
+	}
+	return c.Synopsis()
+}
+
+// ctxtID is the interned numeric identity of a TxnCtxt: the local
+// context's synopsis plus a hash of the prefix chain. Two contexts with
+// equal ctxtID and equal prefix chains have equal Keys, so the CCT
+// dictionary can be keyed by this comparable struct (with chain-equality
+// confirmation against hash collisions) instead of a built string.
+type ctxtID struct {
+	chain uint64 // tranctx.Chain.Hash of Prefix
+	local tranctx.Synopsis
+}
+
+func (tc TxnCtxt) id() ctxtID {
+	return ctxtID{chain: tc.Prefix.Hash(), local: localSynopsis(tc.Local)}
+}
+
+// sameCtxt reports whether a and b name the same CCT dictionary entry
+// (i.e. a.Key() == b.Key()) without building either key.
+func sameCtxt(a, b TxnCtxt) bool {
+	return localSynopsis(a.Local) == localSynopsis(b.Local) && a.Prefix.Equal(b.Prefix)
 }
 
 // Label renders the context for humans.
@@ -120,7 +153,9 @@ func (tc TxnCtxt) Label() string {
 }
 
 // Profiler is the per-stage profiler state: mode, sampling parameters and
-// the CCT dictionary keyed by transaction context (§7.1).
+// the CCT dictionary keyed by interned transaction-context identity
+// (§7.1). All of the stage's trees share one frame table, so a probe's
+// interned call stack is valid in whichever context tree a sample lands.
 type Profiler struct {
 	Stage    string
 	Table    *tranctx.Table
@@ -128,13 +163,20 @@ type Profiler struct {
 	Interval vclock.Duration
 	Overhead Overhead
 
-	trees        map[string]*cct.Tree
-	ctxts        map[string]TxnCtxt
-	order        []string // insertion order of tree keys, deterministic
+	frames       *cct.FrameTable
+	slots        []treeSlot       // creation order, deterministic
+	index        map[ctxtID][]int // ctxtID -> slot indexes (hash bucket)
+	byLabel      map[string]int   // rendered label -> first slot index
 	samples      int64
 	calls        int64
 	ctxtSwitches int64
 	overheadAcc  vclock.Duration
+}
+
+// treeSlot is one CCT dictionary entry: the context and its tree.
+type treeSlot struct {
+	ctxt TxnCtxt
+	tree *cct.Tree
 }
 
 // New returns a profiler for the named stage in the given mode with
@@ -146,23 +188,35 @@ func New(stage string, mode Mode) *Profiler {
 		Mode:     mode,
 		Interval: DefaultInterval,
 		Overhead: DefaultOverhead,
-		trees:    make(map[string]*cct.Tree),
-		ctxts:    make(map[string]TxnCtxt),
+		frames:   cct.NewFrameTable(),
+		index:    make(map[ctxtID][]int),
+		byLabel:  make(map[string]int),
 	}
 }
 
 // RootTxn returns the empty transaction context for this stage.
 func (p *Profiler) RootTxn() TxnCtxt { return TxnCtxt{Local: p.Table.Root()} }
 
-// tree returns (creating if needed) the CCT for the given context key.
+// Frames returns the stage-wide frame table shared by every tree.
+func (p *Profiler) Frames() *cct.FrameTable { return p.frames }
+
+// tree returns (creating if needed) the CCT for the given context. The
+// lookup is a single map access on the interned numeric identity plus a
+// chain-equality confirmation — no strings are built; the label and key
+// strings exist only from creation (once per distinct context) onward.
 func (p *Profiler) tree(tc TxnCtxt) *cct.Tree {
-	key := tc.Key()
-	t, ok := p.trees[key]
-	if !ok {
-		t = cct.New(tc.Label())
-		p.trees[key] = t
-		p.ctxts[key] = tc
-		p.order = append(p.order, key)
+	id := tc.id()
+	for _, i := range p.index[id] {
+		if p.slots[i].ctxt.Prefix.Equal(tc.Prefix) {
+			return p.slots[i].tree
+		}
+	}
+	t := cct.NewShared(tc.Label(), p.frames)
+	i := len(p.slots)
+	p.slots = append(p.slots, treeSlot{ctxt: tc, tree: t})
+	p.index[id] = append(p.index[id], i)
+	if _, ok := p.byLabel[t.Label]; !ok {
+		p.byLabel[t.Label] = i
 	}
 	return t
 }
@@ -175,30 +229,32 @@ type TreeEntry struct {
 	Tree *cct.Tree
 }
 
-// Entries returns every (context, CCT) pair in creation order.
+// Entries returns every (context, CCT) pair in creation order. The
+// serializable Key strings are rendered here, at presentation time.
 func (p *Profiler) Entries() []TreeEntry {
-	out := make([]TreeEntry, 0, len(p.order))
-	for _, k := range p.order {
-		out = append(out, TreeEntry{Key: k, Ctxt: p.ctxts[k], Tree: p.trees[k]})
+	out := make([]TreeEntry, 0, len(p.slots))
+	for _, s := range p.slots {
+		out = append(out, TreeEntry{Key: s.ctxt.Key(), Ctxt: s.ctxt, Tree: s.tree})
 	}
 	return out
 }
 
 // Trees returns every CCT in creation order.
 func (p *Profiler) Trees() []*cct.Tree {
-	out := make([]*cct.Tree, 0, len(p.trees))
-	for _, k := range p.order {
-		out = append(out, p.trees[k])
+	out := make([]*cct.Tree, 0, len(p.slots))
+	for _, s := range p.slots {
+		out = append(out, s.tree)
 	}
 	return out
 }
 
-// TreeByLabel finds a CCT by its rendered context label, or nil.
+// TreeByLabel finds a CCT by its rendered context label, or nil. Labels
+// are indexed at tree creation, so this is a single map lookup; when two
+// contexts render to the same label the earliest-created tree wins, as
+// the previous linear scan did.
 func (p *Profiler) TreeByLabel(label string) *cct.Tree {
-	for _, k := range p.order {
-		if p.trees[k].Label == label {
-			return p.trees[k]
-		}
+	if i, ok := p.byLabel[label]; ok {
+		return p.slots[i].tree
 	}
 	return nil
 }
@@ -216,8 +272,8 @@ func (p *Profiler) Stats() (samples, calls, ctxtSwitches int64, overhead vclock.
 // profiler would report).
 func (p *Profiler) Merged() *cct.Tree {
 	m := cct.New("(all contexts)")
-	for _, k := range p.order {
-		m.Merge(p.trees[k])
+	for _, s := range p.slots {
+		m.Merge(s.tree)
 	}
 	return m
 }
@@ -233,9 +289,9 @@ type ContextShare struct {
 
 // Shares computes per-context sample shares.
 func (p *Profiler) Shares() []ContextShare {
-	out := make([]ContextShare, 0, len(p.order))
-	for _, k := range p.order {
-		t := p.trees[k]
+	out := make([]ContextShare, 0, len(p.slots))
+	for _, s := range p.slots {
+		t := s.tree
 		sh := 0.0
 		if p.samples > 0 {
 			sh = float64(t.Total()) / float64(p.samples)
@@ -259,8 +315,9 @@ type Probe struct {
 	th   *vclock.Thread
 	cpu  *vclock.CPU
 
-	stack   []string
+	stack   []cct.FrameID // interned call stack, outermost first
 	txn     TxnCtxt
+	cur     *cct.Tree       // cached tree for the current context, nil = recompute
 	phase   vclock.Duration // CPU consumed since the last sample boundary
 	pending vclock.Duration // overhead to charge on the next Compute
 }
@@ -278,12 +335,14 @@ func (pr *Probe) Thread() *vclock.Thread { return pr.th }
 func (pr *Probe) Profiler() *Profiler { return pr.prof }
 
 // Enter pushes fn onto the call stack and returns a token for Exit.
-// Use as: defer pr.Exit(pr.Enter("func")).
+// Use as: defer pr.Exit(pr.Enter("func")). The frame name is interned in
+// the stage-wide frame table; for frames already seen this is a single
+// map lookup and an append into retained capacity.
 func (pr *Probe) Enter(fn string) int {
-	pr.stack = append(pr.stack, fn)
+	pr.stack = append(pr.stack, pr.prof.frames.ID(fn))
 	if pr.prof.Mode == ModeInstrumented {
 		pr.prof.calls++
-		pr.tree().AddCall(pr.stack)
+		pr.tree().AddCallIDs(pr.stack)
 		pr.pending += pr.prof.Overhead.PerCall
 	}
 	return len(pr.stack) - 1
@@ -297,10 +356,13 @@ func (pr *Probe) Exit(token int) {
 	pr.stack = pr.stack[:token]
 }
 
-// Stack returns a copy of the current call stack (outermost first).
+// Stack returns a copy of the current call stack (outermost first),
+// resolving interned frame IDs back to names.
 func (pr *Probe) Stack() []string {
 	out := make([]string, len(pr.stack))
-	copy(out, pr.stack)
+	for i, id := range pr.stack {
+		out[i] = pr.prof.frames.Name(id)
+	}
 	return out
 }
 
@@ -315,11 +377,12 @@ func (pr *Probe) SetTxn(tc TxnCtxt) {
 	if tc.Local == nil {
 		tc.Local = pr.prof.Table.Root()
 	}
-	if tc.Key() == pr.txn.Key() {
+	if sameCtxt(tc, pr.txn) {
 		return
 	}
 	pr.txn = tc
 	if pr.prof.Mode == ModeWhodunit {
+		pr.cur = nil // the cached tree belongs to the previous context
 		pr.prof.ctxtSwitches++
 		pr.pending += pr.prof.Overhead.PerCtxtSwitch
 	}
@@ -341,12 +404,19 @@ func (pr *Probe) CallCtxt() TxnCtxt {
 }
 
 // tree returns the CCT samples should currently land in: the per-context
-// tree in Whodunit mode, a single anonymous tree otherwise.
+// tree in Whodunit mode, a single anonymous tree otherwise. The result is
+// cached on the probe and invalidated only when SetTxn actually switches
+// context, so the steady-state path is a nil check and a field read — no
+// dictionary lookup per sample.
 func (pr *Probe) tree() *cct.Tree {
-	if pr.prof.Mode == ModeWhodunit {
-		return pr.prof.tree(pr.txn)
+	if pr.cur == nil {
+		if pr.prof.Mode == ModeWhodunit {
+			pr.cur = pr.prof.tree(pr.txn)
+		} else {
+			pr.cur = pr.prof.tree(TxnCtxt{Local: pr.prof.Table.Root()})
+		}
 	}
-	return pr.prof.tree(TxnCtxt{Local: pr.prof.Table.Root()})
+	return pr.cur
 }
 
 // ComputeN is Compute for work that internally executes `calls` procedure
@@ -381,7 +451,7 @@ func (pr *Probe) Compute(d vclock.Duration) {
 		}
 		if n > 0 {
 			pr.prof.samples += n
-			pr.tree().AddSamples(pr.stack, n)
+			pr.tree().AddSamplesIDs(pr.stack, n)
 			pr.pending += vclock.Duration(n) * pr.prof.Overhead.PerSample
 		}
 		total += pr.pending

@@ -97,9 +97,14 @@ type Graph struct {
 // context that sent chain P.
 func Build(dumps []StageDump) *Graph {
 	g := &Graph{}
-	type nodeRef struct{ idx int }
-	// Index nodes by (stage, context key).
-	byStageKey := make(map[string]nodeRef)
+	// Index nodes by (stage, context key), and receiver candidates by
+	// prefix chain, in one pass. The per-send matching below is then a
+	// single map lookup instead of the previous O(sends × stages × trees)
+	// rescan of every dump. Candidate lists keep dump/tree order, so the
+	// emitted edge set is identical.
+	byStageKey := make(map[string]int)
+	byPrefix := make(map[string][]int)
+	stageOf := make([]string, 0)
 	for _, d := range dumps {
 		for _, td := range d.Trees {
 			idx := len(g.Nodes)
@@ -109,29 +114,25 @@ func Build(dumps []StageDump) *Graph {
 				Total: td.Total,
 				Tree:  cct.FromRecords(td.Label, td.Records),
 			})
-			byStageKey[d.Stage+"\x00"+td.Key] = nodeRef{idx}
+			byStageKey[d.Stage+"\x00"+td.Key] = idx
+			byPrefix[td.Prefix] = append(byPrefix[td.Prefix], idx)
+			stageOf = append(stageOf, d.Stage)
 		}
 	}
 	// Request edges: sender context --chain--> receiver tree whose prefix
-	// equals the sent chain.
+	// equals the sent chain (in another stage).
 	for _, d := range dumps {
 		for _, send := range d.Sends {
-			fromRef, ok := byStageKey[d.Stage+"\x00"+send.FromKey]
+			from, ok := byStageKey[d.Stage+"\x00"+send.FromKey]
 			if !ok {
 				continue
 			}
-			for _, rd := range dumps {
-				if rd.Stage == d.Stage {
+			for _, to := range byPrefix[send.Chain] {
+				if stageOf[to] == d.Stage {
 					continue
 				}
-				for _, td := range rd.Trees {
-					if td.Prefix != send.Chain {
-						continue
-					}
-					toRef := byStageKey[rd.Stage+"\x00"+td.Key]
-					g.Edges = append(g.Edges, Edge{From: fromRef.idx, To: toRef.idx, Kind: "request"})
-					g.Edges = append(g.Edges, Edge{From: toRef.idx, To: fromRef.idx, Kind: "response"})
-				}
+				g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: "request"})
+				g.Edges = append(g.Edges, Edge{From: to, To: from, Kind: "response"})
 			}
 		}
 	}

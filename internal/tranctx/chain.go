@@ -25,6 +25,19 @@ func (ch Chain) String() string {
 	return strings.Join(parts, "#")
 }
 
+// Hash returns a 64-bit FNV-1a hash of the chain's synopses. The profiler
+// keys its CCT dictionary by (chain hash, local synopsis) so steady-state
+// context lookups build no strings; callers must confirm candidate hits
+// with Equal since distinct chains may collide.
+func (ch Chain) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range ch {
+		h ^= uint64(s)
+		h *= 1099511628211
+	}
+	return h
+}
+
 // chainMax bounds decoded chains; real chains have 1 or 2 entries
 // (request / response) but stitching records may concatenate a few more.
 const chainMax = 64

@@ -62,9 +62,18 @@ func StageHop(program, stage string) Hop {
 	return Hop{Kind: KindStage, Stage: program, Label: stage}
 }
 
-func (h Hop) key() string {
-	return fmt.Sprintf("%d\x00%s\x00%s", h.Kind, h.Stage, h.Label)
+// hopIdent is the comparable identity of a hop for interning: two hops
+// are the same context step iff kind, stage and label agree (a KindCall
+// hop's Label is its joined Path, so Path is covered too). Using a struct
+// key instead of a rendered string keeps Extend free of fmt and string
+// building — Extend runs on every message send.
+type hopIdent struct {
+	kind  Kind
+	stage string
+	label string
 }
+
+func (h Hop) ident() hopIdent { return hopIdent{kind: h.Kind, stage: h.Stage, label: h.Label} }
 
 // String renders the hop compactly, e.g. "apache/listener:apr_accept>push"
 // or "squid@httpAccept".
@@ -102,15 +111,22 @@ type Ctxt struct {
 // goroutines outside the simulator.
 type Table struct {
 	mu    sync.Mutex
-	byKey map[string]*Ctxt
+	byKey map[extendKey]*Ctxt
 	byID  []*Ctxt
 	root  *Ctxt
+}
+
+// extendKey identifies an interned context by its parent (already unique
+// within the table) and the identity of the final hop.
+type extendKey struct {
+	parent *Ctxt
+	hop    hopIdent
 }
 
 // NewTable returns a table containing only the root (empty) context, whose
 // synopsis is 0.
 func NewTable() *Table {
-	tb := &Table{byKey: make(map[string]*Ctxt)}
+	tb := &Table{byKey: make(map[extendKey]*Ctxt)}
 	tb.root = &Ctxt{table: tb}
 	tb.byID = []*Ctxt{tb.root}
 	return tb
@@ -162,7 +178,7 @@ func (c *Ctxt) Extend(hop Hop) *Ctxt {
 	tb := c.table
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
-	key := fmt.Sprintf("%d\x01%s", c.id, hop.key())
+	key := extendKey{parent: c, hop: hop.ident()}
 	if got, ok := tb.byKey[key]; ok {
 		return got
 	}

@@ -12,6 +12,13 @@ type RNG struct{ state uint64 }
 // independent-looking streams.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed + 0x9e3779b97f4a7c15} }
 
+// Skip advances the generator past k draws in O(1): splitmix64's state
+// moves by a fixed increment per draw, so the state after k draws is
+// directly computable. This is what lets sharded workload generation
+// reproduce a sequential draw sequence bit-for-bit — each worker jumps
+// its own RNG to the shard's position in the one global stream.
+func (r *RNG) Skip(k uint64) { r.state += k * 0x9e3779b97f4a7c15 }
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
@@ -63,6 +70,16 @@ type Zipf struct {
 // NewZipf builds a Zipf sampler over n items with exponent s (> 0) fed by
 // rng. Rank 0 is the most popular item.
 func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	z := NewZipfTable(n, s)
+	z.rng = rng
+	return z
+}
+
+// NewZipfTable builds the sampler without an RNG of its own: only Sample
+// (which takes the caller's RNG) may be used, not Next. Sharded workload
+// generators share one table across workers that each hold a per-item
+// stream.
+func NewZipfTable(n int, s float64) *Zipf {
 	cdf := make([]float64, n)
 	sum := 0.0
 	for i := 0; i < n; i++ {
@@ -72,12 +89,18 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{cdf: cdf, rng: rng}
+	return &Zipf{cdf: cdf}
 }
 
-// Next returns the next sample's rank in [0, n).
-func (z *Zipf) Next() int {
-	u := z.rng.Float64()
+// Next returns the next sample's rank in [0, n). It requires a sampler
+// built with NewZipf; table-only samplers (NewZipfTable) must use Sample.
+func (z *Zipf) Next() int { return z.Sample(z.rng) }
+
+// Sample draws a rank using r instead of the sampler's own stream. The
+// cumulative table is read-only after construction, so one Zipf can be
+// shared by concurrent workers each holding its own RNG.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
 	// Binary search for the first cdf entry >= u.
 	lo, hi := 0, len(z.cdf)-1
 	for lo < hi {

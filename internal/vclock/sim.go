@@ -1,7 +1,6 @@
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -44,21 +43,63 @@ type event struct {
 	fn   func()  // callback to run in scheduler context
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (when, seq).
+// container/heap is deliberately not used: its interface methods box every
+// pushed and popped event into an `any`, which costs two heap allocations
+// per scheduled event — on the profiler hot path, where every
+// Probe.Compute schedules a wake-up, that is the difference between an
+// allocation-free steady state and ~2 allocs per sample.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].when != h[j].when {
 		return h[i].when < h[j].when
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)          { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)            { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any              { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event            { return h[0] }
-func (s *Sim) push(e event)                { e.seq = s.seq; s.seq++; heap.Push(&s.events, e) }
-func (s *Sim) pop() event                  { return heap.Pop(&s.events).(event) }
+
+func (s *Sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	h := append(s.events, e)
+	// Sift up.
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	s.events = h
+}
+
+func (s *Sim) pop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the fn closure for GC
+	h = h[:n]
+	// Sift down.
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.less(r, c) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	s.events = h
+	return top
+}
+
 func (s *Sim) schedule(at Time, t *Thread) { s.push(event{when: at, t: t}) }
 
 // New returns an empty simulation with the clock at zero.
@@ -212,7 +253,7 @@ func (s *Sim) RunFor(end Time) {
 // RunUntil drives the simulation until stop returns true (checked between
 // events) or until no events remain. A nil stop runs to completion.
 func (s *Sim) RunUntil(stop func() bool) {
-	for s.events.Len() > 0 {
+	for len(s.events) > 0 {
 		if stop != nil && stop() {
 			return
 		}

@@ -9,6 +9,7 @@
 package workload
 
 import (
+	"whodunit/internal/par"
 	"whodunit/internal/vclock"
 )
 
@@ -60,31 +61,88 @@ func DefaultWebConfig() WebConfig {
 	}
 }
 
-// GenWeb generates a web trace from cfg.
+// genShard is the number of items one worker generates per grab.
+const genShard = 256
+
+// GenWeb generates a web trace from cfg. The draw sequence is the
+// classic single-stream one — sizes for every file, then per connection
+// a geometric request count followed by one Zipf draw per request — so
+// the trace is bit-identical to the original sequential generator at any
+// seed. Generation is still sharded across the par worker pool: the
+// expensive draws (Pareto sizes, Zipf binary searches) consume a known
+// number of stream positions, so a cheap sequential pre-pass records
+// each connection's offset in the stream and every worker jumps there in
+// O(1) with RNG.Skip.
 func GenWeb(cfg WebConfig) *WebTrace {
-	rng := vclock.NewRNG(cfg.Seed)
+	// File sizes: size i is draw i of the stream.
 	sizes := make([]int64, cfg.NumFiles)
-	for i := range sizes {
-		sizes[i] = int64(rng.Pareto(float64(cfg.MinSize), float64(cfg.MaxSize), cfg.SizeAlpha))
+	par.Do((cfg.NumFiles+genShard-1)/genShard, func(s int) {
+		lo, hi := s*genShard, (s+1)*genShard
+		if hi > cfg.NumFiles {
+			hi = cfg.NumFiles
+		}
+		rng := vclock.NewRNG(cfg.Seed)
+		rng.Skip(uint64(lo))
+		for i := lo; i < hi; i++ {
+			sizes[i] = int64(rng.Pareto(float64(cfg.MinSize), float64(cfg.MaxSize), cfg.SizeAlpha))
+		}
+	})
+
+	// Pre-pass: draw each connection's geometric request count (cheap)
+	// and record where its Zipf draws start in the stream; skip past them.
+	type connPlan struct {
+		n         int
+		zipfStart uint64
 	}
-	zipf := vclock.NewZipf(rng, cfg.NumFiles, cfg.ZipfS)
-	tr := &WebTrace{Files: sizes}
-	for c := 0; c < cfg.NumConns; c++ {
+	plans := make([]connPlan, cfg.NumConns)
+	rng := vclock.NewRNG(cfg.Seed)
+	rng.Skip(uint64(cfg.NumFiles))
+	off := uint64(cfg.NumFiles)
+	for c := range plans {
+		// Geometric number of requests with the configured mean (same
+		// draw-per-test shape as the original loop).
 		n := 1
-		// Geometric number of requests with the configured mean.
-		for rng.Float64() > 1.0/float64(cfg.MeanReqs) {
+		for {
+			off++
+			if rng.Float64() <= 1.0/float64(cfg.MeanReqs) {
+				break
+			}
 			n++
 			if n >= 8*cfg.MeanReqs {
 				break
 			}
 		}
-		conn := Connection{ID: c}
-		for r := 0; r < n; r++ {
-			f := zipf.Next()
-			conn.Reqs = append(conn.Reqs, Request{File: f, Size: sizes[f]})
-			tr.TotalBytes += sizes[f]
+		plans[c] = connPlan{n: n, zipfStart: off}
+		rng.Skip(uint64(n))
+		off += uint64(n)
+	}
+
+	// Requests: workers replay each connection's Zipf draws from its
+	// recorded stream position.
+	zipf := vclock.NewZipfTable(cfg.NumFiles, cfg.ZipfS) // shared read-only table
+	tr := &WebTrace{Files: sizes, Conns: make([]Connection, cfg.NumConns)}
+	par.Do((cfg.NumConns+genShard-1)/genShard, func(s int) {
+		lo, hi := s*genShard, (s+1)*genShard
+		if hi > cfg.NumConns {
+			hi = cfg.NumConns
 		}
-		tr.Conns = append(tr.Conns, conn)
+		for c := lo; c < hi; c++ {
+			crng := vclock.NewRNG(cfg.Seed)
+			crng.Skip(plans[c].zipfStart)
+			conn := Connection{ID: c, Reqs: make([]Request, plans[c].n)}
+			for r := range conn.Reqs {
+				f := zipf.Sample(crng)
+				conn.Reqs[r] = Request{File: f, Size: sizes[f]}
+			}
+			tr.Conns[c] = conn
+		}
+	})
+	// Deterministic index-order total (int64 addition commutes, but keep
+	// the reduction out of the parallel phase anyway).
+	for _, conn := range tr.Conns {
+		for _, r := range conn.Reqs {
+			tr.TotalBytes += r.Size
+		}
 	}
 	return tr
 }

@@ -34,7 +34,8 @@
 // event-driven programs, Stage.SEDAStage/Worker/Inject for staged
 // pipelines. Functional options (WithMode, WithSeed, WithCrosstalk,
 // WithFlowDetection, WithSamplingInterval, StageMode, StageCPU) select
-// the run configuration.
+// the run configuration. RunApps sweeps independent Apps across
+// GOMAXPROCS workers with reports bit-identical to serial runs.
 //
 // # Building blocks
 //
