@@ -43,6 +43,10 @@ type App struct {
 	machine *Machine
 	tracker *FlowTracker
 
+	flowWanted   bool
+	flow         *flowState
+	cyclesPerSec int64
+
 	ran bool
 }
 
@@ -51,16 +55,23 @@ type App struct {
 // sampling interval, and no crosstalk or flow machinery.
 func NewApp(name string, opts ...Option) *App {
 	a := &App{
-		Name:   name,
-		sim:    NewSim(),
-		cores:  2,
-		mode:   ModeWhodunit,
-		byName: make(map[string]*Stage),
+		Name:         name,
+		sim:          NewSim(),
+		cores:        2,
+		mode:         ModeWhodunit,
+		byName:       make(map[string]*Stage),
+		cyclesPerSec: DefaultCyclesPerSecond,
 	}
 	for _, opt := range opts {
 		opt(a)
 	}
 	a.rng = vclock.NewRNG(a.seed)
+	// Options are pure configuration; the cross-cutting machinery is
+	// built here, once the mode, clock rate and flow settings are all
+	// known — so option order never matters.
+	if a.flowWanted {
+		a.initFlow()
+	}
 	return a
 }
 
@@ -102,9 +113,6 @@ func (a *App) Stages() []*Stage {
 	return out
 }
 
-// NewQueue creates a simulator queue (a convenience passthrough).
-func (a *App) NewQueue(name string) *Queue { return a.sim.NewQueue(name) }
-
 // NewLock creates a lock; if the app has a crosstalk monitor
 // (WithCrosstalk), the lock reports contention to it.
 func (a *App) NewLock(name string) *Lock {
@@ -120,11 +128,15 @@ func (a *App) NewLock(name string) *Lock {
 func (a *App) Crosstalk() *CrosstalkMonitor { return a.monitor }
 
 // Machine returns the app's machine emulator, or nil without
-// WithFlowDetection.
+// WithFlowDetection. The machine is owned by the app: Queue.Push/Pop
+// and Stage.EmulatedCS run programs on it with the token plumbing
+// already wired; read TotalCycles from it for emulation-cost accounting.
 func (a *App) Machine() *Machine { return a.machine }
 
-// FlowTracker returns the app's flow tracker, or nil without
-// WithFlowDetection.
+// FlowTracker returns the app's flow tracker, or nil unless the app was
+// built with WithFlowDetection and profiles in ModeWhodunit. Its
+// ThreadCtxt, OnFlow and OnNonFlow hooks are owned by the app's token
+// plumbing; read detected flows through Flows or Report.Flows.
 func (a *App) FlowTracker() *FlowTracker { return a.tracker }
 
 // Run drives the simulation until no events remain, unwinds surviving

@@ -12,7 +12,7 @@ import (
 // runTwoStageWorkload drives the canonical web+db workload against the
 // probes handed to it; shared between the App-API test and the manual
 // facade path it is compared with.
-func twoStageWorkload(sim *whodunit.Sim, reqQ, respQ *whodunit.Queue,
+func twoStageWorkload(sim *whodunit.Sim, reqQ, respQ *whodunit.SimQueue,
 	webEP, dbEP *whodunit.Endpoint, goWeb, goDB func(body func(*whodunit.Thread, *whodunit.Probe))) {
 	goDB(func(th *whodunit.Thread, pr *whodunit.Probe) {
 		for i := 0; i < 4; i++ {
@@ -51,7 +51,7 @@ func TestAppTwoStageEndToEnd(t *testing.T) {
 	// --- App path -------------------------------------------------
 	app := whodunit.NewApp("shop", whodunit.WithMode(whodunit.ModeWhodunit), whodunit.WithCores(2))
 	web, db := app.Stage("web"), app.Stage("db")
-	reqQ, respQ := app.NewQueue("req"), app.NewQueue("resp")
+	reqQ, respQ := app.NewQueue("req").Raw(), app.NewQueue("resp").Raw()
 	twoStageWorkload(app.Sim(), reqQ, respQ, web.Endpoint(), db.Endpoint(),
 		func(body func(*whodunit.Thread, *whodunit.Probe)) { web.Go("web", body) },
 		func(body func(*whodunit.Thread, *whodunit.Probe)) { db.Go("db", body) })
@@ -142,7 +142,7 @@ func TestAppTwoStageEndToEnd(t *testing.T) {
 func TestReportJSONRoundTrip(t *testing.T) {
 	app := whodunit.NewApp("shop", whodunit.WithMode(whodunit.ModeWhodunit))
 	web, db := app.Stage("web"), app.Stage("db")
-	reqQ, respQ := app.NewQueue("req"), app.NewQueue("resp")
+	reqQ, respQ := app.NewQueue("req").Raw(), app.NewQueue("resp").Raw()
 	twoStageWorkload(app.Sim(), reqQ, respQ, web.Endpoint(), db.Endpoint(),
 		func(body func(*whodunit.Thread, *whodunit.Probe)) { web.Go("web", body) },
 		func(body func(*whodunit.Thread, *whodunit.Probe)) { db.Go("db", body) })
@@ -192,7 +192,7 @@ func TestRunAppsMatchesSerialRuns(t *testing.T) {
 	build := func(name string, seed uint64) *whodunit.App {
 		app := whodunit.NewApp(name, whodunit.WithMode(whodunit.ModeWhodunit), whodunit.WithSeed(seed))
 		web, db := app.Stage("web"), app.Stage("db")
-		reqQ, respQ := app.NewQueue("req"), app.NewQueue("resp")
+		reqQ, respQ := app.NewQueue("req").Raw(), app.NewQueue("resp").Raw()
 		twoStageWorkload(app.Sim(), reqQ, respQ, web.Endpoint(), db.Endpoint(),
 			func(body func(*whodunit.Thread, *whodunit.Probe)) { web.Go("web", body) },
 			func(body func(*whodunit.Thread, *whodunit.Probe)) { db.Go("db", body) })
@@ -245,7 +245,7 @@ func TestAppEventLoopStage(t *testing.T) {
 	st.Go("loop", func(th *whodunit.Thread, pr *whodunit.Probe) {
 		st.BindLoop(pr)
 		for served < 3 {
-			loop.Dispatch(th.Get(ready).(*whodunit.Event))
+			loop.Dispatch(ready.Get(th).(*whodunit.Event))
 			seen = append(seen, pr.Txn().Label())
 		}
 	})
@@ -278,7 +278,7 @@ func TestAppSEDAStage(t *testing.T) {
 	st.Go("A", func(th *whodunit.Thread, pr *whodunit.Probe) {
 		w := st.Worker(sA, pr)
 		for {
-			w.Begin(th.Get(qA).(*whodunit.SEDAElem))
+			w.Begin(qA.Get(th).(*whodunit.SEDAElem))
 			pr.Compute(whodunit.Millisecond)
 			w.Enqueue(sB, nil)
 		}
@@ -286,7 +286,7 @@ func TestAppSEDAStage(t *testing.T) {
 	st.Go("B", func(th *whodunit.Thread, pr *whodunit.Probe) {
 		w := st.Worker(sB, pr)
 		for {
-			w.Begin(th.Get(qB).(*whodunit.SEDAElem))
+			w.Begin(qB.Get(th).(*whodunit.SEDAElem))
 			ctxts = append(ctxts, pr.Txn().Label())
 			done++
 		}

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"os"
 
-	"whodunit"
 	"whodunit/internal/apps/apacheweb"
 	"whodunit/internal/cmdutil"
 	"whodunit/internal/workload"
@@ -29,9 +28,7 @@ func main() {
 	cfg.Mode = *mode
 
 	res := apacheweb.Run(cfg)
-	report := whodunit.NewReport("apache", whodunit.NewStageReport(res.Profiler))
-	report.Elapsed = res.Elapsed
-	report.Flows = res.Flows
+	report := res.Report // App.Run already assembled the unified report
 	if *jsonOut {
 		cmdutil.EmitJSON("whodunit-apache", report)
 		return

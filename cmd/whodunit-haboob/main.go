@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"os"
 
-	"whodunit"
 	"whodunit/internal/apps/haboob"
 	"whodunit/internal/cmdutil"
 	"whodunit/internal/workload"
@@ -28,8 +27,7 @@ func main() {
 	cfg.Mode = *mode
 
 	res := haboob.Run(cfg)
-	report := whodunit.NewReport("haboob", whodunit.NewStageReport(res.Profiler))
-	report.Elapsed = res.Elapsed
+	report := res.Report // App.Run already assembled the unified report
 	if *jsonOut {
 		cmdutil.EmitJSON("whodunit-haboob", report)
 		return

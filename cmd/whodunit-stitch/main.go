@@ -7,6 +7,7 @@
 //	whodunit-stitch web.json app.json db.json
 //	whodunit-stitch -dot web.json app.json db.json > graph.dot
 //	whodunit-stitch -json web.json app.json db.json > report.json
+//	whodunit-stitch -folded web.json app.json db.json | flamegraph.pl > flame.svg
 package main
 
 import (
@@ -20,11 +21,12 @@ import (
 
 func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text")
+	folded := flag.Bool("folded", false, "emit folded stacks (flamegraph.pl input) instead of text")
 	jsonOut := cmdutil.JSONFlag()
 	name := flag.String("name", "stitched", "application name for the report")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: whodunit-stitch [-dot|-json] [-name app] stage1.json stage2.json ...")
+		fmt.Fprintln(os.Stderr, "usage: whodunit-stitch [-dot|-json|-folded] [-name app] stage1.json stage2.json ...")
 		os.Exit(2)
 	}
 	var dumps []whodunit.StageDump
@@ -56,6 +58,8 @@ func main() {
 		cmdutil.EmitJSON("whodunit-stitch", report)
 	case *dot:
 		report.DOT(os.Stdout)
+	case *folded:
+		report.Folded(os.Stdout)
 	default:
 		report.Text(os.Stdout)
 	}

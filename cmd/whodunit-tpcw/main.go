@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"os"
 
-	"whodunit"
 	"whodunit/internal/apps/tpcw"
 	"whodunit/internal/cmdutil"
 	"whodunit/internal/minidb"
@@ -37,12 +36,7 @@ func main() {
 	cfg.Mode = *mode
 
 	res := tpcw.Run(cfg)
-	report := whodunit.NewReport("tpcw",
-		whodunit.NewStageReport(res.SquidProf, res.SquidEP),
-		whodunit.NewStageReport(res.TomcatProf, res.TomcatEP),
-		whodunit.NewStageReport(res.MySQLProf, res.MySQLEP))
-	report.Elapsed = res.Elapsed
-	report.Crosstalk = res.Crosstalk.Pairs()
+	report := res.Report // App.Run already assembled the three-tier report
 	switch {
 	case *jsonOut:
 		cmdutil.EmitJSON("whodunit-tpcw", report)

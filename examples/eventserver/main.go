@@ -51,7 +51,7 @@ func main() {
 		pr = probe
 		proxy.BindLoop(pr)
 		for served < total {
-			loop.Dispatch(th.Get(ready).(*whodunit.Event))
+			loop.Dispatch(ready.Get(th).(*whodunit.Event))
 		}
 	})
 	report := app.Run()

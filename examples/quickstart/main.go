@@ -28,7 +28,7 @@ func main() {
 	// context's calling context tree.
 	db.Go("db", func(th *whodunit.Thread, pr *whodunit.Probe) {
 		for i := 0; i < 2*rounds; i++ {
-			msg := th.Get(reqQ).(whodunit.Msg)
+			msg := reqQ.Get(th).(whodunit.Msg)
 			db.Endpoint().Recv(pr, msg)
 			func() {
 				defer pr.Exit(pr.Enter("exec_query"))
@@ -53,7 +53,7 @@ func main() {
 					defer pr.Exit(pr.Enter("serve_" + page))
 					pr.Compute(whodunit.Millisecond)
 					reqQ.Put(web.Endpoint().Send(pr, page))
-					web.Endpoint().Recv(pr, th.Get(respQ).(whodunit.Msg))
+					web.Endpoint().Recv(pr, respQ.Get(th).(whodunit.Msg))
 				}()
 			}
 		}

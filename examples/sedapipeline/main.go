@@ -29,7 +29,7 @@ func main() {
 			w := pipe.Worker(st, pr)
 			q := st.In.(*whodunit.Queue)
 			for {
-				data := w.Begin(th.Get(q).(*whodunit.SEDAElem))
+				data := w.Begin(q.Get(th).(*whodunit.SEDAElem))
 				func() {
 					defer pr.Exit(pr.Enter(st.Name))
 					body(w, pr, data)

@@ -1,0 +1,385 @@
+package whodunit
+
+import (
+	"fmt"
+
+	"whodunit/internal/shmflow"
+	"whodunit/internal/vclock"
+	"whodunit/internal/vm"
+)
+
+// DefaultCyclesPerSecond converts emulated machine cycles to virtual
+// time: the paper's 2.4 GHz Xeon. Override with WithClockRate.
+const DefaultCyclesPerSecond = 2_400_000_000
+
+// emulatedStepLimit bounds a single emulated critical-section execution;
+// the library's queue programs run a dozen instructions, so hitting it
+// means a user program diverged.
+const emulatedStepLimit = 100_000
+
+// flowState is the app's token plumbing for shared-memory flow detection
+// (§3.5): it maps the transaction contexts of threads entering emulated
+// critical sections to opaque flow tokens and back, so a context picked
+// up by the tracker on the consumer side can be re-established on the
+// consuming probe with no per-application wiring.
+type flowState struct {
+	vmCtxt   map[int]shmflow.Token     // vm thread id -> producer token
+	tokens   map[shmflow.Token]TxnCtxt // token -> transaction context
+	keys     map[string]shmflow.Token  // context key -> token (interning)
+	nextTok  shmflow.Token
+	consumed shmflow.Token // token delivered by OnFlow during the current run
+	consumer int           // vm thread the tracker assigned that token to
+
+	nextLock int   // next vm lock id to hand to a Queue
+	nextBase int64 // next vm memory base to hand to a Queue
+}
+
+func newFlowState() *flowState {
+	return &flowState{
+		vmCtxt:   make(map[int]shmflow.Token),
+		tokens:   make(map[shmflow.Token]TxnCtxt),
+		keys:     make(map[string]shmflow.Token),
+		nextTok:  1,
+		nextLock: 1,
+		nextBase: 0x1000,
+	}
+}
+
+func (f *flowState) tokenFor(tc TxnCtxt) shmflow.Token {
+	k := tc.Key()
+	if tok, ok := f.keys[k]; ok {
+		return tok
+	}
+	tok := f.nextTok
+	f.nextTok++
+	f.keys[k] = tok
+	f.tokens[tok] = tc
+	return tok
+}
+
+// initFlow builds the app's flow-detection machinery once all options are
+// applied: the machine emulator always (critical sections must execute
+// either way), the tracker — and with it emulation, tracing and token
+// plumbing — only when the app profiles in Whodunit mode. In the other
+// modes critical sections run natively on the machine at direct-execution
+// cost, exactly as an unprofiled application would (§7.2).
+func (a *App) initFlow() {
+	a.machine = vm.NewMachine()
+	a.flow = newFlowState()
+	if a.mode != ModeWhodunit {
+		return
+	}
+	a.machine.Mode = vm.ModeEmulateCS
+	a.tracker = shmflow.NewTracker()
+	a.tracker.ThreadCtxt = func(tid int) shmflow.Token { return a.flow.vmCtxt[tid] }
+	a.tracker.OnFlow = func(ev FlowEvent) { a.flow.consumed, a.flow.consumer = ev.Token, ev.Consumer }
+	a.tracker.OnNonFlow = func(lock int) { a.machine.SetNonFlow(lock) }
+	a.machine.Tracer = a.tracker
+}
+
+func (a *App) cyclesToTime(c int64) Duration {
+	return Duration(c * int64(Second) / a.cyclesPerSec)
+}
+
+// ReserveCS reserves a vm lock id and a private 0x10000-word memory
+// region (word addresses base..base+0xFFFF) for a custom critical
+// section, drawn from the same pool App.NewQueue allocates from. Use it
+// when writing programs for Stage.EmulatedCS: the machine's locks and
+// memory are shared app-wide, so a hard-coded lock id or address could
+// collide with a queue's one_big_mutex or data words — corrupting the
+// queue, or worse, tripping the §3.4 allocator rule and demoting the
+// shared lock to native execution.
+func (a *App) ReserveCS() (lock int, base int64) {
+	if a.flow == nil {
+		panic("whodunit: ReserveCS needs WithFlowDetection")
+	}
+	lock = a.flow.nextLock
+	a.flow.nextLock++
+	base = a.flow.nextBase
+	a.flow.nextBase += 0x1_0000
+	return lock, base
+}
+
+// runEmulated executes one program on the app's shared machine as the
+// calling simulated thread: the probe's current transaction context is
+// registered as the executing vm thread's token, the cycles consumed
+// are charged to the probe's CPU, and — if the tracker detected that
+// this execution consumed another thread's context — the probe is
+// switched to the producer's transaction context (§3.5), with no caller
+// involvement.
+func (a *App) runEmulated(pr *Probe, prog *vm.Program, entry string, regs map[byte]int64) *vm.Thread {
+	if a.machine == nil {
+		panic("whodunit: emulated critical sections need WithFlowDetection")
+	}
+	th, err := a.machine.Spawn(prog, entry)
+	if err != nil {
+		panic(fmt.Sprintf("whodunit: %s: %v", prog.Name, err))
+	}
+	for r, v := range regs {
+		th.Regs[r] = v
+	}
+	// Token plumbing only matters when the tracker is live (ModeWhodunit);
+	// in the other modes the program still executes (at direct cost) but
+	// interning contexts would be pure per-op string churn.
+	if a.tracker != nil {
+		a.flow.consumed, a.flow.consumer = 0, -1
+		a.flow.vmCtxt[th.ID] = a.flow.tokenFor(pr.Txn())
+	}
+	before := th.Cycles
+	if err := a.machine.Run(emulatedStepLimit); err != nil {
+		panic(fmt.Sprintf("whodunit: %s: %v", prog.Name, err))
+	}
+	// Capture the delivered flow before Compute blocks this simulated
+	// thread: other threads may run their own critical sections on the
+	// shared machine while this one waits for the CPU, overwriting the
+	// single delivery slot.
+	tok, consumer := a.flow.consumed, a.flow.consumer
+	pr.Compute(a.cyclesToTime(th.Cycles - before))
+	a.machine.Reap()
+	if a.tracker != nil {
+		delete(a.flow.vmCtxt, th.ID)
+		// §3.5: the consumer adopts the producer's context.
+		if tok != 0 && consumer == th.ID {
+			if tc, ok := a.flow.tokens[tok]; ok {
+				pr.SetTxn(tc)
+			}
+		}
+	}
+	return th
+}
+
+// Queue is a shared-memory FIFO queue whose Push and Pop critical
+// sections execute on the app's emulated machine — Figure 1's
+// ap_queue_push / ap_queue_pop as a library type. Under Whodunit
+// profiling the shared-memory flow tracker watches those critical
+// sections and propagates the pusher's transaction context to the
+// popper automatically (§3.5): Pop returns with the popping probe
+// switched to the context the element was pushed under, with zero
+// per-application wiring. Without WithFlowDetection (or outside
+// ModeWhodunit) the queue still transports elements, but — like the
+// real application without Whodunit attached — no context propagates.
+//
+// Push and Pop are the critical-section operations; Put and Get are the
+// raw transport face of the same queue for message-passing code that
+// propagates context explicitly through Endpoints (ipc synopses) or
+// carries it in SEDA elements and events. Put may be called from
+// scheduler callbacks; Pop and Get block the calling thread until an
+// element is available. A Pop that dequeues an element added with raw
+// Put returns it as-is (no emulation, no context inference). Element
+// order across the two faces is not defined; within Push/Pop it follows
+// Figure 1's array semantics — data[nelts++] on push, data[--nelts] on
+// pop — so with more than one element buffered the most recently pushed
+// element pops first, exactly as the paper's critical sections behave.
+type Queue struct {
+	Name string
+
+	// PushFrame and PopFrame are the probe frames entered around the
+	// emulated critical sections; they default to Figure 1's
+	// ap_queue_push / ap_queue_pop.
+	PushFrame, PopFrame string
+
+	app      *App
+	inner    *vclock.Queue
+	lockID   int
+	base     int64
+	push     *vm.Program
+	pop      *vm.Program
+	vals     []any
+	free     []int64 // popped vals slots available for reuse
+	vmLen    int     // elements currently in the vm-side queue (pushes - pops)
+	scratch  map[*vclock.Thread]int64
+	nscratch int
+}
+
+// pushedElem is what Push places on the inner simulator queue: a
+// semaphore token recording that the element itself lives in the
+// vm-side shared memory. Pop uses it to tell vm-backed elements from
+// raw Put ones; Get refuses it (a Push'd element must be popped, or
+// the vm-side queue would silently desynchronise). It is unexported,
+// so it can only ever appear on its own queue's inner queue.
+type pushedElem struct{}
+
+// The vm memory layout bounds how much a queue can hold: data slots are
+// 2 words each from base+0x10 up to the scratch region at base+0x7000,
+// and scratch slots are 0x40 words each up to the next queue's region
+// at base+0x10000. Exceeding either would silently corrupt adjacent
+// memory, so Push and scratchFor fail loudly instead.
+const (
+	maxQueueDepth     = (0x7000 - 0x10) / 2
+	maxQueueConsumers = (0x10000 - 0x7000) / 0x40
+)
+
+// NewQueue creates a queue attached to the app. The queue's vm resources
+// (memory region, lock id, compiled push/pop programs) are allocated
+// lazily on first Push, so queues used only as raw transport cost
+// nothing beyond the simulator queue they wrap.
+func (a *App) NewQueue(name string) *Queue {
+	return &Queue{
+		Name:      name,
+		PushFrame: "ap_queue_push",
+		PopFrame:  "ap_queue_pop",
+		app:       a,
+		inner:     a.sim.NewQueue(name),
+	}
+}
+
+// Raw returns the underlying simulator queue (for code that needs to
+// pass it to APIs taking a SimQueue).
+func (q *Queue) Raw() *vclock.Queue { return q.inner }
+
+// Len reports the number of items currently buffered.
+func (q *Queue) Len() int { return q.inner.Len() }
+
+// Put appends v without emulation or context inference; it never blocks
+// and may be called from scheduler callbacks.
+func (q *Queue) Put(v any) { q.inner.Put(v) }
+
+// Get removes and returns the oldest item, blocking th until one is
+// available. Like Put, it performs no context inference. Get panics if
+// the dequeued element was added with Push: the element's payload lives
+// in the vm-side queue, and draining it without the pop critical
+// section would silently desynchronise that memory — use Pop.
+func (q *Queue) Get(th *Thread) any { return q.checkRaw(th.Get(q.inner)) }
+
+// TryGet removes and returns the oldest item if one is buffered; it
+// never blocks. Like Get, it panics on elements added with Push.
+func (q *Queue) TryGet(th *Thread) (any, bool) {
+	v, ok := th.TryGet(q.inner)
+	if !ok {
+		return nil, false
+	}
+	return q.checkRaw(v), true
+}
+
+func (q *Queue) checkRaw(v any) any {
+	if _, ok := v.(pushedElem); ok {
+		panic(fmt.Sprintf("whodunit: queue %q: element added with Push must be dequeued with Pop", q.Name))
+	}
+	return v
+}
+
+// ensure allocates the queue's vm resources: a word-addressed region
+// laid out like Figure 1's fd_queue_t ([base] = nelts, data at
+// base+0x10, per-consumer scratch words from base+0x7000) and a
+// dedicated vm lock (one_big_mutex), plus the push/pop programs
+// assembled against those addresses.
+func (q *Queue) ensure() {
+	if q.push != nil {
+		return
+	}
+	q.lockID, q.base = q.app.ReserveCS()
+	q.scratch = make(map[*vclock.Thread]int64)
+	data := q.base + 0x10
+	q.push = vm.MustAssemble(q.Name+"_push", fmt.Sprintf(`
+	push:
+		lock %d
+		load  r3, [r1]       ; r3 = queue->nelts
+		add   r6, r3, r3     ; r6 = nelts * 2 (element stride)
+		movi  r7, %#x        ; r7 = &queue->data[0]
+		add   r7, r7, r6     ; r7 = &queue->data[nelts]
+		store [r7+0], r4     ; elem->sd = sd   (produce)
+		store [r7+1], r5     ; elem->p  = p    (produce)
+		incm  [r1]           ; queue->nelts++
+		unlock %d
+		halt
+	`, q.lockID, data, q.lockID))
+	q.pop = vm.MustAssemble(q.Name+"_pop", fmt.Sprintf(`
+	pop:
+		lock %d
+		decm  [r1]           ; --queue->nelts
+		load  r3, [r1]       ; r3 = nelts
+		add   r6, r3, r3
+		movi  r7, %#x
+		add   r7, r7, r6     ; r7 = &queue->data[nelts]
+		load  r4, [r7+0]     ; *sd = elem->sd
+		load  r5, [r7+1]     ; *p  = elem->p
+		unlock %d
+		store [r9+0], r4     ; caller uses sd after return (consume)
+		store [r9+1], r5     ; caller uses p  after return (consume)
+		halt
+	`, q.lockID, data, q.lockID))
+}
+
+func (q *Queue) scratchFor(th *Thread) int64 {
+	if s, ok := q.scratch[th]; ok {
+		return s
+	}
+	if q.nscratch >= maxQueueConsumers {
+		panic(fmt.Sprintf("whodunit: queue %q has more than %d popping threads", q.Name, maxQueueConsumers))
+	}
+	s := q.base + 0x7000 + int64(q.nscratch)*0x40
+	q.nscratch++
+	q.scratch[th] = s
+	return s
+}
+
+// Push appends v, executing the ap_queue_push critical section on the
+// app's machine under pr's transaction context. The emulation cycles
+// are charged to pr's CPU inside the PushFrame probe frame.
+func (q *Queue) Push(pr *Probe, v any) {
+	if q.app.machine == nil {
+		q.inner.Put(v)
+		return
+	}
+	q.ensure()
+	if q.vmLen >= maxQueueDepth {
+		panic(fmt.Sprintf("whodunit: queue %q exceeds its vm capacity of %d buffered elements", q.Name, maxQueueDepth))
+	}
+	// Count the element before the emulated run: runEmulated blocks in
+	// Compute, and a concurrent pusher must see the slot as taken or the
+	// capacity guard above could be bypassed.
+	q.vmLen++
+	func() {
+		defer pr.Exit(pr.Enter(q.PushFrame))
+		var sd int64
+		if n := len(q.free); n > 0 {
+			sd = q.free[n-1]
+			q.free = q.free[:n-1]
+			q.vals[sd] = v
+		} else {
+			sd = int64(len(q.vals))
+			q.vals = append(q.vals, v)
+		}
+		q.app.runEmulated(pr, q.push, "push", map[byte]int64{
+			1: q.base, 4: sd, 5: sd + 1_000_000,
+		})
+	}()
+	q.inner.Put(pushedElem{})
+}
+
+// Pop blocks until an element is available, executes the ap_queue_pop
+// critical section on the app's machine, and returns the element. If
+// the flow tracker detected the handoff, pr comes back switched to the
+// transaction context the element was pushed under — the §3.5 context
+// propagation, with no user involvement.
+func (q *Queue) Pop(pr *Probe) any {
+	th := pr.Thread()
+	if q.app.machine == nil {
+		return th.Get(q.inner)
+	}
+	got := th.Get(q.inner) // semaphore: an element is available
+	if _, ok := got.(pushedElem); !ok {
+		// The dequeued element entered through the raw Put face and was
+		// never stored in the vm-side queue: hand it over directly, with
+		// no critical section and therefore no context inference.
+		return got
+	}
+	// A pushedElem implies the Push that produced it already ran
+	// ensure(), so the vm resources exist; raw-only queues never
+	// reach this point and stay free of vm state.
+	q.vmLen--
+	var v any
+	func() {
+		defer pr.Exit(pr.Enter(q.PopFrame))
+		t := q.app.runEmulated(pr, q.pop, "pop", map[byte]int64{
+			1: q.base, 9: q.scratchFor(th),
+		})
+		// The value comes from the slot the critical section actually
+		// popped, so it stays consistent with the propagated context.
+		sd := t.Regs[4]
+		v = q.vals[sd]
+		q.vals[sd] = nil
+		q.free = append(q.free, sd) // slot reusable by the next Push
+	}()
+	return v
+}

@@ -3,47 +3,39 @@
 // shared fd queue; a pool of worker threads pops connections and serves
 // their requests.
 //
-// The fd queue's critical sections (ap_queue_push / ap_queue_pop, Figure
-// 1) are not instrumented by hand: they *execute on the vm machine* under
-// emulation, and the shmflow tracker detects the transaction flow from
-// listener to worker automatically, propagating the listener's
-// transaction context to the worker exactly as §3.5 prescribes. The
-// emulation cycles are charged to the server CPU, which is where
-// Whodunit's 2.3% Apache overhead (§9.2) comes from.
+// The model is an App/Stage composition: the fd queue is App.NewQueue —
+// Figure 1's ap_queue_push / ap_queue_pop as a library type — so its
+// critical sections *execute on the emulated machine* and the shmflow
+// tracker propagates the listener's transaction context to the worker
+// automatically, exactly as §3.5 prescribes, with no plumbing in this
+// package at all. The emulation cycles are charged to the server CPU,
+// which is where Whodunit's 2.3% Apache overhead (§9.2) comes from.
 package apacheweb
 
 import (
 	"fmt"
 
-	"whodunit/internal/profiler"
-	"whodunit/internal/shmflow"
-	"whodunit/internal/tranctx"
-	"whodunit/internal/vclock"
-	"whodunit/internal/vm"
+	"whodunit"
 	"whodunit/internal/workload"
 )
 
 // CyclesPerSecond converts vm cycles to virtual time (the paper's 2.4 GHz
 // Xeon).
-const CyclesPerSecond = 2_400_000_000
-
-func cyclesToTime(c int64) vclock.Duration {
-	return vclock.Duration(c * int64(vclock.Second) / CyclesPerSecond)
-}
+const CyclesPerSecond = whodunit.DefaultCyclesPerSecond
 
 // Config parameterises a run.
 type Config struct {
 	Workers int
 	Cores   int
-	Mode    profiler.Mode
+	Mode    whodunit.Mode
 	Trace   *workload.WebTrace
 	// ConnInterval is the inter-arrival gap between accepted connections
 	// at the listener; 0 means back-to-back (peak load).
-	ConnInterval vclock.Duration
+	ConnInterval whodunit.Duration
 	// ParseCost is the fixed CPU demand to parse one request; SendPerByte
 	// the per-byte cost of ap_process_connection/sendfile.
-	ParseCost   vclock.Duration
-	SendPerByte vclock.Duration
+	ParseCost   whodunit.Duration
+	SendPerByte whodunit.Duration
 }
 
 // DefaultConfig serves trace at peak load with 8 workers on 2 cores.
@@ -51,18 +43,19 @@ func DefaultConfig(trace *workload.WebTrace) Config {
 	return Config{
 		Workers:     8,
 		Cores:       2,
-		Mode:        profiler.ModeWhodunit,
+		Mode:        whodunit.ModeWhodunit,
 		Trace:       trace,
-		ParseCost:   60 * vclock.Microsecond,
-		SendPerByte: 12 * vclock.Nanosecond, // ~80 MB/s per core sendfile path
+		ParseCost:   60 * whodunit.Microsecond,
+		SendPerByte: 12 * whodunit.Nanosecond, // ~80 MB/s per core sendfile path
 	}
 }
 
 // Result summarises a run.
 type Result struct {
-	Profiler        *profiler.Profiler
-	Flows           []shmflow.FlowEvent
-	Elapsed         vclock.Duration
+	Report          *whodunit.Report
+	Profiler        *whodunit.Profiler
+	Flows           []whodunit.FlowEvent
+	Elapsed         whodunit.Duration
 	BytesSent       int64
 	Requests        int64
 	Conns           int64
@@ -76,96 +69,32 @@ func Run(cfg Config) *Result {
 	if cfg.Trace == nil {
 		panic("apacheweb: nil trace")
 	}
-	s := vclock.New()
-	cpu := s.NewCPU("apache-cpu", cfg.Cores)
-	prof := profiler.New("apache", cfg.Mode)
+	app := whodunit.NewApp("apache",
+		whodunit.WithMode(cfg.Mode),
+		whodunit.WithCores(cfg.Cores),
+		whodunit.WithFlowDetection())
+	st := app.Stage("apache")
+	fdq := app.NewQueue("fdqueue-sem")
 
-	// The VM hosting the fd-queue critical sections.
-	machine := vm.NewMachine()
-	tracker := shmflow.NewTracker()
-	if cfg.Mode == profiler.ModeWhodunit {
-		machine.Mode = vm.ModeEmulateCS
-		machine.Tracer = tracker
-		tracker.OnNonFlow = func(lock int) { machine.SetNonFlow(lock) }
-	}
-
-	// Token plumbing: vm thread id -> context token; token -> TxnCtxt.
-	vmCtxt := make(map[int]shmflow.Token)
-	tokens := make(map[shmflow.Token]profiler.TxnCtxt)
-	keys := make(map[string]shmflow.Token)
-	nextTok := shmflow.Token(1)
-	tokenFor := func(tc profiler.TxnCtxt) shmflow.Token {
-		k := tc.Key()
-		if tok, ok := keys[k]; ok {
-			return tok
-		}
-		tok := nextTok
-		nextTok++
-		keys[k] = tok
-		tokens[tok] = tc
-		return tok
-	}
-	tracker.ThreadCtxt = func(tid int) shmflow.Token { return vmCtxt[tid] }
-
-	// flowTo records, per pop execution, the context token the consumer
-	// picked up, delivered to the worker after the VM run completes.
-	var lastConsumed map[int]shmflow.Token
-	tracker.OnFlow = func(ev shmflow.FlowEvent) {
-		if lastConsumed != nil {
-			lastConsumed[ev.Consumer] = ev.Token
-		}
-	}
-
-	// runVM executes one program on the shared machine as the calling sim
-	// thread and charges the cycles to the CPU through the probe.
-	runVM := func(pr *profiler.Probe, prog *vm.Program, entry string, regs map[byte]int64) *vm.Thread {
-		th, err := machine.Spawn(prog, entry)
-		if err != nil {
-			panic(err)
-		}
-		for r, v := range regs {
-			th.Regs[r] = v
-		}
-		vmCtxt[th.ID] = tokenFor(pr.Txn())
-		before := th.Cycles
-		if err := machine.Run(100000); err != nil {
-			panic(fmt.Sprintf("apacheweb: vm: %v", err))
-		}
-		pr.Compute(cyclesToTime(th.Cycles - before))
-		machine.Reap()
-		delete(vmCtxt, th.ID)
-		return th
-	}
-
-	res := &Result{Profiler: prof}
-	workQ := s.NewQueue("fdqueue-sem")
+	res := &Result{Profiler: st.Profiler()}
 	done := 0
 	total := len(cfg.Trace.Conns)
 
-	// Listener thread: accept, push into the VM fd queue, signal workers.
-	s.Go("listener", func(th *vclock.Thread) {
-		pr := prof.NewProbe(th, cpu)
-		th.Data = pr
-		root := prof.Table.Root()
+	// Listener thread: accept, push into the shared-memory fd queue. The
+	// push critical section runs on the emulated machine under the fresh
+	// transaction context established at the accept point.
+	st.Go("listener", func(th *whodunit.Thread, pr *whodunit.Probe) {
 		for _, conn := range cfg.Trace.Conns {
 			func() {
 				defer pr.Exit(pr.Enter("listener_thread"))
 				// Each accepted connection is a fresh transaction whose
 				// context is the listener's call path at the push point.
-				pr.SetTxn(profiler.TxnCtxt{Local: root.Extend(
-					tranctx.CallHop("apache", "listener_thread", "apr_socket_accept"))})
+				st.BeginTxn(pr, "listener_thread", "apr_socket_accept")
 				func() {
 					defer pr.Exit(pr.Enter("apr_socket_accept"))
-					pr.Compute(30 * vclock.Microsecond)
+					pr.Compute(30 * whodunit.Microsecond)
 				}()
-				func() {
-					defer pr.Exit(pr.Enter("ap_queue_push"))
-					t := runVM(pr, shmflow.ApachePush, "push", map[byte]int64{
-						1: shmflow.QueueBase, 4: int64(conn.ID), 5: int64(conn.ID) + 1_000_000,
-					})
-					res.EmulationCycles += t.Cycles
-				}()
-				workQ.Put(conn.ID)
+				fdq.Push(pr, conn)
 			}()
 			if cfg.ConnInterval > 0 {
 				th.Sleep(cfg.ConnInterval)
@@ -173,46 +102,22 @@ func Run(cfg Config) *Result {
 		}
 	})
 
-	// Worker threads: pop from the VM fd queue, serve the connection.
+	// Worker threads: pop from the fd queue — the §3.5 flow detection
+	// hands each worker the listener's transaction context — and serve
+	// the connection.
 	for w := 0; w < cfg.Workers; w++ {
-		w := w
-		s.Go(fmt.Sprintf("worker-%d", w), func(th *vclock.Thread) {
-			pr := prof.NewProbe(th, cpu)
-			th.Data = pr
-			scratch := int64(0x8000 + w*0x40)
+		st.Go(fmt.Sprintf("worker-%d", w), func(th *whodunit.Thread, pr *whodunit.Probe) {
 			for {
-				th.Get(workQ) // semaphore: an fd is available
-				var connID int64
 				func() {
 					defer pr.Exit(pr.Enter("worker_thread"))
-					var consumedTok shmflow.Token
-					func() {
-						defer pr.Exit(pr.Enter("ap_queue_pop"))
-						lastConsumed = map[int]shmflow.Token{}
-						t := runVM(pr, shmflow.ApachePop, "pop", map[byte]int64{
-							1: shmflow.QueueBase, 9: scratch,
-						})
-						res.EmulationCycles += t.Cycles
-						connID = t.Regs[4]
-						for _, tok := range lastConsumed {
-							consumedTok = tok
-						}
-						lastConsumed = nil
-					}()
-					// §3.5: the consumer adopts the producer's context.
-					if consumedTok != 0 {
-						if tc, ok := tokens[consumedTok]; ok {
-							pr.SetTxn(tc)
-						}
-					}
-					conn := cfg.Trace.Conns[connID]
+					conn := fdq.Pop(pr).(workload.Connection)
 					func() {
 						defer pr.Exit(pr.Enter("ap_process_connection"))
 						for _, req := range conn.Reqs {
 							pr.Compute(cfg.ParseCost)
 							func() {
 								defer pr.Exit(pr.Enter("sendfile"))
-								pr.Compute(vclock.Duration(req.Size) * cfg.SendPerByte)
+								pr.Compute(whodunit.Duration(req.Size) * cfg.SendPerByte)
 							}()
 							res.BytesSent += req.Size
 							res.Requests++
@@ -225,11 +130,11 @@ func Run(cfg Config) *Result {
 		})
 	}
 
-	s.RunUntil(func() bool { return done >= total })
-	res.Elapsed = s.Now().Sub(0)
-	s.Shutdown()
-
-	res.Flows = tracker.Flows()
+	rep := app.RunUntil(func() bool { return done >= total })
+	res.Report = rep
+	res.Elapsed = rep.Elapsed
+	res.Flows = rep.Flows
+	res.EmulationCycles = app.Machine().TotalCycles
 	if res.Elapsed > 0 {
 		res.ThroughputMbps = float64(res.BytesSent) * 8 / 1e6 / res.Elapsed.Seconds()
 	}

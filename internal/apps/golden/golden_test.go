@@ -1,0 +1,113 @@
+// Package golden pins the Text and JSON reports of the four internal
+// app models at fixed seeds and reduced scales. The goldens were
+// captured from the pre-App/Stage implementations; the ported models
+// must reproduce them bit for bit — same samples, same crosstalk
+// matrix, same detected flows, same stitched graph — so the App/Stage
+// port is provably a pure refactor of the plumbing, not of the model.
+//
+// Regenerate with `go test ./internal/apps/golden -update` (only when a
+// deliberate model change invalidates the pinned output).
+package golden_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"whodunit"
+	"whodunit/internal/apps/apacheweb"
+	"whodunit/internal/apps/haboob"
+	"whodunit/internal/apps/squidproxy"
+	"whodunit/internal/apps/tpcw"
+	"whodunit/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenTrace is the fixed web workload shared by the three web-server
+// models (the same shape the unit tests use).
+func goldenTrace() *workload.WebTrace {
+	cfg := workload.DefaultWebConfig()
+	cfg.NumConns = 150
+	cfg.NumFiles = 200
+	cfg.MinSize = 8 << 10
+	return workload.GenWeb(cfg)
+}
+
+func apacheReport() *whodunit.Report {
+	res := apacheweb.Run(apacheweb.DefaultConfig(goldenTrace()))
+	rep := whodunit.NewReport("apache", whodunit.NewStageReport(res.Profiler))
+	rep.Elapsed = res.Elapsed
+	rep.Flows = res.Flows
+	return rep
+}
+
+func squidReport() *whodunit.Report {
+	res := squidproxy.Run(squidproxy.DefaultConfig(goldenTrace()))
+	rep := whodunit.NewReport("squid", whodunit.NewStageReport(res.Profiler))
+	rep.Elapsed = res.Elapsed
+	return rep
+}
+
+func haboobReport() *whodunit.Report {
+	res := haboob.Run(haboob.DefaultConfig(goldenTrace()))
+	rep := whodunit.NewReport("haboob", whodunit.NewStageReport(res.Profiler))
+	rep.Elapsed = res.Elapsed
+	return rep
+}
+
+func tpcwReport() *whodunit.Report {
+	cfg := tpcw.DefaultConfig(25)
+	cfg.Duration = 45 * whodunit.Second
+	res := tpcw.Run(cfg)
+	rep := whodunit.NewReport("tpcw",
+		whodunit.NewStageReport(res.SquidProf, res.SquidEP),
+		whodunit.NewStageReport(res.TomcatProf, res.TomcatEP),
+		whodunit.NewStageReport(res.MySQLProf, res.MySQLEP))
+	rep.Elapsed = res.Elapsed
+	rep.Crosstalk = res.Crosstalk.Pairs()
+	return rep
+}
+
+func check(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to capture): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		dump := filepath.Join(os.TempDir(), "whodunit-golden-"+name+".got")
+		_ = os.WriteFile(dump, got, 0o644)
+		t.Errorf("%s drifted from the pinned pre-port report (%d bytes vs %d); "+
+			"the App/Stage model must be bit-identical (got written to %s)",
+			name, len(got), len(want), dump)
+	}
+}
+
+func renderBoth(t *testing.T, app string, rep *whodunit.Report) {
+	t.Helper()
+	var txt, js bytes.Buffer
+	rep.Text(&txt)
+	if err := rep.JSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	check(t, app+".text", txt.Bytes())
+	check(t, app+".json", js.Bytes())
+}
+
+func TestGoldenApache(t *testing.T) { renderBoth(t, "apache", apacheReport()) }
+func TestGoldenSquid(t *testing.T)  { renderBoth(t, "squid", squidReport()) }
+func TestGoldenHaboob(t *testing.T) { renderBoth(t, "haboob", haboobReport()) }
+func TestGoldenTPCW(t *testing.T)   { renderBoth(t, "tpcw", tpcwReport()) }

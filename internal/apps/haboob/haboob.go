@@ -5,15 +5,17 @@
 // (CacheStage→WriteStage) or the miss path (CacheStage→MissStage→File
 // I/O→WriteStage), so WriteStage's CPU appears under two transaction
 // contexts — the Figure 10 result.
+//
+// The model is an App/Stage composition: SEDA stages are declared with
+// Stage.SEDAStage over App.NewQueue transports, and each worker thread's
+// probe is bound with Stage.Worker, so stage-sequence contexts propagate
+// through the middleware with no wiring here.
 package haboob
 
 import (
 	"fmt"
 
-	"whodunit/internal/profiler"
-	"whodunit/internal/seda"
-	"whodunit/internal/tranctx"
-	"whodunit/internal/vclock"
+	"whodunit"
 	"whodunit/internal/workload"
 )
 
@@ -31,46 +33,47 @@ const (
 
 // Config parameterises a run.
 type Config struct {
-	Mode            profiler.Mode
+	Mode            whodunit.Mode
 	Trace           *workload.WebTrace
 	CacheObjects    int
 	ThreadsPerStage int
 	// Per-operation CPU costs.
-	ListenCost   vclock.Duration
-	AcceptCost   vclock.Duration
-	ReadCost     vclock.Duration
-	ParseCost    vclock.Duration
-	CacheCost    vclock.Duration
-	MissCost     vclock.Duration
-	DiskPerByte  vclock.Duration
-	DiskLatency  vclock.Duration
-	WritePerByte vclock.Duration
+	ListenCost   whodunit.Duration
+	AcceptCost   whodunit.Duration
+	ReadCost     whodunit.Duration
+	ParseCost    whodunit.Duration
+	CacheCost    whodunit.Duration
+	MissCost     whodunit.Duration
+	DiskPerByte  whodunit.Duration
+	DiskLatency  whodunit.Duration
+	WritePerByte whodunit.Duration
 }
 
 // DefaultConfig matches the §8.3/§9.3 experiment scale (Haboob is an
 // order of magnitude slower than Apache in the paper).
 func DefaultConfig(trace *workload.WebTrace) Config {
 	return Config{
-		Mode:            profiler.ModeWhodunit,
+		Mode:            whodunit.ModeWhodunit,
 		Trace:           trace,
 		CacheObjects:    300,
 		ThreadsPerStage: 2,
-		ListenCost:      20 * vclock.Microsecond,
-		AcceptCost:      60 * vclock.Microsecond,
-		ReadCost:        50 * vclock.Microsecond,
-		ParseCost:       80 * vclock.Microsecond,
-		CacheCost:       40 * vclock.Microsecond,
-		MissCost:        60 * vclock.Microsecond,
-		DiskPerByte:     25 * vclock.Nanosecond,
-		DiskLatency:     3 * vclock.Millisecond,
-		WritePerByte:    90 * vclock.Nanosecond,
+		ListenCost:      20 * whodunit.Microsecond,
+		AcceptCost:      60 * whodunit.Microsecond,
+		ReadCost:        50 * whodunit.Microsecond,
+		ParseCost:       80 * whodunit.Microsecond,
+		CacheCost:       40 * whodunit.Microsecond,
+		MissCost:        60 * whodunit.Microsecond,
+		DiskPerByte:     25 * whodunit.Nanosecond,
+		DiskLatency:     3 * whodunit.Millisecond,
+		WritePerByte:    90 * whodunit.Nanosecond,
 	}
 }
 
 // Result summarises a run.
 type Result struct {
-	Profiler       *profiler.Profiler
-	Elapsed        vclock.Duration
+	Report         *whodunit.Report
+	Profiler       *whodunit.Profiler
+	Elapsed        whodunit.Duration
 	BytesSent      int64
 	Requests       int64
 	Hits, Misses   int64
@@ -87,10 +90,9 @@ func Run(cfg Config) *Result {
 	if cfg.Trace == nil {
 		panic("haboob: nil trace")
 	}
-	s := vclock.New()
-	cpu := s.NewCPU("haboob-cpu", 2)
-	prof := profiler.New("haboob", cfg.Mode)
-	res := &Result{Profiler: prof}
+	app := whodunit.NewApp("haboob", whodunit.WithMode(cfg.Mode), whodunit.WithCores(2))
+	st := app.Stage("haboob")
+	res := &Result{Profiler: st.Profiler()}
 
 	cached := make(map[int]bool)
 	cacheFIFO := []int{}
@@ -106,9 +108,9 @@ func Run(cfg Config) *Result {
 		cacheFIFO = append(cacheFIFO, id)
 	}
 
-	// Build stages with vclock queues as inputs.
-	mkStage := func(name string) *seda.Stage {
-		return seda.NewStage("haboob", name, s.NewQueue(name))
+	// Declare the SEDA stages with queues as inputs.
+	mkStage := func(name string) *whodunit.SEDAStage {
+		return st.SEDAStage(name, app.NewQueue(name))
 	}
 	listen := mkStage(StListen)
 	httpSrv := mkStage(StHTTP)
@@ -125,24 +127,24 @@ func Run(cfg Config) *Result {
 	}
 
 	// handler bodies; each returns after enqueueing downstream.
-	handlers := map[string]func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task){
-		StListen: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+	handlers := map[string]func(w *whodunit.SEDAWorker, pr *whodunit.Probe, th *whodunit.Thread, t *task){
+		StListen: func(w *whodunit.SEDAWorker, pr *whodunit.Probe, th *whodunit.Thread, t *task) {
 			pr.Compute(cfg.ListenCost)
 			w.Enqueue(httpSrv, t)
 		},
-		StHTTP: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+		StHTTP: func(w *whodunit.SEDAWorker, pr *whodunit.Probe, th *whodunit.Thread, t *task) {
 			pr.Compute(cfg.AcceptCost)
 			w.Enqueue(read, t)
 		},
-		StRead: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+		StRead: func(w *whodunit.SEDAWorker, pr *whodunit.Probe, th *whodunit.Thread, t *task) {
 			pr.Compute(cfg.ReadCost)
 			w.Enqueue(recv, t)
 		},
-		StRecv: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+		StRecv: func(w *whodunit.SEDAWorker, pr *whodunit.Probe, th *whodunit.Thread, t *task) {
 			pr.Compute(cfg.ParseCost)
 			w.Enqueue(cache, t)
 		},
-		StCache: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+		StCache: func(w *whodunit.SEDAWorker, pr *whodunit.Probe, th *whodunit.Thread, t *task) {
 			pr.Compute(cfg.CacheCost)
 			req := t.conn.Reqs[t.next]
 			if cached[req.File] {
@@ -153,20 +155,20 @@ func Run(cfg Config) *Result {
 				w.Enqueue(miss, t)
 			}
 		},
-		StMiss: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+		StMiss: func(w *whodunit.SEDAWorker, pr *whodunit.Probe, th *whodunit.Thread, t *task) {
 			pr.Compute(cfg.MissCost)
 			w.Enqueue(fileIO, t)
 		},
-		StFileIO: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+		StFileIO: func(w *whodunit.SEDAWorker, pr *whodunit.Probe, th *whodunit.Thread, t *task) {
 			req := t.conn.Reqs[t.next]
 			th.Sleep(cfg.DiskLatency)
-			pr.Compute(vclock.Duration(req.Size) * cfg.DiskPerByte)
+			pr.Compute(whodunit.Duration(req.Size) * cfg.DiskPerByte)
 			cachePut(req.File)
 			w.Enqueue(write, t)
 		},
-		StWrite: func(w *seda.Worker, pr *profiler.Probe, th *vclock.Thread, t *task) {
+		StWrite: func(w *whodunit.SEDAWorker, pr *whodunit.Probe, th *whodunit.Thread, t *task) {
 			req := t.conn.Reqs[t.next]
-			pr.Compute(vclock.Duration(req.Size) * cfg.WritePerByte)
+			pr.Compute(whodunit.Duration(req.Size) * cfg.WritePerByte)
 			res.BytesSent += req.Size
 			res.Requests++
 			t.next++
@@ -178,24 +180,18 @@ func Run(cfg Config) *Result {
 		},
 	}
 
-	stages := []*seda.Stage{listen, httpSrv, read, recv, cache, miss, fileIO, write}
-	for _, st := range stages {
-		st := st
+	stages := []*whodunit.SEDAStage{listen, httpSrv, read, recv, cache, miss, fileIO, write}
+	for _, ss := range stages {
+		q := ss.In.(*whodunit.Queue)
 		for i := 0; i < cfg.ThreadsPerStage; i++ {
-			s.Go(fmt.Sprintf("%s-%d", st.Name, i), func(th *vclock.Thread) {
-				pr := prof.NewProbe(th, cpu)
-				th.Data = pr
-				w := seda.NewWorker(st, prof.Table)
-				if cfg.Mode == profiler.ModeWhodunit {
-					w.OnDispatch = func(curr *tranctx.Ctxt) { pr.SetLocal(curr) }
-				}
-				q := st.In.(*vclock.Queue)
+			st.Go(fmt.Sprintf("%s-%d", ss.Name, i), func(th *whodunit.Thread, pr *whodunit.Probe) {
+				w := st.Worker(ss, pr)
 				for {
-					elem := th.Get(q).(*seda.Elem)
+					elem := q.Get(th).(*whodunit.SEDAElem)
 					t := w.Begin(elem).(*task)
 					func() {
-						defer pr.Exit(pr.Enter(st.Name))
-						handlers[st.Name](w, pr, th, t)
+						defer pr.Exit(pr.Enter(ss.Name))
+						handlers[ss.Name](w, pr, th, t)
 					}()
 				}
 			})
@@ -204,12 +200,12 @@ func Run(cfg Config) *Result {
 
 	// Inject one element per connection into the listen stage.
 	for _, conn := range cfg.Trace.Conns {
-		seda.Inject(prof.Table, listen, &task{conn: conn})
+		st.Inject(listen, &task{conn: conn})
 	}
 
-	s.RunUntil(func() bool { return res.Requests >= int64(totalReqs) })
-	res.Elapsed = s.Now().Sub(0)
-	s.Shutdown()
+	rep := app.RunUntil(func() bool { return res.Requests >= int64(totalReqs) })
+	res.Report = rep
+	res.Elapsed = rep.Elapsed
 	if res.Elapsed > 0 {
 		res.ThroughputMbps = float64(res.BytesSent) * 8 / 1e6 / res.Elapsed.Seconds()
 	}

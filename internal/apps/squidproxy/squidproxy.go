@@ -7,55 +7,58 @@
 // (accept→read→connect→readReply→write), so the write handler's CPU
 // appears under two distinct transaction contexts, which is exactly the
 // distinction Figure 9 highlights.
+//
+// The model is an App/Stage composition: the stage's event loop is
+// bound to the dispatching probe (Stage.BindLoop), so every handler's
+// samples land in the handler-sequence context with no instrumentation
+// in the handlers themselves.
 package squidproxy
 
 import (
 	"container/list"
 
-	"whodunit/internal/event"
-	"whodunit/internal/profiler"
-	"whodunit/internal/tranctx"
-	"whodunit/internal/vclock"
+	"whodunit"
 	"whodunit/internal/workload"
 )
 
 // Config parameterises a run.
 type Config struct {
-	Mode  profiler.Mode
+	Mode  whodunit.Mode
 	Trace *workload.WebTrace
 	// CacheObjects is the LRU capacity in objects.
 	CacheObjects int
 	// OriginDelay is the network+origin latency for a miss.
-	OriginDelay vclock.Duration
+	OriginDelay whodunit.Duration
 	// Per-unit CPU costs.
-	AcceptCost   vclock.Duration
-	ParseCost    vclock.Duration
-	ConnectCost  vclock.Duration
-	RecvPerByte  vclock.Duration // receiving origin data (miss)
-	WritePerByte vclock.Duration // writing the reply to the client
+	AcceptCost   whodunit.Duration
+	ParseCost    whodunit.Duration
+	ConnectCost  whodunit.Duration
+	RecvPerByte  whodunit.Duration // receiving origin data (miss)
+	WritePerByte whodunit.Duration // writing the reply to the client
 }
 
 // DefaultConfig mirrors the §8.2 experiment: same web trace as Apache,
 // origin on a separate machine.
 func DefaultConfig(trace *workload.WebTrace) Config {
 	return Config{
-		Mode:         profiler.ModeWhodunit,
+		Mode:         whodunit.ModeWhodunit,
 		Trace:        trace,
 		CacheObjects: 400,
-		OriginDelay:  2 * vclock.Millisecond,
-		AcceptCost:   40 * vclock.Microsecond,
-		ParseCost:    70 * vclock.Microsecond,
-		ConnectCost:  50 * vclock.Microsecond,
-		RecvPerByte:  10 * vclock.Nanosecond,
-		WritePerByte: 14 * vclock.Nanosecond,
+		OriginDelay:  2 * whodunit.Millisecond,
+		AcceptCost:   40 * whodunit.Microsecond,
+		ParseCost:    70 * whodunit.Microsecond,
+		ConnectCost:  50 * whodunit.Microsecond,
+		RecvPerByte:  10 * whodunit.Nanosecond,
+		WritePerByte: 14 * whodunit.Nanosecond,
 	}
 }
 
 // Result summarises a run.
 type Result struct {
-	Profiler       *profiler.Profiler
-	Loop           *event.Loop
-	Elapsed        vclock.Duration
+	Report         *whodunit.Report
+	Profiler       *whodunit.Profiler
+	Loop           *whodunit.EventLoop
+	Elapsed        whodunit.Duration
 	BytesSent      int64
 	Requests       int64
 	Hits, Misses   int64
@@ -109,39 +112,30 @@ func Run(cfg Config) *Result {
 	if cfg.Trace == nil {
 		panic("squidproxy: nil trace")
 	}
-	s := vclock.New()
-	cpu := s.NewCPU("squid-cpu", 1)
-	prof := profiler.New("squid", cfg.Mode)
-	loop := event.NewLoop("squid", prof.Table)
+	app := whodunit.NewApp("squid", whodunit.WithMode(cfg.Mode), whodunit.WithCores(1))
+	st := app.Stage("squid")
+	loop := st.EventLoop()
 	cache := newLRU(cfg.CacheObjects)
-	res := &Result{Profiler: prof, Loop: loop}
+	res := &Result{Profiler: st.Profiler(), Loop: loop}
 
-	readyQ := s.NewQueue("ready-events")
-	var pr *profiler.Probe
-
-	// Whodunit hook: the loop's freshly computed transaction context
-	// becomes the probe's local context, so every sample under the handler
-	// is annotated with the event-handler sequence (§4.1).
-	loop.OnDispatch = func(curr *tranctx.Ctxt) {
-		if pr != nil && cfg.Mode == profiler.ModeWhodunit {
-			pr.SetLocal(curr)
-		}
-	}
+	readyQ := app.NewQueue("ready-events")
+	sim := app.Sim()
+	var pr *whodunit.Probe
 
 	// Handlers (Figure 9). Each models its I/O latency by scheduling the
 	// next event's readiness after a delay, and its CPU by Compute.
-	var hAccept, hRead, hConnect, hReadReply, hWrite *event.Handler
+	var hAccept, hRead, hConnect, hReadReply, hWrite *whodunit.EventHandler
 
-	ioReady := func(ev *event.Event, after vclock.Duration) {
-		s.After(after, func() { readyQ.Put(ev) })
+	ioReady := func(ev *whodunit.Event, after whodunit.Duration) {
+		sim.After(after, func() { readyQ.Put(ev) })
 	}
 
-	hWrite = &event.Handler{Name: "commHandleWrite", Fn: func(l *event.Loop, ev *event.Event) {
+	hWrite = &whodunit.EventHandler{Name: "commHandleWrite", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
 		st := ev.Data.(*connState)
 		req := st.conn.Reqs[st.next]
 		func() {
 			defer pr.Exit(pr.Enter("commHandleWrite"))
-			pr.Compute(vclock.Duration(req.Size) * cfg.WritePerByte)
+			pr.Compute(whodunit.Duration(req.Size) * cfg.WritePerByte)
 		}()
 		res.BytesSent += req.Size
 		res.Requests++
@@ -149,22 +143,22 @@ func Run(cfg Config) *Result {
 		if st.next < len(st.conn.Reqs) {
 			// Persistent connection: wait for the next request — this is
 			// the loop the §4.1 pruning keeps bounded.
-			ioReady(l.NewEvent(hRead, st), 100*vclock.Microsecond)
+			ioReady(l.NewEvent(hRead, st), 100*whodunit.Microsecond)
 		}
 	}}
 
-	hReadReply = &event.Handler{Name: "httpReadReply", Fn: func(l *event.Loop, ev *event.Event) {
+	hReadReply = &whodunit.EventHandler{Name: "httpReadReply", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
 		st := ev.Data.(*connState)
 		req := st.conn.Reqs[st.next]
 		func() {
 			defer pr.Exit(pr.Enter("httpReadReply"))
-			pr.Compute(vclock.Duration(req.Size) * cfg.RecvPerByte)
+			pr.Compute(whodunit.Duration(req.Size) * cfg.RecvPerByte)
 		}()
 		cache.put(req.File)
-		ioReady(l.NewEvent(hWrite, st), 50*vclock.Microsecond)
+		ioReady(l.NewEvent(hWrite, st), 50*whodunit.Microsecond)
 	}}
 
-	hConnect = &event.Handler{Name: "commConnectHandle", Fn: func(l *event.Loop, ev *event.Event) {
+	hConnect = &whodunit.EventHandler{Name: "commConnectHandle", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
 		st := ev.Data.(*connState)
 		func() {
 			defer pr.Exit(pr.Enter("commConnectHandle"))
@@ -173,7 +167,7 @@ func Run(cfg Config) *Result {
 		ioReady(l.NewEvent(hReadReply, st), cfg.OriginDelay)
 	}}
 
-	hRead = &event.Handler{Name: "clientReadRequest", Fn: func(l *event.Loop, ev *event.Event) {
+	hRead = &whodunit.EventHandler{Name: "clientReadRequest", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
 		st := ev.Data.(*connState)
 		req := st.conn.Reqs[st.next]
 		func() {
@@ -182,45 +176,46 @@ func Run(cfg Config) *Result {
 		}()
 		if cache.get(req.File) {
 			res.Hits++
-			ioReady(l.NewEvent(hWrite, st), 20*vclock.Microsecond)
+			ioReady(l.NewEvent(hWrite, st), 20*whodunit.Microsecond)
 		} else {
 			res.Misses++
-			ioReady(l.NewEvent(hConnect, st), 30*vclock.Microsecond)
+			ioReady(l.NewEvent(hConnect, st), 30*whodunit.Microsecond)
 		}
 	}}
 
-	hAccept = &event.Handler{Name: "httpAccept", Fn: func(l *event.Loop, ev *event.Event) {
+	hAccept = &whodunit.EventHandler{Name: "httpAccept", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
 		st := ev.Data.(*connState)
 		func() {
 			defer pr.Exit(pr.Enter("httpAccept"))
 			pr.Compute(cfg.AcceptCost)
 		}()
-		ioReady(l.NewEvent(hRead, st), 40*vclock.Microsecond)
+		ioReady(l.NewEvent(hRead, st), 40*whodunit.Microsecond)
 	}}
 
-	// Inject connection arrivals: accepts become ready back-to-back.
+	// Inject connection arrivals: accepts become ready back-to-back. The
+	// loop has dispatched nothing yet, so NewEvent captures the root
+	// (external stimulus) context.
 	for _, conn := range cfg.Trace.Conns {
-		readyQ.Put(&event.Event{Handler: hAccept, Ctxt: prof.Table.Root(), Data: &connState{conn: conn}})
+		readyQ.Put(loop.NewEvent(hAccept, &connState{conn: conn}))
 	}
 	totalReqs := 0
 	for _, c := range cfg.Trace.Conns {
 		totalReqs += len(c.Reqs)
 	}
 
-	s.Go("comm_poll", func(th *vclock.Thread) {
-		pr = prof.NewProbe(th, cpu)
-		th.Data = pr
+	st.Go("comm_poll", func(th *whodunit.Thread, probe *whodunit.Probe) {
+		pr = probe
+		st.BindLoop(pr)
 		defer pr.Exit(pr.Enter("main"))
 		defer pr.Exit(pr.Enter("comm_poll"))
 		for res.Requests < int64(totalReqs) {
-			ev := th.Get(readyQ).(*event.Event)
-			loop.Dispatch(ev)
+			loop.Dispatch(readyQ.Get(th).(*whodunit.Event))
 		}
 	})
 
-	s.Run()
-	res.Elapsed = s.Now().Sub(0)
-	s.Shutdown()
+	rep := app.Run()
+	res.Report = rep
+	res.Elapsed = rep.Elapsed
 	if res.Elapsed > 0 {
 		res.ThroughputMbps = float64(res.BytesSent) * 8 / 1e6 / res.Elapsed.Seconds()
 	}

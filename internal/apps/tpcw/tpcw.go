@@ -1,10 +1,13 @@
 // Package tpcw models the TPC-W online bookstore of §8.4: fourteen
 // interactions implemented as servlets in a Tomcat-like container, fronted
 // by a Squid-like pass-through tier and backed by a MySQL-like database
-// (minidb). The three tiers exchange requests over message queues with
-// ipc's synopsis piggy-backing, so each interaction establishes its own
-// transaction context at the database — the separation that lets Table 1
-// attribute MySQL CPU and crosstalk per interaction.
+// (minidb). The model is an App with three Stages — each with its own
+// private CPU — exchanging requests over queues with ipc's synopsis
+// piggy-backing (the stages' endpoints), so each interaction establishes
+// its own transaction context at the database: the separation that lets
+// Table 1 attribute MySQL CPU and crosstalk per interaction. Crosstalk
+// monitoring comes from WithCrosstalk; minidb's locks report to the
+// app's monitor.
 //
 // Two optimisations from the paper are switchable:
 //
@@ -19,10 +22,8 @@ package tpcw
 import (
 	"fmt"
 
-	"whodunit/internal/crosstalk"
-	"whodunit/internal/ipc"
+	"whodunit"
 	"whodunit/internal/minidb"
-	"whodunit/internal/profiler"
 	"whodunit/internal/vclock"
 	"whodunit/internal/workload"
 )
@@ -30,15 +31,15 @@ import (
 // Config parameterises one TPC-W run.
 type Config struct {
 	Clients        int
-	Duration       vclock.Duration // virtual run length
-	Mode           profiler.Mode
+	Duration       whodunit.Duration // virtual run length
+	Mode           whodunit.Mode
 	ItemEngine     minidb.Engine
 	ServletCaching bool
 	Seed           uint64
 
 	TomcatWorkers int
 	DBWorkers     int
-	ThinkMean     vclock.Duration // 0 = TPC-W default (7s)
+	ThinkMean     whodunit.Duration // 0 = TPC-W default (7s)
 	// Mix selects the interaction mix; nil means workload.BrowsingMix.
 	Mix map[string]float64
 }
@@ -48,8 +49,8 @@ type Config struct {
 func DefaultConfig(clients int) Config {
 	return Config{
 		Clients:        clients,
-		Duration:       3 * vclock.Minute,
-		Mode:           profiler.ModeWhodunit,
+		Duration:       3 * whodunit.Minute,
+		Mode:           whodunit.ModeWhodunit,
 		ItemEngine:     minidb.EngineMyISAM,
 		ServletCaching: false,
 		Seed:           1,
@@ -62,18 +63,22 @@ func DefaultConfig(clients int) Config {
 type Result struct {
 	Config Config
 
-	SquidProf  *profiler.Profiler
-	TomcatProf *profiler.Profiler
-	MySQLProf  *profiler.Profiler
-	Crosstalk  *crosstalk.Monitor
+	// Report is the unified three-tier report App.Run assembled:
+	// per-stage profiles, the crosstalk matrix and the stitched graph.
+	Report *whodunit.Report
+
+	SquidProf  *whodunit.Profiler
+	TomcatProf *whodunit.Profiler
+	MySQLProf  *whodunit.Profiler
+	Crosstalk  *whodunit.CrosstalkMonitor
 
 	// Per-tier message endpoints, exposed so callers can stitch the
 	// three tiers into the global transaction graph.
-	SquidEP  *ipc.Endpoint
-	TomcatEP *ipc.Endpoint
-	MySQLEP  *ipc.Endpoint
+	SquidEP  *whodunit.Endpoint
+	TomcatEP *whodunit.Endpoint
+	MySQLEP  *whodunit.Endpoint
 
-	Elapsed          vclock.Duration
+	Elapsed          whodunit.Duration
 	Completed        int64
 	PerType          map[string]*TypeStats
 	ThroughputPerMin float64
@@ -82,7 +87,7 @@ type Result struct {
 	// column 1). MeanCrosstalk maps interaction -> mean lock wait per
 	// instance of that interaction (Table 1 column 2).
 	DBShare       map[string]float64
-	MeanCrosstalk map[string]vclock.Duration
+	MeanCrosstalk map[string]whodunit.Duration
 
 	// Bytes of application data vs context synopses shipped between tiers
 	// (the §9.1 communication-overhead measurement).
@@ -92,22 +97,22 @@ type Result struct {
 // TypeStats aggregates per-interaction client-side metrics.
 type TypeStats struct {
 	Count     int64
-	TotalResp vclock.Duration
+	TotalResp whodunit.Duration
 }
 
 // Mean returns the mean response time.
-func (t *TypeStats) Mean() vclock.Duration {
+func (t *TypeStats) Mean() whodunit.Duration {
 	if t.Count == 0 {
 		return 0
 	}
-	return t.TotalResp / vclock.Duration(t.Count)
+	return t.TotalResp / whodunit.Duration(t.Count)
 }
 
 // request is the in-sim message envelope between tiers.
 type request struct {
-	msg     ipc.Msg
+	msg     whodunit.Msg
 	payload any
-	replyQ  *vclock.Queue
+	replyQ  *whodunit.Queue
 }
 
 // dbQuery is the Tomcat->MySQL payload.
@@ -131,50 +136,49 @@ func Run(cfg Config) *Result {
 	}
 	think := cfg.ThinkMean
 	if think == 0 {
-		think = 7 * vclock.Second
+		think = 7 * whodunit.Second
 	}
 	mixWeights := cfg.Mix
 	if mixWeights == nil {
 		mixWeights = workload.BrowsingMix
-	}
-	s := vclock.New()
-	squidCPU := s.NewCPU("squid-cpu", 1)
-	tomcatCPU := s.NewCPU("tomcat-cpu", 2)
-	mysqlCPU := s.NewCPU("mysql-cpu", 1)
-
-	squidProf := profiler.New("squid", cfg.Mode)
-	tomcatProf := profiler.New("tomcat", cfg.Mode)
-	mysqlProf := profiler.New("mysql", cfg.Mode)
-
-	res := &Result{
-		Config:        cfg,
-		SquidProf:     squidProf,
-		TomcatProf:    tomcatProf,
-		MySQLProf:     mysqlProf,
-		PerType:       make(map[string]*TypeStats),
-		DBShare:       make(map[string]float64),
-		MeanCrosstalk: make(map[string]vclock.Duration),
-	}
-	for _, name := range workload.Interactions {
-		res.PerType[name] = &TypeStats{}
 	}
 
 	// chain -> interaction registry: filled when Tomcat sends a DB
 	// request; this is how the experiment code (and the crosstalk
 	// classifier) translate a MySQL-side context back to an interaction.
 	chainName := make(map[string]string)
-	classify := func(tc profiler.TxnCtxt) string {
+	classify := func(tc whodunit.TxnCtxt) string {
 		if n, ok := chainName[tc.Prefix.String()]; ok {
 			return n
 		}
 		return "(other)"
 	}
-	mon := crosstalk.NewMonitor(classify, nil)
-	res.Crosstalk = mon
+
+	app := whodunit.NewApp("tpcw",
+		whodunit.WithMode(cfg.Mode),
+		whodunit.WithCrosstalk(classify))
+	squidSt := app.Stage("squid", whodunit.StageCPU(1))
+	tomcatSt := app.Stage("tomcat", whodunit.StageCPU(2))
+	mysqlSt := app.Stage("mysql", whodunit.StageCPU(1))
+	s := app.Sim()
+
+	res := &Result{
+		Config:        cfg,
+		Crosstalk:     app.Crosstalk(),
+		SquidProf:     squidSt.Profiler(),
+		TomcatProf:    tomcatSt.Profiler(),
+		MySQLProf:     mysqlSt.Profiler(),
+		PerType:       make(map[string]*TypeStats),
+		DBShare:       make(map[string]float64),
+		MeanCrosstalk: make(map[string]whodunit.Duration),
+	}
+	for _, name := range workload.Interactions {
+		res.PerType[name] = &TypeStats{}
+	}
 
 	// Database schema and data.
-	db := minidb.New(s, "mysql", mysqlCPU)
-	db.SetLockObserver(mon)
+	db := minidb.New(s, "mysql", mysqlSt.CPU())
+	db.SetLockObserver(app.Crosstalk())
 	rng := vclock.NewRNG(cfg.Seed ^ 0x5eed)
 	item := db.CreateTable("item", cfg.ItemEngine)
 	for i := 0; i < 10000; i++ {
@@ -199,27 +203,25 @@ func Run(cfg Config) *Result {
 	}
 
 	// Queues between tiers.
-	squidQ := s.NewQueue("squid-in")
-	tomcatQ := s.NewQueue("tomcat-in")
-	mysqlQ := s.NewQueue("mysql-in")
+	squidQ := app.NewQueue("squid-in")
+	tomcatQ := app.NewQueue("tomcat-in")
+	mysqlQ := app.NewQueue("mysql-in")
 
-	squidEP := ipc.NewEndpoint("squid")
-	tomcatEP := ipc.NewEndpoint("tomcat")
-	mysqlEP := ipc.NewEndpoint("mysql")
+	squidEP := squidSt.Endpoint()
+	tomcatEP := tomcatSt.Endpoint()
+	mysqlEP := mysqlSt.Endpoint()
 	res.SquidEP, res.TomcatEP, res.MySQLEP = squidEP, tomcatEP, mysqlEP
 
-	countMsg := func(m ipc.Msg, appBytes int64) {
+	countMsg := func(m whodunit.Msg, appBytes int64) {
 		res.CtxtBytes += int64(m.Chain.WireSize())
 		res.AppBytes += appBytes
 	}
 
 	// MySQL tier: workers execute queries.
 	for w := 0; w < cfg.DBWorkers; w++ {
-		s.Go(fmt.Sprintf("mysqld-%d", w), func(th *vclock.Thread) {
-			pr := mysqlProf.NewProbe(th, mysqlCPU)
-			th.Data = pr
+		mysqlSt.Go(fmt.Sprintf("mysqld-%d", w), func(th *whodunit.Thread, pr *whodunit.Probe) {
 			for {
-				req := th.Get(mysqlQ).(*request)
+				req := mysqlQ.Get(th).(*request)
 				mysqlEP.Recv(pr, req.msg)
 				q := req.payload.(dbQuery)
 				func() {
@@ -234,23 +236,21 @@ func Run(cfg Config) *Result {
 	}
 
 	// Servlet-side result caches (clause 6.3.3.1).
-	type cacheEntry struct{ until vclock.Time }
+	type cacheEntry struct{ until whodunit.Time }
 	bestSellersCache := make(map[int64]cacheEntry)
 	searchCache := make(map[int64]cacheEntry)
 
 	// Tomcat tier: servlets.
 	for w := 0; w < cfg.TomcatWorkers; w++ {
-		s.Go(fmt.Sprintf("tomcat-%d", w), func(th *vclock.Thread) {
-			pr := tomcatProf.NewProbe(th, tomcatCPU)
-			th.Data = pr
-			replyQ := s.NewQueue(th.Name + "-reply")
+		tomcatSt.Go(fmt.Sprintf("tomcat-%d", w), func(th *whodunit.Thread, pr *whodunit.Probe) {
+			replyQ := app.NewQueue(th.Name + "-reply")
 			for {
-				req := th.Get(tomcatQ).(*request)
+				req := tomcatQ.Get(th).(*request)
 				tomcatEP.Recv(pr, req.msg)
 				wr := req.payload.(webReq)
 				func() {
 					defer pr.Exit(pr.Enter("servlet_" + wr.interaction))
-					pr.ComputeN(2*vclock.Millisecond, 400) // servlet + page generation
+					pr.ComputeN(2*whodunit.Millisecond, 400) // servlet + page generation
 
 					needDB := true
 					if cfg.ServletCaching {
@@ -274,19 +274,19 @@ func Run(cfg Config) *Result {
 							mysqlQ.Put(&request{msg: msg, payload: dbQuery{
 								interaction: wr.interaction, subject: wr.subject, itemID: wr.itemID,
 							}, replyQ: replyQ})
-							resp := th.Get(replyQ).(*request)
+							resp := replyQ.Get(th).(*request)
 							tomcatEP.Recv(pr, resp.msg)
 						}()
 						if cfg.ServletCaching {
 							switch wr.interaction {
 							case workload.BestSellers:
-								bestSellersCache[wr.subject] = cacheEntry{until: th.Now().Add(30 * vclock.Second)}
+								bestSellersCache[wr.subject] = cacheEntry{until: th.Now().Add(30 * whodunit.Second)}
 							case workload.SearchResult:
-								searchCache[wr.subject] = cacheEntry{until: th.Now().Add(30 * vclock.Second)}
+								searchCache[wr.subject] = cacheEntry{until: th.Now().Add(30 * whodunit.Second)}
 							}
 						}
 					}
-					pr.ComputeN(vclock.Millisecond, 200) // response rendering
+					pr.ComputeN(whodunit.Millisecond, 200) // response rendering
 				}()
 				reply := tomcatEP.Send(pr, nil)
 				countMsg(reply, 8192)
@@ -297,22 +297,20 @@ func Run(cfg Config) *Result {
 
 	// Squid front tier: pass-through for dynamic content.
 	for w := 0; w < 4; w++ {
-		s.Go(fmt.Sprintf("squid-%d", w), func(th *vclock.Thread) {
-			pr := squidProf.NewProbe(th, squidCPU)
-			th.Data = pr
-			replyQ := s.NewQueue(th.Name + "-reply")
+		squidSt.Go(fmt.Sprintf("squid-%d", w), func(th *whodunit.Thread, pr *whodunit.Probe) {
+			replyQ := app.NewQueue(th.Name + "-reply")
 			for {
-				req := th.Get(squidQ).(*request)
+				req := squidQ.Get(th).(*request)
 				squidEP.Recv(pr, req.msg)
 				func() {
 					defer pr.Exit(pr.Enter("forward_dynamic"))
-					pr.Compute(300 * vclock.Microsecond)
+					pr.Compute(300 * whodunit.Microsecond)
 					msg := squidEP.Send(pr, nil)
 					countMsg(msg, 512)
 					tomcatQ.Put(&request{msg: msg, payload: req.payload, replyQ: replyQ})
-					resp := th.Get(replyQ).(*request)
+					resp := replyQ.Get(th).(*request)
 					squidEP.Recv(pr, resp.msg)
-					pr.Compute(200 * vclock.Microsecond)
+					pr.Compute(200 * whodunit.Microsecond)
 				}()
 				reply := squidEP.Send(pr, nil)
 				countMsg(reply, 8192)
@@ -321,16 +319,17 @@ func Run(cfg Config) *Result {
 		})
 	}
 
-	// Clients: closed loop with think times.
-	end := vclock.Time(cfg.Duration)
+	// Clients: closed loop with think times. The clients are the load
+	// generator, not part of the profiled application, so they run as
+	// raw simulator threads outside any stage (and carry no probes).
+	end := whodunit.Time(cfg.Duration)
 	for c := 0; c < cfg.Clients; c++ {
-		c := c
 		mix := workload.NewMixSampler(cfg.Seed+uint64(c)*7919, mixWeights)
 		crng := vclock.NewRNG(cfg.Seed + uint64(c)*104729)
-		s.Go(fmt.Sprintf("client-%d", c), func(th *vclock.Thread) {
-			replyQ := s.NewQueue(th.Name + "-reply")
+		s.Go(fmt.Sprintf("client-%d", c), func(th *whodunit.Thread) {
+			replyQ := app.NewQueue(th.Name + "-reply")
 			// Desynchronised start.
-			th.Sleep(vclock.Duration(crng.Intn(int(think))))
+			th.Sleep(whodunit.Duration(crng.Intn(int(think))))
 			for th.Now() < end {
 				name := mix.Next()
 				wr := webReq{
@@ -339,8 +338,8 @@ func Run(cfg Config) *Result {
 					itemID:      int64(crng.Intn(10000)),
 				}
 				start := th.Now()
-				squidQ.Put(&request{msg: ipc.Msg{}, payload: wr, replyQ: replyQ})
-				th.Get(replyQ)
+				squidQ.Put(&request{msg: whodunit.Msg{}, payload: wr, replyQ: replyQ})
+				replyQ.Get(th)
 				if th.Now() >= end {
 					break
 				}
@@ -353,9 +352,9 @@ func Run(cfg Config) *Result {
 		})
 	}
 
-	s.RunUntil(func() bool { return s.Now() >= end })
-	res.Elapsed = s.Now().Sub(0)
-	s.Shutdown()
+	rep := app.RunUntil(func() bool { return s.Now() >= end })
+	res.Report = rep
+	res.Elapsed = rep.Elapsed
 
 	if res.Elapsed > 0 {
 		res.ThroughputPerMin = float64(res.Completed) / res.Elapsed.Seconds() * 60
@@ -364,9 +363,9 @@ func Run(cfg Config) *Result {
 	// Table 1 column 1: MySQL CPU share per interaction, from the
 	// database profiler's per-context trees resolved via the chain
 	// registry.
-	total := mysqlProf.TotalSamples()
+	total := res.MySQLProf.TotalSamples()
 	if total > 0 {
-		for _, e := range mysqlProf.Entries() {
+		for _, e := range res.MySQLProf.Entries() {
 			name, ok := chainName[e.Ctxt.Prefix.String()]
 			if !ok {
 				continue
@@ -376,9 +375,9 @@ func Run(cfg Config) *Result {
 	}
 	// Table 1 column 2: mean crosstalk wait per interaction instance.
 	for _, name := range workload.Interactions {
-		totalWait, _ := mon.WaitTotal(name)
+		totalWait, _ := res.Crosstalk.WaitTotal(name)
 		if n := res.PerType[name].Count; n > 0 {
-			res.MeanCrosstalk[name] = totalWait / vclock.Duration(n)
+			res.MeanCrosstalk[name] = totalWait / whodunit.Duration(n)
 		}
 	}
 	return res
@@ -387,7 +386,7 @@ func Run(cfg Config) *Result {
 // execQuery performs the per-interaction database work. Row volumes are
 // calibrated so the browsing mix reproduces Table 1's CPU split (heavy
 // BestSellers/SearchResult, heavyweight-but-rare AdminConfirm).
-func execQuery(db *minidb.DB, pr *profiler.Probe, q dbQuery,
+func execQuery(db *minidb.DB, pr *whodunit.Probe, q dbQuery,
 	item, orderLine, customer, orders, author *minidb.Table) {
 	switch q.interaction {
 	case workload.BestSellers:

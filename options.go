@@ -50,16 +50,28 @@ func WithCrosstalk(classify func(TxnCtxt) string) Option {
 	}
 }
 
-// WithFlowDetection equips the app with a machine emulator running
-// critical sections under emulation and a shared-memory flow tracker
-// (§3 of the paper). Detected flows land in Report.Flows; wire token
-// resolution through App.FlowTracker and run code on App.Machine.
+// WithFlowDetection equips the app with a machine emulator for critical
+// sections and — when the app profiles in ModeWhodunit — the
+// shared-memory flow tracker of §3, with the token plumbing between
+// probe transaction contexts and tracker tokens fully wired. It is pure
+// configuration: Queue.Push/Pop and Stage.EmulatedCS then run their
+// critical sections under emulation and propagate contexts across
+// threads automatically (§3.5), and detected flows land in Report.Flows.
+// In the other profiling modes the machine executes the same critical
+// sections natively (direct cost, no tracing), as §7.2 prescribes.
 func WithFlowDetection() Option {
+	return func(a *App) { a.flowWanted = true }
+}
+
+// WithClockRate sets the emulated machine's clock in cycles per second
+// of virtual time (default DefaultCyclesPerSecond, the paper's 2.4 GHz
+// Xeon); it converts critical-section cycle costs to CPU demand.
+func WithClockRate(cyclesPerSecond int64) Option {
 	return func(a *App) {
-		a.machine = NewMachine()
-		a.machine.Mode = VMEmulateCS
-		a.tracker = NewFlowTracker()
-		a.machine.Tracer = a.tracker
+		if cyclesPerSecond <= 0 {
+			panic("whodunit: WithClockRate needs a positive rate")
+		}
+		a.cyclesPerSec = cyclesPerSecond
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"whodunit/internal/profiler"
 	"whodunit/internal/stitch"
@@ -65,7 +66,7 @@ func stageReportFromDump(d StageDump) StageReport {
 // Report is the unified outcome of a Whodunit run: every stage's
 // transactional profile, the crosstalk matrix, detected shared-memory
 // flows, and the stitched end-to-end transaction graph. App.Run returns
-// one; the Text, JSON and DOT renderers present it.
+// one; the Text, JSON, DOT and Folded renderers present it.
 type Report struct {
 	App       string          `json:"app"`
 	Elapsed   Duration        `json:"elapsed_ns"`
@@ -187,6 +188,31 @@ func (r *Report) Text(w io.Writer) {
 	if r.Graph != nil && len(r.Graph.Nodes) > 0 {
 		fmt.Fprintf(w, "\nstitched transaction graph:\n")
 		r.Graph.Render(w)
+	}
+}
+
+// Folded writes the report in folded-stacks form — one line per call
+// path, semicolon-separated frames with the sample count after the last
+// space — the input format of flamegraph.pl and compatible renderers:
+//
+//	stage;transaction context;frame;frame... samples
+//
+// Each stack is prefixed with its stage and transaction-context label,
+// so a flame graph of a Whodunit run shows one tower per (stage,
+// transaction type): the per-context attribution the paper's triangles
+// present, as a flame graph. Works on decoded reports too, since it
+// reads the stage dumps.
+func (r *Report) Folded(w io.Writer) {
+	for _, sr := range r.Stages {
+		for _, td := range sr.Dump.Trees {
+			for _, rec := range td.Records {
+				if rec.Self == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%s;%s;%s %d\n",
+					sr.Stage, td.Label, strings.Join(rec.Path, ";"), rec.Self)
+			}
+		}
 	}
 }
 

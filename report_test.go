@@ -1,0 +1,74 @@
+package whodunit_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"whodunit"
+)
+
+// foldedFixture runs a small two-stage app and returns its report.
+func foldedFixture(t *testing.T) *whodunit.Report {
+	t.Helper()
+	app := whodunit.NewApp("shop", whodunit.WithMode(whodunit.ModeWhodunit))
+	web, db := app.Stage("web"), app.Stage("db")
+	reqQ, respQ := app.NewQueue("req").Raw(), app.NewQueue("resp").Raw()
+	twoStageWorkload(app.Sim(), reqQ, respQ, web.Endpoint(), db.Endpoint(),
+		func(body func(*whodunit.Thread, *whodunit.Probe)) { web.Go("web", body) },
+		func(body func(*whodunit.Thread, *whodunit.Probe)) { db.Go("db", body) })
+	return app.Run()
+}
+
+func TestReportFolded(t *testing.T) {
+	rep := foldedFixture(t)
+	var buf bytes.Buffer
+	rep.Folded(&buf)
+	out := buf.String()
+	if out == "" {
+		t.Fatal("empty folded output")
+	}
+	var total int64
+	sawDB := false
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("folded line without count: %q", line)
+		}
+		n, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad count in folded line %q: %v", line, err)
+		}
+		total += n
+		frames := strings.Split(line[:sp], ";")
+		if len(frames) < 3 {
+			t.Fatalf("folded line %q needs stage;context;frame...", line)
+		}
+		if frames[0] == "db" && frames[len(frames)-1] == "exec_query" {
+			sawDB = true
+		}
+	}
+	// Every profile sample appears exactly once across the folded lines.
+	if total != rep.TotalSamples() {
+		t.Fatalf("folded counts sum to %d, want %d", total, rep.TotalSamples())
+	}
+	if !sawDB {
+		t.Fatal("db exec_query stack missing from folded output")
+	}
+
+	// Folded must survive the JSON round trip (it reads the dumps).
+	var js bytes.Buffer
+	if err := rep.JSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	back, err := whodunit.ReadReport(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	back.Folded(&buf2)
+	if buf2.String() != out {
+		t.Fatal("folded output differs after JSON round trip")
+	}
+}

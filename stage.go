@@ -7,6 +7,7 @@ import (
 	"whodunit/internal/ipc"
 	"whodunit/internal/profiler"
 	"whodunit/internal/seda"
+	"whodunit/internal/tranctx"
 )
 
 // Stage is one tier of an App: a named profiling domain bundling a
@@ -72,6 +73,56 @@ func (st *Stage) Go(name string, body func(th *Thread, pr *Probe)) *Thread {
 		th.Data = pr
 		body(th, pr)
 	})
+}
+
+// BeginTxn starts a fresh transaction on pr: the probe switches to the
+// context consisting of a single call-path hop of this stage through
+// path — the §2 "new transaction" established where a request enters
+// the system (e.g. the accept point of a listener thread). It replaces
+// direct tranctx table manipulation in application code.
+func (st *Stage) BeginTxn(pr *Probe, path ...string) TxnCtxt {
+	tc := TxnCtxt{Local: st.prof.Table.Root().Extend(tranctx.CallHop(st.Name, path...))}
+	pr.SetTxn(tc)
+	return tc
+}
+
+// WithTxn runs fn with pr switched to tc, restoring the previous
+// transaction context afterwards (even if fn panics) — a scoped
+// alternative to paired SetTxn calls.
+func (st *Stage) WithTxn(pr *Probe, tc TxnCtxt, fn func()) {
+	prev := pr.Txn()
+	pr.SetTxn(tc)
+	defer pr.SetTxn(prev)
+	fn()
+}
+
+// CriticalSection executes fn while pr's thread holds l exclusively.
+// Locks created through App.NewLock report the wait to the crosstalk
+// monitor (§6) with the waiting and holding transaction contexts
+// resolved from the threads' probes — so a lock-protected region
+// written this way is fully observed with no further wiring.
+func (st *Stage) CriticalSection(pr *Probe, l *Lock, fn func()) {
+	th := pr.Thread()
+	th.Lock(l, Exclusive)
+	defer th.Unlock(l)
+	fn()
+}
+
+// EmulatedCS runs prog (assembled with AssembleProgram) from entry on
+// the app's machine emulator as pr's thread: registers are preloaded
+// from regs, pr's transaction context is registered with the flow
+// tracker for the duration, and the cycles consumed are charged to
+// pr's CPU. This is the escape hatch for custom shared-memory
+// structures; Queue.Push/Pop are built on it. Requires
+// WithFlowDetection.
+//
+// The machine's lock ids and word-addressed memory are shared
+// app-wide: App.NewQueue claims lock ids from 1 upward and
+// 0x10000-word regions from 0x1000 upward as queues are first pushed
+// to. Reserve a lock and region for each custom structure with
+// App.ReserveCS instead of hard-coding them.
+func (st *Stage) EmulatedCS(pr *Probe, prog *Program, entry string, regs map[byte]int64) *VMThread {
+	return st.app.runEmulated(pr, prog, entry, regs)
 }
 
 // Endpoint returns the stage's default message endpoint, creating and

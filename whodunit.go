@@ -32,18 +32,27 @@
 // Stages bundle the context-propagation machinery: Stage.Endpoint and
 // Stage.Conn for messaging tiers, Stage.EventLoop/BindLoop for
 // event-driven programs, Stage.SEDAStage/Worker/Inject for staged
-// pipelines. Functional options (WithMode, WithSeed, WithCrosstalk,
-// WithFlowDetection, WithSamplingInterval, StageMode, StageCPU) select
-// the run configuration. RunApps sweeps independent Apps across
+// pipelines, App.NewQueue for shared-memory queues whose Push/Pop
+// critical sections run on the emulated machine so the flow tracker
+// propagates the pusher's context to the popper automatically (§3.5),
+// Stage.CriticalSection for crosstalk-observed lock-protected regions,
+// and Stage.BeginTxn/WithTxn for transaction-context scoping without
+// touching the context tables. Functional options (WithMode, WithSeed,
+// WithCrosstalk, WithFlowDetection, WithClockRate,
+// WithSamplingInterval, StageMode, StageCPU) select the run
+// configuration — they are pure configuration; all machinery is built
+// and wired by NewApp. RunApps sweeps independent Apps across
 // GOMAXPROCS workers with reports bit-identical to serial runs.
 //
 // # Building blocks
 //
 // The remainder of this file re-exports the underlying building blocks
 // for programs that wire stages by hand (and as the compatibility
-// surface for code written against earlier versions):
+// surface for code written against earlier versions; constructors that
+// the App/Stage primitives supersede are marked deprecated in favor of
+// their replacements):
 //
-//   - Sim, Thread, CPU, Queue, Lock — the deterministic virtual-time
+//   - Sim, Thread, CPU, SimQueue, Lock — the deterministic virtual-time
 //     substrate everything runs on (internal/vclock);
 //   - Profiler, Probe, TxnCtxt — the csprof-style sampling profiler with
 //     per-transaction-context calling context trees (internal/profiler,
@@ -86,8 +95,13 @@ type (
 	Thread = vclock.Thread
 	// CPU is a multi-core processor resource.
 	CPU = vclock.CPU
-	// Queue is a FIFO queue between simulated threads.
-	Queue = vclock.Queue
+	// SimQueue is the raw simulator FIFO queue.
+	//
+	// Deprecated: App.NewQueue returns the context-propagating Queue,
+	// whose Put/Get methods cover the raw-transport uses; reach for a
+	// bare SimQueue (via Sim.NewQueue or Queue.Raw) only when wiring a
+	// simulation by hand.
+	SimQueue = vclock.Queue
 	// Lock is a reader/writer lock with wait observation.
 	Lock = vclock.Lock
 	// Time is a point in virtual time (nanoseconds).
@@ -151,6 +165,9 @@ var ParseMode = profiler.ParseMode
 type Overhead = profiler.Overhead
 
 // NewProfiler returns a profiler for the named stage.
+//
+// Deprecated: declare an App.Stage instead; it owns a profiler
+// (Stage.Profiler) configured from the app's options.
 func NewProfiler(stage string, mode Mode) *Profiler { return profiler.New(stage, mode) }
 
 // Context hop constructors.
@@ -178,16 +195,25 @@ type (
 
 // NewEventLoop returns an event loop for stage, interning contexts in the
 // profiler's table.
+//
+// Deprecated: use Stage.EventLoop / Stage.BindLoop, which tie the loop
+// to the stage's profiler and probe automatically.
 func NewEventLoop(stage string, p *Profiler) *EventLoop {
 	return event.NewLoop(stage, p.Table)
 }
 
 // NewSEDAStage declares a stage of program with the given input queue.
+//
+// Deprecated: use Stage.SEDAStage, which names the program after the
+// owning Stage and registers the SEDA stage with it.
 func NewSEDAStage(program, name string, in seda.Putter) *SEDAStage {
 	return seda.NewStage(program, name, in)
 }
 
 // NewSEDAWorker returns a worker for stage using the profiler's table.
+//
+// Deprecated: use Stage.Worker, which also binds the worker's dispatch
+// hook to the probe.
 func NewSEDAWorker(stage *SEDAStage, p *Profiler) *SEDAWorker {
 	return seda.NewWorker(stage, p.Table)
 }
@@ -212,6 +238,9 @@ const (
 )
 
 // NewEndpoint returns a message endpoint for the named stage.
+//
+// Deprecated: use Stage.Endpoint / Stage.NewEndpoint / Stage.Conn,
+// whose sends are included in the stage's dump automatically.
 func NewEndpoint(stage string) *Endpoint { return ipc.NewEndpoint(stage) }
 
 // Crosstalk.
@@ -224,11 +253,19 @@ type (
 
 // NewCrosstalkMonitor returns a monitor classifying transactions with
 // classify; attach it to locks via Lock.Observer.
+//
+// Deprecated: use WithCrosstalk, which attaches the monitor to every
+// lock created through App.NewLock and folds the matrix into the
+// report.
 func NewCrosstalkMonitor(classify func(TxnCtxt) string) *CrosstalkMonitor {
 	return crosstalk.NewMonitor(classify, nil)
 }
 
-// Shared-memory flow detection.
+// Shared-memory flow detection. Apps built with WithFlowDetection own
+// their machine and tracker (App.Machine, App.FlowTracker) with the
+// token plumbing pre-wired; the constructors that used to hand out raw
+// machines and trackers (NewMachine, NewFlowTracker) are gone with the
+// hand-wiring they required.
 type (
 	// Machine is the bundled CPU emulator for critical sections.
 	Machine = vm.Machine
@@ -239,22 +276,14 @@ type (
 	// FlowToken identifies a transaction context opaquely to the flow
 	// tracker.
 	FlowToken = shmflow.Token
+	// Program is an assembled VM program, runnable with Stage.EmulatedCS.
+	Program = vm.Program
+	// VMThread is one thread of the machine emulator.
+	VMThread = vm.Thread
 )
 
-// VM execution modes.
-const (
-	VMDirect    = vm.ModeDirect
-	VMEmulateCS = vm.ModeEmulateCS
-)
-
-// NewMachine returns a machine with the default cost model.
-func NewMachine() *Machine { return vm.NewMachine() }
-
-// NewFlowTracker returns an empty flow tracker; assign ThreadCtxt and set
-// it as the machine's Tracer.
-func NewFlowTracker() *FlowTracker { return shmflow.NewTracker() }
-
-// AssembleProgram assembles VM assembly text into a program.
+// AssembleProgram assembles VM assembly text into a Program for
+// Stage.EmulatedCS (custom shared-memory critical sections).
 var AssembleProgram = vm.Assemble
 
 // Stitching.

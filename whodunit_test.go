@@ -1,6 +1,7 @@
 package whodunit_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -91,46 +92,217 @@ func TestPublicAPIEventLoop(t *testing.T) {
 }
 
 func TestPublicAPIFlowDetection(t *testing.T) {
-	// A user-written producer/consumer pair in VM assembly; the tracker
-	// detects the handoff with no annotation of the programs themselves.
-	push, err := whodunit.AssembleProgram("push", `
+	// The Figure 1 pattern through the redesigned surface: a listener
+	// pushes into an App.NewQueue, a worker pops, and the worker's probe
+	// comes back carrying the listener's transaction context — with no
+	// machine, tracker or token wiring in user code at all.
+	app := whodunit.NewApp("flowapp", whodunit.WithFlowDetection())
+	st := app.Stage("flowapp")
+	fdq := app.NewQueue("fdqueue")
+
+	var popped any
+	var workerCtxt string
+	done := false
+	st.Go("worker", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		defer pr.Exit(pr.Enter("worker_thread"))
+		popped = fdq.Pop(pr)
+		workerCtxt = pr.Txn().Label()
+		done = true
+	})
+	st.Go("listener", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		defer pr.Exit(pr.Enter("listener_thread"))
+		st.BeginTxn(pr, "listener_thread", "accept")
+		fdq.Push(pr, "conn-7")
+	})
+	rep := app.RunUntil(func() bool { return done })
+
+	if popped != "conn-7" {
+		t.Fatalf("popped %v, want conn-7", popped)
+	}
+	if want := "flowapp:listener_thread>accept"; workerCtxt != want {
+		t.Fatalf("worker context = %q, want %q (producer's context not propagated)", workerCtxt, want)
+	}
+	if len(rep.Flows) == 0 {
+		t.Fatal("no flow events in the report")
+	}
+	for _, f := range rep.Flows {
+		if f.Producer == f.Consumer {
+			t.Fatalf("self-flow reported: %v", f)
+		}
+	}
+}
+
+func TestQueueRawPutThenPop(t *testing.T) {
+	// Elements injected through the raw Put face (e.g. external stimulus
+	// from a scheduler callback) must come back out of Pop as-is — no
+	// emulated critical section ever stored them — and must not be
+	// confused with Push'd elements even when both are buffered at once:
+	// provenance is per element, not a counter.
+	app := whodunit.NewApp("mixed", whodunit.WithFlowDetection())
+	st := app.Stage("mixed")
+	q := app.NewQueue("q")
+	q.Put("raw-1") // before any Push: nothing in the vm-side queue
+
+	var got []any
+	var ctxts []string
+	done := false
+	st.Go("consumer", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		// Let the producer finish first, so a raw and a pushed element
+		// are both buffered before the first Pop.
+		th.Sleep(whodunit.Millisecond)
+		for i := 0; i < 2; i++ {
+			got = append(got, q.Pop(pr))
+			ctxts = append(ctxts, pr.Txn().Label())
+		}
+		done = true
+	})
+	st.Go("producer", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		st.BeginTxn(pr, "produce")
+		q.Push(pr, "pushed-1")
+	})
+	app.RunUntil(func() bool { return done })
+
+	if len(got) != 2 || got[0] != "raw-1" || got[1] != "pushed-1" {
+		t.Fatalf("popped %v, want [raw-1 pushed-1] (each exactly once, FIFO head first)", got)
+	}
+	if ctxts[0] != "(root)" {
+		t.Fatalf("raw element must not switch context, got %q", ctxts[0])
+	}
+	if want := "mixed:produce"; ctxts[1] != want {
+		t.Fatalf("pushed element context = %q, want %q", ctxts[1], want)
+	}
+}
+
+func TestQueueGetRefusesPushedElem(t *testing.T) {
+	// Draining a Push'd element with raw Get would desynchronise the
+	// vm-side queue; it must fail loudly instead.
+	app := whodunit.NewApp("guard", whodunit.WithFlowDetection())
+	st := app.Stage("guard")
+	q := app.NewQueue("q")
+	done := false
+	st.Go("producer", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		q.Push(pr, "x")
+		defer func() {
+			if recover() == nil {
+				t.Error("Get on a Push'd element did not panic")
+			}
+			done = true
+		}()
+		q.Get(th)
+	})
+	app.RunUntil(func() bool { return done })
+	if !done {
+		t.Fatal("producer did not run to the Get guard")
+	}
+}
+
+func TestStageEmulatedCSCustomProgram(t *testing.T) {
+	// A custom shared-memory structure (not the library queue): user
+	// assembly run through Stage.EmulatedCS still gets token plumbing
+	// and §3.5 adoption from the app. The lock id and memory region are
+	// reserved through App.ReserveCS so they can never collide with a
+	// queue's.
+	app := whodunit.NewApp("custom", whodunit.WithFlowDetection())
+	st := app.Stage("custom")
+	lock, base := app.ReserveCS()
+	push, err := whodunit.AssembleProgram("push", fmt.Sprintf(`
 	main:
-		lock 1
+		lock %d
 		store [r1], r4   ; produce
-		unlock 1
+		unlock %d
 		halt
-	`)
+	`, lock, lock))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop, err := whodunit.AssembleProgram("pop", `
+	pop, err := whodunit.AssembleProgram("pop", fmt.Sprintf(`
 	main:
-		lock 1
+		lock %d
 		load r4, [r1]
-		unlock 1
+		unlock %d
 		store [r9], r4   ; consume
 		halt
-	`)
+	`, lock, lock))
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := whodunit.NewMachine()
-	m.Mode = whodunit.VMEmulateCS
-	tr := whodunit.NewFlowTracker()
-	tr.ThreadCtxt = func(tid int) whodunit.FlowToken { return whodunit.FlowToken(tid + 100) }
-	m.Tracer = tr
-	p, _ := m.Spawn(push, "main")
-	p.Regs[1], p.Regs[4] = 0x100, 42
-	c, _ := m.Spawn(pop, "main")
-	c.Regs[1], c.Regs[9] = 0x100, 0x200
-	if err := m.Run(10000); err != nil {
-		t.Fatal(err)
+
+	done := false
+	var consumerCtxt string
+	st.Go("consumer", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		th.Sleep(whodunit.Millisecond) // let the producer store first
+		st.EmulatedCS(pr, pop, "main", map[byte]int64{1: base, 9: base + 0x200})
+		consumerCtxt = pr.Txn().Label()
+		done = true
+	})
+	st.Go("producer", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		st.BeginTxn(pr, "produce_item")
+		st.EmulatedCS(pr, push, "main", map[byte]int64{1: base, 4: 42})
+	})
+	app.RunUntil(func() bool { return done })
+
+	if want := "custom:produce_item"; consumerCtxt != want {
+		t.Fatalf("consumer context = %q, want %q", consumerCtxt, want)
 	}
-	flows := tr.Flows()
-	if len(flows) == 0 {
-		t.Fatal("no flow detected through the public API")
+	if app.Machine().TotalCycles == 0 {
+		t.Fatal("no cycles charged for the emulated critical sections")
 	}
-	if flows[0].Token != whodunit.FlowToken(p.ID+100) {
-		t.Fatalf("flow token = %d", flows[0].Token)
+}
+
+func TestStageCriticalSectionCrosstalk(t *testing.T) {
+	// Two transactions contending for a lock through Stage.CriticalSection
+	// land in the crosstalk matrix with their contexts classified.
+	app := whodunit.NewApp("cs",
+		whodunit.WithCrosstalk(func(tc whodunit.TxnCtxt) string { return tc.Label() }))
+	st := app.Stage("cs")
+	lock := app.NewLock("shared")
+	body := func(name string) func(th *whodunit.Thread, pr *whodunit.Probe) {
+		return func(th *whodunit.Thread, pr *whodunit.Probe) {
+			st.BeginTxn(pr, name)
+			for i := 0; i < 3; i++ {
+				st.CriticalSection(pr, lock, func() {
+					pr.Compute(2 * whodunit.Millisecond)
+					th.Sleep(2 * whodunit.Millisecond)
+				})
+			}
+		}
+	}
+	st.Go("alpha", body("alpha"))
+	st.Go("beta", body("beta"))
+	rep := app.Run()
+	if len(rep.Crosstalk) == 0 {
+		t.Fatal("no crosstalk recorded for contended critical sections")
+	}
+	found := false
+	for _, p := range rep.Crosstalk {
+		if p.Waiter == "cs:alpha" && p.Holder == "cs:beta" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected (cs:alpha <- cs:beta) pair, got %+v", rep.Crosstalk)
+	}
+}
+
+func TestStageWithTxnRestoresContext(t *testing.T) {
+	app := whodunit.NewApp("wt")
+	st := app.Stage("wt")
+	done := false
+	st.Go("t", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		outer := st.BeginTxn(pr, "outer")
+		inner := whodunit.TxnCtxt{Local: outer.Local.Extend(whodunit.CallHop("wt", "inner"))}
+		st.WithTxn(pr, inner, func() {
+			if pr.Txn().Label() != "wt:outer | wt:inner" {
+				t.Errorf("inside WithTxn: %q", pr.Txn().Label())
+			}
+		})
+		if pr.Txn().Label() != "wt:outer" {
+			t.Errorf("after WithTxn: %q", pr.Txn().Label())
+		}
+		done = true
+	})
+	app.RunUntil(func() bool { return done })
+	if !done {
+		t.Fatal("thread did not run")
 	}
 }
