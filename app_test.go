@@ -7,12 +7,15 @@ import (
 
 	"whodunit"
 	"whodunit/internal/experiments"
+	"whodunit/internal/ipc"
+	"whodunit/internal/profiler"
+	"whodunit/internal/vclock"
 )
 
 // runTwoStageWorkload drives the canonical web+db workload against the
 // probes handed to it; shared between the App-API test and the manual
 // facade path it is compared with.
-func twoStageWorkload(sim *whodunit.Sim, reqQ, respQ *whodunit.SimQueue,
+func twoStageWorkload(sim *whodunit.Sim, reqQ, respQ *vclock.Queue,
 	webEP, dbEP *whodunit.Endpoint, goWeb, goDB func(body func(*whodunit.Thread, *whodunit.Probe))) {
 	goDB(func(th *whodunit.Thread, pr *whodunit.Probe) {
 		for i := 0; i < 4; i++ {
@@ -83,9 +86,9 @@ func TestAppTwoStageEndToEnd(t *testing.T) {
 	// --- Manual facade path --------------------------------------
 	s := whodunit.NewSim()
 	cpu := s.NewCPU("cpu", 2)
-	webProf := whodunit.NewProfiler("web", whodunit.ModeWhodunit)
-	dbProf := whodunit.NewProfiler("db", whodunit.ModeWhodunit)
-	webEP, dbEP := whodunit.NewEndpoint("web"), whodunit.NewEndpoint("db")
+	webProf := profiler.New("web", whodunit.ModeWhodunit)
+	dbProf := profiler.New("db", whodunit.ModeWhodunit)
+	webEP, dbEP := ipc.NewEndpoint("web"), ipc.NewEndpoint("db")
 	mReqQ, mRespQ := s.NewQueue("req"), s.NewQueue("resp")
 	twoStageWorkload(s, mReqQ, mRespQ, webEP, dbEP,
 		func(body func(*whodunit.Thread, *whodunit.Probe)) {

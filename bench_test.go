@@ -10,6 +10,7 @@ package whodunit_test
 import (
 	"testing"
 
+	"whodunit"
 	"whodunit/internal/event"
 	"whodunit/internal/experiments"
 	"whodunit/internal/profiler"
@@ -212,6 +213,40 @@ func BenchmarkEventDispatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l.Dispatch(ev)
 	}
+}
+
+// BenchmarkQueuePushPopEmulated measures a whodunit-mode flow-queue
+// round trip: Push and Pop critical sections emulated on the app's
+// machine with the shmflow tracker live, token plumbing, §3.5 context
+// adoption and the probe frames included — the full per-hand-off cost a
+// queue-connected app pays. A reply queue keeps producer and consumer
+// roles distinct on both legs, so neither lock is demoted to non-flow
+// and the traced path stays hot.
+func BenchmarkQueuePushPopEmulated(b *testing.B) {
+	b.ReportAllocs()
+	app := whodunit.NewApp("bench",
+		whodunit.WithMode(whodunit.ModeWhodunit),
+		whodunit.WithFlowDetection(),
+		whodunit.WithCores(2))
+	st := app.Stage("srv")
+	reqQ := app.NewQueue("req")
+	ackQ := app.NewQueue("ack")
+	n := b.N
+	st.Go("consumer", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		for i := 0; i < n; i++ {
+			v := reqQ.Pop(pr)
+			ackQ.Push(pr, v)
+		}
+	})
+	st.Go("producer", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		st.BeginTxn(pr, "main", "request")
+		for i := 0; i < n; i++ {
+			reqQ.Push(pr, i)
+			ackQ.Pop(pr)
+		}
+	})
+	b.ResetTimer()
+	app.Run()
 }
 
 // BenchmarkProbeCompute measures the profiler hot path: Compute calls

@@ -11,15 +11,35 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"whodunit/internal/cmdutil"
 	"whodunit/internal/experiments"
 )
+
+// benchSnapshot is the -benchjson output: the run's wall-clock headline
+// per experiment, for tracking the harness's performance trajectory
+// across changes (BENCH_*.json files in the repo root).
+type benchSnapshot struct {
+	Schema       string         `json:"schema"`
+	Quick        bool           `json:"quick"`
+	Workers      int            `json:"workers"` // 0 = GOMAXPROCS
+	GOMAXPROCS   int            `json:"gomaxprocs"`
+	Experiments  []benchExpSnap `json:"experiments"`
+	TotalSeconds float64        `json:"total_seconds"`
+}
+
+type benchExpSnap struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
 
 var experimentNames = []string{
 	"validate", "fig8", "fig9", "fig10", "table1", "fig11", "fig12", "table2", "table3", "overheads",
@@ -29,6 +49,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	only := flag.String("only", "", "run a single experiment: "+strings.Join(experimentNames, "|"))
 	workers := flag.Int("workers", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial)")
+	benchjson := flag.String("benchjson", "", "write per-experiment wall-clock metrics to this JSON file")
 	mode := cmdutil.ModeFlag()
 	flag.Parse()
 
@@ -73,8 +94,41 @@ func main() {
 			jobs = append(jobs, j)
 		}
 	}
+	// Wrap each job with wall-clock capture; each element is written by
+	// exactly one worker and read only after RunAll's pool has joined.
+	seconds := make([]float64, len(jobs))
+	for i := range jobs {
+		inner := jobs[i].Run
+		i := i
+		jobs[i].Run = func(w io.Writer) {
+			start := time.Now()
+			inner(w)
+			seconds[i] = time.Since(start).Seconds()
+		}
+	}
+	start := time.Now()
 	if err := experiments.RunAll(os.Stdout, jobs); err != nil {
 		fmt.Fprintf(os.Stderr, "whodunit-bench: %v\n", err)
 		os.Exit(1)
+	}
+	if *benchjson != "" {
+		snap := benchSnapshot{
+			Schema:       "whodunit-bench/v1",
+			Quick:        *quick,
+			Workers:      *workers,
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			TotalSeconds: time.Since(start).Seconds(),
+		}
+		for i, j := range jobs {
+			snap.Experiments = append(snap.Experiments, benchExpSnap{Name: j.Name, Seconds: seconds[i]})
+		}
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchjson, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whodunit-bench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

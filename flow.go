@@ -2,6 +2,7 @@ package whodunit
 
 import (
 	"fmt"
+	"sync"
 
 	"whodunit/internal/shmflow"
 	"whodunit/internal/vclock"
@@ -106,8 +107,9 @@ func (a *App) ReserveCS() (lock int, base int64) {
 // are charged to the probe's CPU, and — if the tracker detected that
 // this execution consumed another thread's context — the probe is
 // switched to the producer's transaction context (§3.5), with no caller
-// involvement.
-func (a *App) runEmulated(pr *Probe, prog *vm.Program, entry string, regs map[byte]int64) *vm.Thread {
+// involvement. regs is the full initial register file (copied in), so
+// the per-execution fast paths build no map.
+func (a *App) runEmulated(pr *Probe, prog *vm.Program, entry string, regs *[vm.NumRegs]int64) *vm.Thread {
 	if a.machine == nil {
 		panic("whodunit: emulated critical sections need WithFlowDetection")
 	}
@@ -115,9 +117,7 @@ func (a *App) runEmulated(pr *Probe, prog *vm.Program, entry string, regs map[by
 	if err != nil {
 		panic(fmt.Sprintf("whodunit: %s: %v", prog.Name, err))
 	}
-	for r, v := range regs {
-		th.Regs[r] = v
-	}
+	th.Regs = *regs
 	// Token plumbing only matters when the tracker is live (ModeWhodunit);
 	// in the other modes the program still executes (at direct cost) but
 	// interning contexts would be pure per-op string churn.
@@ -223,8 +223,8 @@ func (a *App) NewQueue(name string) *Queue {
 	}
 }
 
-// Raw returns the underlying simulator queue (for code that needs to
-// pass it to APIs taking a SimQueue).
+// Raw returns the underlying simulator queue (for code wiring a
+// simulation by hand against vclock primitives).
 func (q *Queue) Raw() *vclock.Queue { return q.inner }
 
 // Len reports the number of items currently buffered.
@@ -258,32 +258,32 @@ func (q *Queue) checkRaw(v any) any {
 	return v
 }
 
-// ensure allocates the queue's vm resources: a word-addressed region
-// laid out like Figure 1's fd_queue_t ([base] = nelts, data at
-// base+0x10, per-consumer scratch words from base+0x7000) and a
-// dedicated vm lock (one_big_mutex), plus the push/pop programs
-// assembled against those addresses.
-func (q *Queue) ensure() {
-	if q.push != nil {
-		return
+// queueShape identifies an assembled queue critical section: the
+// push/pop code depends only on the vm lock id and the region base, so
+// programs are cached process-wide by shape and shared across queues and
+// apps. Every app hands out lock ids and bases from the same ReserveCS
+// sequence, so a sweep of N identical apps assembles each program once
+// instead of once per app. Programs are immutable after assembly and
+// each machine keeps its own per-program state, so sharing across
+// concurrently running apps (RunApps) is safe; the cache is a sync.Map
+// for the same reason.
+type queueShape struct {
+	lock int
+	base int64
+	pop  bool
+}
+
+var queueProgs sync.Map // queueShape -> *vm.Program
+
+func queueProg(lock int, base int64, pop bool) *vm.Program {
+	shape := queueShape{lock, base, pop}
+	if p, ok := queueProgs.Load(shape); ok {
+		return p.(*vm.Program)
 	}
-	q.lockID, q.base = q.app.ReserveCS()
-	q.scratch = make(map[*vclock.Thread]int64)
-	data := q.base + 0x10
-	q.push = vm.MustAssemble(q.Name+"_push", fmt.Sprintf(`
-	push:
-		lock %d
-		load  r3, [r1]       ; r3 = queue->nelts
-		add   r6, r3, r3     ; r6 = nelts * 2 (element stride)
-		movi  r7, %#x        ; r7 = &queue->data[0]
-		add   r7, r7, r6     ; r7 = &queue->data[nelts]
-		store [r7+0], r4     ; elem->sd = sd   (produce)
-		store [r7+1], r5     ; elem->p  = p    (produce)
-		incm  [r1]           ; queue->nelts++
-		unlock %d
-		halt
-	`, q.lockID, data, q.lockID))
-	q.pop = vm.MustAssemble(q.Name+"_pop", fmt.Sprintf(`
+	data := base + 0x10
+	var prog *vm.Program
+	if pop {
+		prog = vm.MustAssemble(fmt.Sprintf("fd_queue_pop@%#x", base), fmt.Sprintf(`
 	pop:
 		lock %d
 		decm  [r1]           ; --queue->nelts
@@ -297,7 +297,39 @@ func (q *Queue) ensure() {
 		store [r9+0], r4     ; caller uses sd after return (consume)
 		store [r9+1], r5     ; caller uses p  after return (consume)
 		halt
-	`, q.lockID, data, q.lockID))
+	`, lock, data, lock))
+	} else {
+		prog = vm.MustAssemble(fmt.Sprintf("fd_queue_push@%#x", base), fmt.Sprintf(`
+	push:
+		lock %d
+		load  r3, [r1]       ; r3 = queue->nelts
+		add   r6, r3, r3     ; r6 = nelts * 2 (element stride)
+		movi  r7, %#x        ; r7 = &queue->data[0]
+		add   r7, r7, r6     ; r7 = &queue->data[nelts]
+		store [r7+0], r4     ; elem->sd = sd   (produce)
+		store [r7+1], r5     ; elem->p  = p    (produce)
+		incm  [r1]           ; queue->nelts++
+		unlock %d
+		halt
+	`, lock, data, lock))
+	}
+	got, _ := queueProgs.LoadOrStore(shape, prog)
+	return got.(*vm.Program)
+}
+
+// ensure allocates the queue's vm resources: a word-addressed region
+// laid out like Figure 1's fd_queue_t ([base] = nelts, data at
+// base+0x10, per-consumer scratch words from base+0x7000) and a
+// dedicated vm lock (one_big_mutex), plus the push/pop programs for
+// those addresses (fetched from the process-wide shape cache).
+func (q *Queue) ensure() {
+	if q.push != nil {
+		return
+	}
+	q.lockID, q.base = q.app.ReserveCS()
+	q.scratch = make(map[*vclock.Thread]int64)
+	q.push = queueProg(q.lockID, q.base, false)
+	q.pop = queueProg(q.lockID, q.base, true)
 }
 
 func (q *Queue) scratchFor(th *Thread) int64 {
@@ -340,9 +372,9 @@ func (q *Queue) Push(pr *Probe, v any) {
 			sd = int64(len(q.vals))
 			q.vals = append(q.vals, v)
 		}
-		q.app.runEmulated(pr, q.push, "push", map[byte]int64{
-			1: q.base, 4: sd, 5: sd + 1_000_000,
-		})
+		var regs [vm.NumRegs]int64
+		regs[1], regs[4], regs[5] = q.base, sd, sd+1_000_000
+		q.app.runEmulated(pr, q.push, "push", &regs)
 	}()
 	q.inner.Put(pushedElem{})
 }
@@ -371,9 +403,9 @@ func (q *Queue) Pop(pr *Probe) any {
 	var v any
 	func() {
 		defer pr.Exit(pr.Enter(q.PopFrame))
-		t := q.app.runEmulated(pr, q.pop, "pop", map[byte]int64{
-			1: q.base, 9: q.scratchFor(th),
-		})
+		var regs [vm.NumRegs]int64
+		regs[1], regs[9] = q.base, q.scratchFor(th)
+		t := q.app.runEmulated(pr, q.pop, "pop", &regs)
 		// The value comes from the slot the critical section actually
 		// popped, so it stays consistent with the propagated context.
 		sd := t.Regs[4]

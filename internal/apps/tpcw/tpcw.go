@@ -24,9 +24,32 @@ import (
 
 	"whodunit"
 	"whodunit/internal/minidb"
+	"whodunit/internal/tranctx"
 	"whodunit/internal/vclock"
 	"whodunit/internal/workload"
 )
+
+// chainKey is a comparable, rendering-free map key for a synopsis chain.
+// The crosstalk classifier resolves a context's chain on every observed
+// lock wait, so keying the registry by rendered strings put a fmt string
+// build on the lock hot path. Chains longer than the inline array (which
+// the three-tier model never produces) fall back to the rendered form,
+// keeping the key injective in all cases.
+type chainKey struct {
+	n   int
+	syn [6]tranctx.Synopsis
+	str string // rendered fallback when n > len(syn)
+}
+
+func chainKeyOf(ch tranctx.Chain) chainKey {
+	k := chainKey{n: len(ch)}
+	if len(ch) > len(k.syn) {
+		k.str = ch.String()
+		return k
+	}
+	copy(k.syn[:], ch)
+	return k
+}
 
 // Config parameterises one TPC-W run.
 type Config struct {
@@ -146,9 +169,9 @@ func Run(cfg Config) *Result {
 	// chain -> interaction registry: filled when Tomcat sends a DB
 	// request; this is how the experiment code (and the crosstalk
 	// classifier) translate a MySQL-side context back to an interaction.
-	chainName := make(map[string]string)
+	chainName := make(map[chainKey]string)
 	classify := func(tc whodunit.TxnCtxt) string {
-		if n, ok := chainName[tc.Prefix.String()]; ok {
+		if n, ok := chainName[chainKeyOf(tc.Prefix)]; ok {
 			return n
 		}
 		return "(other)"
@@ -182,24 +205,25 @@ func Run(cfg Config) *Result {
 	rng := vclock.NewRNG(cfg.Seed ^ 0x5eed)
 	item := db.CreateTable("item", cfg.ItemEngine)
 	for i := 0; i < 10000; i++ {
-		item.LoadRow(minidb.Row{ID: int64(i), Attrs: map[string]int64{
-			"subject": int64(i % 24), "cost": int64(10 + i%90), "sales": int64(rng.Intn(100000)),
+		item.LoadRow(minidb.Row{ID: int64(i), Attrs: []minidb.Attr{
+			{Name: "subject", Val: int64(i % 24)}, {Name: "cost", Val: int64(10 + i%90)},
+			{Name: "sales", Val: int64(rng.Intn(100000))},
 		}})
 	}
 	orderLine := db.CreateTable("order_line", minidb.EngineMyISAM)
 	for i := 0; i < 7776; i++ {
-		orderLine.LoadRow(minidb.Row{ID: int64(i), Attrs: map[string]int64{
-			"item": int64(rng.Intn(10000)), "qty": int64(1 + rng.Intn(5)),
+		orderLine.LoadRow(minidb.Row{ID: int64(i), Attrs: []minidb.Attr{
+			{Name: "item", Val: int64(rng.Intn(10000))}, {Name: "qty", Val: int64(1 + rng.Intn(5))},
 		}})
 	}
 	customer := db.CreateTable("customer", minidb.EngineMyISAM)
 	for i := 0; i < 2880; i++ {
-		customer.LoadRow(minidb.Row{ID: int64(i), Attrs: map[string]int64{"discount": int64(i % 50)}})
+		customer.LoadRow(minidb.Row{ID: int64(i), Attrs: []minidb.Attr{{Name: "discount", Val: int64(i % 50)}}})
 	}
 	orders := db.CreateTable("orders", minidb.EngineInnoDB)
 	author := db.CreateTable("author", minidb.EngineMyISAM)
 	for i := 0; i < 2500; i++ {
-		author.LoadRow(minidb.Row{ID: int64(i), Attrs: map[string]int64{}})
+		author.LoadRow(minidb.Row{ID: int64(i)})
 	}
 
 	// Queues between tiers.
@@ -269,7 +293,7 @@ func Run(cfg Config) *Result {
 						func() {
 							defer pr.Exit(pr.Enter("db_rpc"))
 							msg := tomcatEP.Send(pr, nil)
-							chainName[msg.Chain.String()] = wr.interaction
+							chainName[chainKeyOf(msg.Chain)] = wr.interaction
 							countMsg(msg, 512)
 							mysqlQ.Put(&request{msg: msg, payload: dbQuery{
 								interaction: wr.interaction, subject: wr.subject, itemID: wr.itemID,
@@ -366,7 +390,7 @@ func Run(cfg Config) *Result {
 	total := res.MySQLProf.TotalSamples()
 	if total > 0 {
 		for _, e := range res.MySQLProf.Entries() {
-			name, ok := chainName[e.Ctxt.Prefix.String()]
+			name, ok := chainName[chainKeyOf(e.Ctxt.Prefix)]
 			if !ok {
 				continue
 			}
@@ -408,7 +432,7 @@ func execQuery(db *minidb.DB, pr *whodunit.Probe, q dbQuery,
 		// Heavy-weight: sort order lines into a temp table, then update
 		// one row of item — exclusive table lock under MyISAM.
 		db.Select(pr, orderLine, nil, minidb.SelectOpts{TempSortRows: 50000, CountOnly: true})
-		db.Update(pr, item, q.itemID, func(r *minidb.Row) { r.Attrs["cost"]++ })
+		db.Update(pr, item, q.itemID, func(r *minidb.Row) { r.AddAttr("cost", 1) })
 	case workload.NewProducts:
 		db.Select(pr, item, nil, minidb.SelectOpts{WhereAttr: "subject", WhereEquals: q.subject,
 			SortBy: "sales", Limit: 50, CountOnly: true})
@@ -435,9 +459,9 @@ func execQuery(db *minidb.DB, pr *whodunit.Probe, q dbQuery,
 		// Writes order rows: the order_line insert takes that table's
 		// exclusive lock and collides with BestSellers' long reads.
 		db.Lookup(pr, customer, q.itemID%2880)
-		db.Insert(pr, orders, minidb.Row{ID: q.itemID*100000 + int64(pr.Thread().ID), Attrs: map[string]int64{}})
+		db.Insert(pr, orders, minidb.Row{ID: q.itemID*100000 + int64(pr.Thread().ID)})
 		db.Insert(pr, orderLine, minidb.Row{ID: q.itemID*100000 + int64(pr.Thread().ID) + 50000,
-			Attrs: map[string]int64{"item": q.itemID, "qty": 1}})
+			Attrs: []minidb.Attr{{Name: "item", Val: q.itemID}, {Name: "qty", Val: 1}}})
 	case workload.OrderDisplay, workload.OrderInquiry:
 		db.Lookup(pr, customer, q.itemID%2880)
 		db.Lookup(pr, orders, q.itemID)

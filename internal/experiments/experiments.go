@@ -213,7 +213,7 @@ func Table3Emulation() Table3Result {
 				th.Regs[r] = v
 			}
 			// A queue element must exist for pop to read.
-			m.Mem[shmflow.QueueBase] = 1
+			m.Mem.Store(shmflow.QueueBase, 1)
 			if err := m.Run(100000); err != nil {
 				panic(err)
 			}

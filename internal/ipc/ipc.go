@@ -58,20 +58,40 @@ type SendRecord struct {
 	FromName string // human-readable context label
 }
 
+// sentEntry is one distinct sent chain with the context to restore when
+// its response arrives.
+type sentEntry struct {
+	chain tranctx.Chain
+	ctxt  profiler.TxnCtxt
+}
+
 // Endpoint is a stage's message-context bookkeeping: the dictionary of
 // sent synopsis chains and the contexts to restore when their responses
-// arrive.
+// arrive. The dictionary is keyed by the chain's numeric hash with
+// equality-checked buckets, so the steady-state send/receive path
+// renders no strings; the human-readable SendRecord strings are built
+// once per distinct chain.
 type Endpoint struct {
 	Stage string
 
-	sent  map[string]profiler.TxnCtxt
+	sent  map[uint64][]sentEntry // Chain.Hash -> candidate entries
 	sends []SendRecord
-	seen  map[string]bool
 }
 
 // NewEndpoint returns an endpoint for the named stage.
 func NewEndpoint(stage string) *Endpoint {
-	return &Endpoint{Stage: stage, sent: make(map[string]profiler.TxnCtxt), seen: make(map[string]bool)}
+	return &Endpoint{Stage: stage, sent: make(map[uint64][]sentEntry)}
+}
+
+// lookupSent finds the context recorded for an exact chain.
+func (e *Endpoint) lookupSent(ch tranctx.Chain) (profiler.TxnCtxt, bool) {
+	bucket := e.sent[ch.Hash()]
+	for i := range bucket {
+		if bucket[i].chain.Equal(ch) {
+			return bucket[i].ctxt, true
+		}
+	}
+	return profiler.TxnCtxt{}, false
 }
 
 // Send builds a message carrying data, stamped with the probe's
@@ -82,11 +102,19 @@ func (e *Endpoint) Send(pr *profiler.Probe, data any) Msg {
 	chain := make(tranctx.Chain, 0, len(at.Prefix)+1)
 	chain = append(chain, at.Prefix...)
 	chain = append(chain, at.Local.Synopsis())
-	key := chain.String()
-	e.sent[key] = pr.Txn()
-	if !e.seen[key] {
-		e.seen[key] = true
-		e.sends = append(e.sends, SendRecord{Chain: key, FromKey: pr.Txn().Key(), FromName: pr.Txn().Label()})
+	h := chain.Hash()
+	bucket := e.sent[h]
+	found := false
+	for i := range bucket {
+		if bucket[i].chain.Equal(chain) {
+			bucket[i].ctxt = pr.Txn() // latest send of a chain wins
+			found = true
+			break
+		}
+	}
+	if !found {
+		e.sent[h] = append(bucket, sentEntry{chain: chain, ctxt: pr.Txn()})
+		e.sends = append(e.sends, SendRecord{Chain: chain.String(), FromKey: pr.Txn().Key(), FromName: pr.Txn().Label()})
 	}
 	return Msg{Chain: chain, Data: data}
 }
@@ -98,7 +126,7 @@ func (e *Endpoint) Send(pr *profiler.Probe, data any) Msg {
 func (e *Endpoint) Recv(pr *profiler.Probe, msg Msg) Kind {
 	// Longest proper prefix of the incoming chain that we sent.
 	for k := len(msg.Chain) - 1; k >= 1; k-- {
-		if saved, ok := e.sent[msg.Chain[:k].String()]; ok {
+		if saved, ok := e.lookupSent(msg.Chain[:k]); ok {
 			pr.SetTxn(saved)
 			return Response
 		}

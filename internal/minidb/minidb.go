@@ -40,15 +40,55 @@ func (e Engine) String() string {
 	return "MyISAM"
 }
 
+// Attr is one named integer attribute of a row.
+type Attr struct {
+	Name string
+	Val  int64
+}
+
 // Row is one table row: an id plus integer attributes (strings are
 // modelled as interned codes — the workload only ever compares them).
+// Attributes are a small slice, not a map: rows carry at most a handful,
+// a linear scan beats a map lookup at that size, and bulk-loading tens
+// of thousands of rows per experiment run was allocating a map (and its
+// hash state) per row — the single largest allocation source in the
+// TPC-W runs.
 type Row struct {
 	ID    int64
-	Attrs map[string]int64
+	Attrs []Attr
 }
 
 // Attr returns the named attribute (0 when absent).
-func (r Row) Attr(name string) int64 { return r.Attrs[name] }
+func (r Row) Attr(name string) int64 {
+	for i := range r.Attrs {
+		if r.Attrs[i].Name == name {
+			return r.Attrs[i].Val
+		}
+	}
+	return 0
+}
+
+// SetAttr sets the named attribute, adding it if absent.
+func (r *Row) SetAttr(name string, v int64) {
+	for i := range r.Attrs {
+		if r.Attrs[i].Name == name {
+			r.Attrs[i].Val = v
+			return
+		}
+	}
+	r.Attrs = append(r.Attrs, Attr{Name: name, Val: v})
+}
+
+// AddAttr adds delta to the named attribute (treating absent as 0).
+func (r *Row) AddAttr(name string, delta int64) {
+	for i := range r.Attrs {
+		if r.Attrs[i].Name == name {
+			r.Attrs[i].Val += delta
+			return
+		}
+	}
+	r.Attrs = append(r.Attrs, Attr{Name: name, Val: delta})
+}
 
 // CostModel gives the CPU demand of query operators, per row.
 type CostModel struct {
@@ -91,30 +131,33 @@ type Table struct {
 	// of times per experiment).
 	frameSelect, frameLookup, frameUpdate, frameInsert string
 
-	// cols caches one []int64 column per attribute for WhereAttr scans,
-	// built lazily and dropped whole on any write.
-	cols map[string][]int64
+	// buckets caches, per attribute, the row indexes grouped by value —
+	// the equality index behind WhereAttr scans. Built lazily, dropped
+	// whole on any write. Index slices hold row positions in row order,
+	// so bucketed results match what a row-order scan would produce.
+	buckets map[string]map[int64][]int
 }
 
-// column returns the cached column for attr, building it on first use
-// after a write.
-func (t *Table) column(attr string) []int64 {
-	if c, ok := t.cols[attr]; ok {
-		return c
+// bucket returns the cached value→row-indexes index for attr, building
+// it on first use after a write.
+func (t *Table) bucket(attr string) map[int64][]int {
+	if b, ok := t.buckets[attr]; ok {
+		return b
 	}
-	if t.cols == nil {
-		t.cols = make(map[string][]int64)
+	if t.buckets == nil {
+		t.buckets = make(map[string]map[int64][]int)
 	}
-	c := make([]int64, len(t.rows))
+	b := make(map[int64][]int)
 	for i := range t.rows {
-		c[i] = t.rows[i].Attrs[attr]
+		v := t.rows[i].Attr(attr)
+		b[v] = append(b[v], i)
 	}
-	t.cols[attr] = c
-	return c
+	t.buckets[attr] = b
+	return b
 }
 
-// invalidateCols drops the column cache after a write.
-func (t *Table) invalidateCols() { t.cols = nil }
+// invalidateCols drops the equality-index cache after a write.
+func (t *Table) invalidateCols() { t.buckets = nil }
 
 // DB is one database instance bound to a simulation and a CPU.
 type DB struct {
@@ -198,29 +241,40 @@ func (t *Table) rowLock(id int64) *vclock.Lock {
 	return l
 }
 
-// readLock acquires whatever lock the engine requires for reading and
-// returns the matching unlock function (a no-op for InnoDB's non-locking
-// consistent reads).
-func (t *Table) readLock(th *vclock.Thread) func() {
-	switch t.Engine {
-	case EngineMyISAM:
+// lockRead/unlockRead bracket whatever locking the engine requires for
+// reading (a no-op for InnoDB's non-locking consistent reads). They are
+// paired methods rather than a returned unlock closure: Select and
+// Lookup run thousands of times per experiment and the closure was one
+// heap allocation per query.
+func (t *Table) lockRead(th *vclock.Thread) {
+	if t.Engine == EngineMyISAM {
 		th.Lock(t.lock, vclock.Shared)
-		return func() { th.Unlock(t.lock) }
-	default:
-		return func() {}
 	}
 }
 
-func (t *Table) writeLock(th *vclock.Thread, id int64) func() {
-	switch t.Engine {
-	case EngineMyISAM:
-		th.Lock(t.lock, vclock.Exclusive)
-		return func() { th.Unlock(t.lock) }
-	default:
-		l := t.rowLock(id)
-		th.Lock(l, vclock.Exclusive)
-		return func() { th.Unlock(l) }
+func (t *Table) unlockRead(th *vclock.Thread) {
+	if t.Engine == EngineMyISAM {
+		th.Unlock(t.lock)
 	}
+}
+
+// lockWrite/unlockWrite are the write-side pair: the whole table for
+// MyISAM, the row's lock for InnoDB (resolved again on unlock — a map
+// hit is cheaper than a captured closure).
+func (t *Table) lockWrite(th *vclock.Thread, id int64) {
+	if t.Engine == EngineMyISAM {
+		th.Lock(t.lock, vclock.Exclusive)
+		return
+	}
+	th.Lock(t.rowLock(id), vclock.Exclusive)
+}
+
+func (t *Table) unlockWrite(th *vclock.Thread, id int64) {
+	if t.Engine == EngineMyISAM {
+		th.Unlock(t.lock)
+		return
+	}
+	th.Unlock(t.rowLock(id))
 }
 
 // Pred filters rows; a nil Pred matches everything.
@@ -237,8 +291,8 @@ type Pred func(Row) bool
 // skipping work the caller does not want:
 //
 //   - WhereAttr/WhereEquals (with a nil Pred) filter by attribute
-//     equality through a per-table column cache — an integer-compare scan
-//     instead of one map lookup per row;
+//     equality through a per-table equality index (value → row indexes,
+//     rebuilt lazily after writes) — no per-row work at all;
 //   - CountOnly charges exactly the CPU demand, takes exactly the locks
 //     and emits exactly the profiler frames the full query would, but
 //     materialises no result rows (callers that only want the query's
@@ -274,8 +328,8 @@ func log2(n int) int64 {
 // shared — the workload treats them as immutable).
 func (db *DB) Select(pr *profiler.Probe, t *Table, pred Pred, opts SelectOpts) []Row {
 	defer pr.Exit(pr.Enter(t.frameSelect))
-	unlock := t.readLock(pr.Thread())
-	defer unlock()
+	t.lockRead(pr.Thread())
+	defer t.unlockRead(pr.Thread())
 
 	func() {
 		defer pr.Exit(pr.Enter("scan_rows"))
@@ -288,13 +342,12 @@ func (db *DB) Select(pr *profiler.Probe, t *Table, pred Pred, opts SelectOpts) [
 	matched := 0
 	switch {
 	case pred == nil && opts.WhereAttr != "":
-		col := t.column(opts.WhereAttr)
-		for i, v := range col {
-			if v == opts.WhereEquals {
-				matched++
-				if !opts.CountOnly {
-					out = append(out, t.rows[i])
-				}
+		idxs := t.bucket(opts.WhereAttr)[opts.WhereEquals]
+		matched = len(idxs)
+		if !opts.CountOnly && matched > 0 {
+			out = make([]Row, 0, matched)
+			for _, i := range idxs {
+				out = append(out, t.rows[i])
 			}
 		}
 	case pred == nil:
@@ -362,8 +415,8 @@ func (db *DB) Select(pr *profiler.Probe, t *Table, pred Pred, opts SelectOpts) [
 // Lookup fetches a row by primary key under read locking.
 func (db *DB) Lookup(pr *profiler.Probe, t *Table, id int64) (Row, bool) {
 	defer pr.Exit(pr.Enter(t.frameLookup))
-	unlock := t.readLock(pr.Thread())
-	defer unlock()
+	t.lockRead(pr.Thread())
+	defer t.unlockRead(pr.Thread())
 	pr.Compute(db.Cost.LookupCost)
 	idx, ok := t.byID[id]
 	if !ok {
@@ -376,8 +429,8 @@ func (db *DB) Lookup(pr *profiler.Probe, t *Table, id int64) (Row, bool) {
 // locking. It reports whether the row existed.
 func (db *DB) Update(pr *profiler.Probe, t *Table, id int64, fn func(*Row)) bool {
 	defer pr.Exit(pr.Enter(t.frameUpdate))
-	unlock := t.writeLock(pr.Thread(), id)
-	defer unlock()
+	t.lockWrite(pr.Thread(), id)
+	defer t.unlockWrite(pr.Thread(), id)
 	pr.Compute(db.Cost.UpdateCost)
 	idx, ok := t.byID[id]
 	if !ok {
@@ -392,8 +445,8 @@ func (db *DB) Update(pr *profiler.Probe, t *Table, id int64, fn func(*Row)) bool
 // the new row's lock for InnoDB).
 func (db *DB) Insert(pr *profiler.Probe, t *Table, r Row) {
 	defer pr.Exit(pr.Enter(t.frameInsert))
-	unlock := t.writeLock(pr.Thread(), r.ID)
-	defer unlock()
+	t.lockWrite(pr.Thread(), r.ID)
+	defer t.unlockWrite(pr.Thread(), r.ID)
 	pr.Compute(db.Cost.InsertCost)
 	t.LoadRow(r)
 }

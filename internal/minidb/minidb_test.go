@@ -41,7 +41,7 @@ func (e *env) goAt(at vclock.Time, name string, body func(pr *profiler.Probe, th
 
 func loadItems(t *Table, n int) {
 	for i := 0; i < n; i++ {
-		t.LoadRow(Row{ID: int64(i), Attrs: map[string]int64{"subject": int64(i % 5), "stock": 10, "sales": int64(i)}})
+		t.LoadRow(Row{ID: int64(i), Attrs: []Attr{{Name: "subject", Val: int64(i % 5)}, {Name: "stock", Val: 10}, {Name: "sales", Val: int64(i)}}})
 	}
 }
 
@@ -80,7 +80,7 @@ func TestLookupAndUpdate(t *testing.T) {
 	item := e.db.CreateTable("item", EngineInnoDB)
 	loadItems(item, 10)
 	e.go_("q", func(pr *profiler.Probe, th *vclock.Thread) {
-		if ok := e.db.Update(pr, item, 7, func(r *Row) { r.Attrs["stock"] = 99 }); !ok {
+		if ok := e.db.Update(pr, item, 7, func(r *Row) { r.SetAttr("stock", 99) }); !ok {
 			t.Error("update missed row")
 		}
 		r, ok := e.db.Lookup(pr, item, 7)
@@ -102,7 +102,7 @@ func TestInsert(t *testing.T) {
 	e := newEnv()
 	tab := e.db.CreateTable("orders", EngineInnoDB)
 	e.go_("q", func(pr *profiler.Probe, th *vclock.Thread) {
-		e.db.Insert(pr, tab, Row{ID: 1, Attrs: map[string]int64{"total": 5}})
+		e.db.Insert(pr, tab, Row{ID: 1, Attrs: []Attr{{Name: "total", Val: 5}}})
 	})
 	e.s.Run()
 	e.s.Shutdown()

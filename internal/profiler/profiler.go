@@ -14,6 +14,7 @@ package profiler
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"whodunit/internal/cct"
@@ -320,6 +321,15 @@ type Probe struct {
 	cur     *cct.Tree       // cached tree for the current context, nil = recompute
 	phase   vclock.Duration // CPU consumed since the last sample boundary
 	pending vclock.Duration // overhead to charge on the next Compute
+
+	// CallCtxt cache: sends from an unchanged (context, call stack) pair
+	// — the steady state of every server loop — reuse the interned
+	// extension instead of re-joining the call path. Extend interns, so
+	// the cached Ctxt is pointer-identical to what a recomputation would
+	// return.
+	ccBase  *tranctx.Ctxt // txn.Local the cache was computed from
+	ccStack []cct.FrameID // stack snapshot the cache was computed from
+	ccLocal *tranctx.Ctxt // cached Extend result
 }
 
 // NewProbe creates a probe for thread th charging CPU demand to cpu. The
@@ -398,7 +408,14 @@ func (pr *Probe) SetLocal(c *tranctx.Ctxt) {
 func (pr *Probe) CallCtxt() TxnCtxt {
 	local := pr.txn.Local
 	if len(pr.stack) > 0 {
-		local = local.Extend(tranctx.CallHop(pr.prof.Stage, pr.Stack()...))
+		if pr.ccLocal != nil && pr.ccBase == local && slices.Equal(pr.ccStack, pr.stack) {
+			local = pr.ccLocal
+		} else {
+			ext := local.Extend(tranctx.CallHop(pr.prof.Stage, pr.Stack()...))
+			pr.ccBase, pr.ccLocal = local, ext
+			pr.ccStack = append(pr.ccStack[:0], pr.stack...)
+			local = ext
+		}
 	}
 	return TxnCtxt{Prefix: pr.txn.Prefix, Local: local}
 }

@@ -200,9 +200,7 @@ func (tr *Tracker) inCS(ac vm.Access) {
 		}
 		tr.dict[ac.Dst] = entry{tok: tok, valid: true, lock: ac.Lock, producer: ac.Thread}
 		if ac.Dst.Kind == vm.LocMem {
-			li := tr.lockInfoFor(ac.Lock)
-			li.producers[ac.Thread] = true
-			tr.checkIntersection(ac.Lock, li)
+			tr.addProducer(ac.Lock, ac.Thread)
 		}
 	case vm.AccWrite:
 		tr.flushMismatched(ac.Dst, ac.Lock)
@@ -225,9 +223,7 @@ func (tr *Tracker) inWindow(ac vm.Access) {
 		// The value has been consumed; drop the association so repeated
 		// uses in the same window do not re-fire.
 		delete(tr.dict, loc)
-		li := tr.lockInfoFor(e.lock)
-		li.consumers[ac.Thread] = true
-		tr.checkIntersection(e.lock, li)
+		li := tr.addConsumer(e.lock, ac.Thread)
 		if li.nonFlow {
 			continue
 		}
@@ -251,19 +247,38 @@ func (tr *Tracker) inWindow(ac vm.Access) {
 	}
 }
 
-// checkIntersection applies §3.4's allocator rule: the first common member
-// of a lock's producer and consumer sets marks the lock non-flow.
-func (tr *Tracker) checkIntersection(lock int, li *lockInfo) {
-	if li.nonFlow {
+// addProducer and addConsumer grow a lock's thread sets and apply §3.4's
+// allocator rule incrementally: the producer/consumer intersection first
+// becomes non-empty exactly when a thread newly added to one set is
+// already in the other, so membership of the new thread is the only
+// check needed — the full rescan this replaces was O(producers) per
+// traced instruction, quadratic over an app's lifetime of one-shot
+// critical-section executions.
+func (tr *Tracker) addProducer(lock, thread int) {
+	li := tr.lockInfoFor(lock)
+	if li.producers[thread] {
 		return
 	}
-	for id := range li.producers {
-		if li.consumers[id] {
-			li.nonFlow = true
-			if tr.OnNonFlow != nil {
-				tr.OnNonFlow(lock)
-			}
-			return
+	li.producers[thread] = true
+	if !li.nonFlow && li.consumers[thread] {
+		tr.markNonFlow(lock, li)
+	}
+}
+
+func (tr *Tracker) addConsumer(lock, thread int) *lockInfo {
+	li := tr.lockInfoFor(lock)
+	if !li.consumers[thread] {
+		li.consumers[thread] = true
+		if !li.nonFlow && li.producers[thread] {
+			tr.markNonFlow(lock, li)
 		}
+	}
+	return li
+}
+
+func (tr *Tracker) markNonFlow(lock int, li *lockInfo) {
+	li.nonFlow = true
+	if tr.OnNonFlow != nil {
+		tr.OnNonFlow(lock)
 	}
 }

@@ -114,8 +114,8 @@ func TestSharedCounterNoFlow(t *testing.T) {
 	if p := r.tr.Producers(CounterLock); len(p) != 0 {
 		t.Fatalf("counter lock has producers %v", p)
 	}
-	if r.m.Mem[CounterAddr] != 100 {
-		t.Fatalf("counter = %d, want 100", r.m.Mem[CounterAddr])
+	if r.m.Mem.Load(CounterAddr) != 100 {
+		t.Fatalf("counter = %d, want 100", r.m.Mem.Load(CounterAddr))
 	}
 }
 

@@ -3,7 +3,6 @@ package tranctx
 import (
 	"encoding/binary"
 	"fmt"
-	"strings"
 )
 
 // Chain is the synopsis chain piggy-backed on messages (§7.4). A request
@@ -16,13 +15,25 @@ import (
 // inheriting the callee's context (§5).
 type Chain []Synopsis
 
-// String renders the chain with the paper's '#' delimiter.
+// String renders the chain with the paper's '#' delimiter: each synopsis
+// as 8 lower-case hex digits. The encoder is hand-rolled — this renders
+// on profiling hot paths (endpoint dictionaries, crosstalk classifiers),
+// where fmt's machinery dominated the cost of the string itself.
 func (ch Chain) String() string {
-	parts := make([]string, len(ch))
-	for i, s := range ch {
-		parts[i] = fmt.Sprintf("%08x", uint32(s))
+	if len(ch) == 0 {
+		return ""
 	}
-	return strings.Join(parts, "#")
+	buf := make([]byte, 0, 9*len(ch)-1)
+	for i, s := range ch {
+		if i > 0 {
+			buf = append(buf, '#')
+		}
+		v := uint32(s)
+		for shift := 28; shift >= 0; shift -= 4 {
+			buf = append(buf, "0123456789abcdef"[(v>>uint(shift))&0xF])
+		}
+	}
+	return string(buf)
 }
 
 // Hash returns a 64-bit FNV-1a hash of the chain's synopses. The profiler

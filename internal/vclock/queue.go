@@ -39,7 +39,7 @@ func (q *Queue) Put(v any) {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		q.gets++
-		q.sim.wakeAt(q.sim.now, w, queueItem{v})
+		q.sim.wakeAt(q.sim.now, w, v)
 		return
 	}
 	q.items = append(q.items, v)
@@ -48,12 +48,11 @@ func (q *Queue) Put(v any) {
 	}
 }
 
-// queueItem wraps delivered values so a legitimate nil item is
-// distinguishable from a plain wake.
-type queueItem struct{ v any }
-
 // Get removes and returns the oldest item in the queue, blocking the
-// calling thread until one is available.
+// calling thread until one is available. The item rides the wake-up
+// payload unboxed: a thread parked in Get can only ever be woken by a
+// Put hand-off (a parked thread waits for exactly one reason), so the
+// payload — even a legitimate nil — is the delivered item.
 func (t *Thread) Get(q *Queue) any {
 	if len(q.items) > 0 {
 		v := q.items[0]
@@ -62,8 +61,7 @@ func (t *Thread) Get(q *Queue) any {
 		return v
 	}
 	q.waiters = append(q.waiters, t)
-	v := t.park()
-	return v.(queueItem).v
+	return t.park()
 }
 
 // TryGet removes and returns the oldest item if one is buffered; it never

@@ -11,44 +11,49 @@ import (
 // A Sim is not safe for concurrent use from multiple host goroutines; all
 // interaction must happen either from the goroutine that calls Run or from
 // inside simulated threads.
+//
+// Scheduling is baton-passing: exactly one goroutine — the RunUntil
+// caller or one simulated thread — is active at a time, and whoever
+// blocks dispatches the next event itself, waking its successor
+// directly. The classic alternative (park into a central scheduler
+// goroutine which then dispatches) costs two goroutine hand-offs per
+// context switch; the baton costs one. Event order is identical either
+// way: both run the same pop-min dispatch loop over the same heap.
 type Sim struct {
 	now     Time
 	events  eventHeap
 	seq     uint64
-	parked  chan parkMsg
-	live    int // threads started and not yet exited
+	parked  chan struct{} // hand-back to the RunUntil caller
+	live    int           // threads started and not yet exited
 	nextID  int
 	threads map[int]*Thread
+
+	running  bool        // inside RunUntil
+	stop     func() bool // RunUntil's stop predicate, nil when absent
+	selfWake any         // payload of a baton-self wake (see dispatchFrom)
 }
 
 // poison is sent to a parked thread by Shutdown to unwind it.
 type poison struct{}
 
-type parkKind uint8
-
-const (
-	parkBlocked parkKind = iota
-	parkExited
-)
-
-type parkMsg struct {
-	t    *Thread
-	kind parkKind
-}
-
 type event struct {
-	when Time
-	seq  uint64
-	t    *Thread // thread to wake, or
-	fn   func()  // callback to run in scheduler context
+	when  Time
+	seq   uint64
+	t     *Thread // thread to wake (or start), or
+	fn    func()  // callback to run in dispatcher context
+	v     any     // payload delivered to t (queue item), nil for plain wakes
+	start bool    // t is to be started, not resumed
 }
 
-// eventHeap is a hand-rolled binary min-heap ordered by (when, seq).
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (when, seq).
 // container/heap is deliberately not used: its interface methods box every
 // pushed and popped event into an `any`, which costs two heap allocations
 // per scheduled event — on the profiler hot path, where every
 // Probe.Compute schedules a wake-up, that is the difference between an
-// allocation-free steady state and ~2 allocs per sample.
+// allocation-free steady state and ~2 allocs per sample. The 4-ary shape
+// halves the sift depth of the dispatcher's pop (the busiest heap
+// operation); because (when, seq) is a total order, the pop sequence is
+// identical whatever the heap's internal arity.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
@@ -64,7 +69,7 @@ func (s *Sim) push(e event) {
 	h := append(s.events, e)
 	// Sift up.
 	for i := len(h) - 1; i > 0; {
-		p := (i - 1) / 2
+		p := (i - 1) / 4
 		if !h.less(i, p) {
 			break
 		}
@@ -79,16 +84,22 @@ func (s *Sim) pop() event {
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = event{} // release the fn closure for GC
+	h[n] = event{} // release the fn closure (and payload) for GC
 	h = h[:n]
 	// Sift down.
 	for i := 0; ; {
-		c := 2*i + 1
+		c := 4*i + 1
 		if c >= n {
 			break
 		}
-		if r := c + 1; r < n && h.less(r, c) {
-			c = r
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if h.less(k, c) {
+				c = k
+			}
 		}
 		if !h.less(c, i) {
 			break
@@ -104,7 +115,7 @@ func (s *Sim) schedule(at Time, t *Thread) { s.push(event{when: at, t: t}) }
 
 // New returns an empty simulation with the clock at zero.
 func New() *Sim {
-	return &Sim{parked: make(chan parkMsg), threads: make(map[int]*Thread)}
+	return &Sim{parked: make(chan struct{}), threads: make(map[int]*Thread)}
 }
 
 // Now reports the current virtual time.
@@ -163,26 +174,69 @@ func (s *Sim) GoAt(at Time, name string, body func(*Thread)) *Thread {
 	if at < s.now {
 		at = s.now
 	}
-	s.push(event{when: at, fn: func() {
-		if t.started {
-			return
-		}
-		t.started = true
-		go t.run()
-		t.resume <- nil
-		s.waitParked()
-	}})
+	s.push(event{when: at, t: t, start: true})
 	return t
 }
 
-// waitParked blocks until the currently running simulated thread parks or
-// exits, and performs exit bookkeeping.
-func (s *Sim) waitParked() {
-	msg := <-s.parked
-	if msg.kind == parkExited {
-		s.live--
-		delete(s.threads, msg.t.ID)
+// waitParked blocks the RunUntil caller until the dispatch chain hands
+// the baton back (no more events, or the stop predicate fired).
+func (s *Sim) waitParked() { <-s.parked }
+
+// baton is dispatchFrom's verdict on where execution continues.
+type baton uint8
+
+const (
+	// batonDone: no dispatchable event remains (or stop fired); the
+	// caller must hand back to the RunUntil goroutine.
+	batonDone baton = iota
+	// batonPassed: another thread has been resumed; the caller blocks
+	// (or exits).
+	batonPassed
+	// batonSelf: the caller's own wake-up was the next event; it keeps
+	// running with the payload left in s.selfWake.
+	batonSelf
+)
+
+// dispatchFrom runs the dispatch loop on the calling goroutine until the
+// baton moves: the caller is a simulated thread about to block (self
+// non-nil), a thread about to exit, or the RunUntil goroutine (self
+// nil). Exactly one goroutine executes dispatchFrom at a time — the
+// baton discipline — so no locking is needed anywhere in the simulator.
+func (s *Sim) dispatchFrom(self *Thread) baton {
+	if !s.running {
+		// Outside RunUntil (Shutdown's unwind): never dispatch.
+		return batonDone
 	}
+	for len(s.events) > 0 {
+		if s.stop != nil && s.stop() {
+			return batonDone
+		}
+		e := s.pop()
+		if e.when < s.now {
+			panic(fmt.Sprintf("vclock: event scheduled in the past: %v < %v", e.when, s.now))
+		}
+		s.now = e.when
+		switch {
+		case e.fn != nil:
+			e.fn()
+		case e.start:
+			if e.t.started {
+				continue
+			}
+			e.t.started = true
+			go e.t.run()
+			e.t.resumeWith(nil)
+			return batonPassed
+		case e.t == self:
+			// Own wake-up: no hand-off, keep running.
+			s.selfWake = e.v
+			return batonSelf
+		case e.t != nil:
+			e.t.resumeWith(e.v)
+			return batonPassed
+		}
+	}
+	return batonDone
 }
 
 func (t *Thread) run() {
@@ -199,14 +253,31 @@ func (t *Thread) run() {
 			t.body(t)
 		}()
 	}
-	t.sim.parked <- parkMsg{t, parkExited}
+	// Exit bookkeeping runs on the exiting thread itself (it holds the
+	// baton), then the baton moves on.
+	s := t.sim
+	s.live--
+	delete(s.threads, t.ID)
+	if s.dispatchFrom(nil) == batonDone {
+		s.parked <- struct{}{}
+	}
 }
 
 // park blocks the calling simulated thread until another event wakes it.
 // It returns the value passed by the waker (used by queues to hand items
-// over), or nil for plain wakes.
+// over), or nil for plain wakes. Before blocking, the thread dispatches
+// onward: if the very next event is its own wake-up it returns without
+// blocking at all.
 func (t *Thread) park() any {
-	t.sim.parked <- parkMsg{t, parkBlocked}
+	s := t.sim
+	switch s.dispatchFrom(t) {
+	case batonSelf:
+		v := s.selfWake
+		s.selfWake = nil
+		return v
+	case batonDone:
+		s.parked <- struct{}{}
+	}
 	v := <-t.resume
 	if p, dead := v.(poison); dead {
 		panic(p)
@@ -214,22 +285,37 @@ func (t *Thread) park() any {
 	return v
 }
 
-// wakeAt schedules t to resume at virtual time `at` with payload v.
+// wakeAt schedules t to resume at virtual time `at` with payload v. The
+// payload rides in the event itself — a closure here would put one heap
+// allocation on every queue hand-off.
 func (s *Sim) wakeAt(at Time, t *Thread, v any) {
-	s.push(event{when: at, fn: func() {
-		t.resumeWith(v)
-		s.waitParked()
-	}})
+	s.push(event{when: at, t: t, v: v})
 }
 
 func (t *Thread) resumeWith(v any) { t.resume <- v }
 
 // SleepUntil parks the calling thread until virtual time `at`.
+//
+// When the sleeper's wake-up would be the strictly earliest pending
+// event, parking is a formality: the scheduler would check the stop
+// predicate once, pop the wake and resume this same thread with the
+// clock advanced. SleepUntil performs exactly that transition inline —
+// same stop-predicate evaluation, same clock, no other event can run in
+// between because none is scheduled before the wake (ties lose to
+// already-pushed events, which hold smaller sequence numbers, so
+// equality takes the slow path). This removes two goroutine hand-offs
+// and a heap push/pop from every uncontended Compute/Sleep, without
+// changing the event order observed by any thread.
 func (t *Thread) SleepUntil(at Time) {
-	if at < t.sim.now {
-		at = t.sim.now
+	s := t.sim
+	if at < s.now {
+		at = s.now
 	}
-	t.sim.schedule(at, t)
+	if s.running && (len(s.events) == 0 || at < s.events[0].when) && (s.stop == nil || !s.stop()) {
+		s.now = at
+		return
+	}
+	s.schedule(at, t)
 	t.park()
 }
 
@@ -251,22 +337,24 @@ func (s *Sim) RunFor(end Time) {
 }
 
 // RunUntil drives the simulation until stop returns true (checked between
-// events) or until no events remain. A nil stop runs to completion.
+// events) or until no events remain. A nil stop runs to completion. The
+// stop predicate must be a pure function of simulation state: the
+// inline sleep fast path evaluates it at the same junctures the dispatch
+// loop would, but may evaluate it one extra time at the juncture where
+// it first returns true.
 func (s *Sim) RunUntil(stop func() bool) {
-	for len(s.events) > 0 {
-		if stop != nil && stop() {
+	if s.running {
+		// A nested run would tear down the outer dispatch state on
+		// return, silently truncating the outer run; fail loudly instead.
+		panic("vclock: RunUntil called re-entrantly (from a callback, stop predicate, or simulated thread)")
+	}
+	s.running, s.stop = true, stop
+	defer func() { s.running, s.stop = false, nil }()
+	for {
+		switch s.dispatchFrom(nil) {
+		case batonDone:
 			return
-		}
-		e := s.pop()
-		if e.when < s.now {
-			panic(fmt.Sprintf("vclock: event scheduled in the past: %v < %v", e.when, s.now))
-		}
-		s.now = e.when
-		switch {
-		case e.fn != nil:
-			e.fn()
-		case e.t != nil:
-			e.t.resumeWith(nil)
+		case batonPassed:
 			s.waitParked()
 		}
 	}

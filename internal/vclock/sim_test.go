@@ -459,3 +459,25 @@ func TestPickWeighted(t *testing.T) {
 		t.Fatalf("weighted pick off: %v", counts)
 	}
 }
+
+// TestRunUntilReentrancyPanics: a nested RunUntil (from a callback or a
+// stop predicate) would clear the outer run's dispatch state on return,
+// silently truncating the simulation — it must panic instead.
+func TestRunUntilReentrancyPanics(t *testing.T) {
+	s := New()
+	recovered := false
+	s.At(0, func() {
+		defer func() {
+			if recover() != nil {
+				recovered = true
+			}
+		}()
+		s.Run()
+	})
+	s.Go("w", func(th *Thread) { th.Sleep(Millisecond) })
+	s.Run()
+	s.Shutdown()
+	if !recovered {
+		t.Fatal("nested Run did not panic")
+	}
+}

@@ -1,0 +1,156 @@
+package vm
+
+import "testing"
+
+// stepProg is a long straight-line body the Step benchmarks iterate over
+// without re-spawning: a counter loop of data ops that runs until the
+// step budget of the benchmark loop expires.
+const stepProgSrc = `
+main:
+	movi r1, 0x100
+	movi r2, 1000000000
+loop:
+	store [r1], r2
+	load  r3, [r1]
+	add   r4, r3, r2
+	sub   r5, r4, r3
+	incm  [r1+1]
+	addi  r2, r2, -1
+	jne   r2, 0, loop
+	halt
+`
+
+// csProg alternates short critical sections with window activity — the
+// shape every emulated-mode step executes.
+const csProgSrc = `
+main:
+	movi r1, 0x100
+	movi r2, 1000000000
+loop:
+	lock 1
+	store [r1], r2
+	load  r3, [r1]
+	unlock 1
+	store [r1+2], r3
+	addi  r2, r2, -1
+	jne   r2, 0, loop
+	halt
+`
+
+// BenchmarkMachineStepDirect measures the native-execution interpreter
+// hot path: one Step per iteration on a straight-line program.
+func BenchmarkMachineStepDirect(b *testing.B) {
+	b.ReportAllocs()
+	m := NewMachine()
+	if _, err := m.Spawn(MustAssemble("step_direct", stepProgSrc), "main"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkMachineStepEmulated measures the traced emulation hot path:
+// critical sections plus their post-exit windows under a live shmflow-
+// style tracer (a minimal recording tracer stands in to keep the
+// package dependency-free).
+func BenchmarkMachineStepEmulated(b *testing.B) {
+	b.ReportAllocs()
+	m := NewMachine()
+	m.Mode = ModeEmulateCS
+	m.Tracer = nopTracer{}
+	if _, err := m.Spawn(MustAssemble("step_emulated", csProgSrc), "main"); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the translation cache so the loop measures steady-state
+	// (cached-translation) emulation.
+	for i := 0; i < 4096; i++ {
+		m.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkMachineRunSingle measures the single-runnable fast path end
+// to end: whole straight-line runs with no scheduler re-entry.
+func BenchmarkMachineRunSingle(b *testing.B) {
+	b.ReportAllocs()
+	m := NewMachine()
+	if _, err := m.Spawn(MustAssemble("run_single", stepProgSrc), "main"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := m.Run(int64(b.N)); err != ErrStepLimit && err != nil {
+		b.Fatal(err)
+	}
+}
+
+type nopTracer struct{}
+
+func (nopTracer) OnAccess(Access)   {}
+func (nopTracer) OnLock(int, int)   {}
+func (nopTracer) OnUnlock(int, int) {}
+
+// TestStepZeroAllocs pins the steady-state Step paths — native and
+// emulated-with-tracer — at zero allocations per executed instruction.
+func TestStepZeroAllocs(t *testing.T) {
+	direct := NewMachine()
+	if _, err := direct.Spawn(MustAssemble("z_direct", stepProgSrc), "main"); err != nil {
+		t.Fatal(err)
+	}
+	emulated := NewMachine()
+	emulated.Mode = ModeEmulateCS
+	emulated.Tracer = nopTracer{}
+	if _, err := emulated.Spawn(MustAssemble("z_emulated", csProgSrc), "main"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: translation bits, lock table and memory pages allocate on
+	// first touch; the steady state must not.
+	for i := 0; i < 4096; i++ {
+		direct.Step()
+		emulated.Step()
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			direct.Step()
+		}
+	}); avg != 0 {
+		t.Fatalf("direct Step: %v allocs per 64 steps, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			emulated.Step()
+		}
+	}); avg != 0 {
+		t.Fatalf("emulated Step: %v allocs per 64 steps, want 0", avg)
+	}
+}
+
+// TestReapKeepsRoundRobinCursor: reaping halted threads must not reset
+// the round-robin cursor among the survivors (it previously snapped back
+// to thread 0, skewing fairness after every reap).
+func TestReapKeepsRoundRobinCursor(t *testing.T) {
+	quick := MustAssemble("quick", "main:\n halt\n")
+	slow := MustAssemble("slow", "main:\n nop\n nop\n nop\n nop\n nop\n nop\n halt\n")
+	m := NewMachine()
+	a, _ := m.Spawn(quick, "main")
+	bTh, _ := m.Spawn(slow, "main")
+	c, _ := m.Spawn(slow, "main")
+
+	m.Step() // a: halt (removed from the ring)
+	m.Step() // b: nop — cursor now points at c
+	if !a.Halted() || bTh.PC != 1 {
+		t.Fatalf("setup: a.halted=%v b.PC=%d", a.Halted(), bTh.PC)
+	}
+	m.Reap()
+	if len(m.Threads) != 2 {
+		t.Fatalf("reap left %d threads", len(m.Threads))
+	}
+	m.Step() // must run c, not snap back to b
+	if c.PC != 1 || bTh.PC != 1 {
+		t.Fatalf("after reap, step ran the wrong thread: b.PC=%d c.PC=%d (want 1, 1)", bTh.PC, c.PC)
+	}
+}

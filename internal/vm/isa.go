@@ -167,7 +167,11 @@ const (
 	AccRead
 )
 
-// Access describes one traced instruction execution.
+// Access describes one traced instruction execution. The machine reuses
+// one emission buffer for every Access it delivers: the Reads slice
+// aliases that buffer and is valid only for the duration of the
+// Tracer.OnAccess call — a tracer that wants to keep the read set must
+// copy it.
 type Access struct {
 	Thread   int
 	PC       int
@@ -183,7 +187,9 @@ type Access struct {
 
 // Tracer observes traced instruction executions; the shmflow package
 // implements it. OnAccess is invoked only for instructions executed in
-// emulated critical sections and their post-exit windows.
+// emulated critical sections and their post-exit windows. The Access is
+// delivered by value but its Reads slice aliases a machine-owned buffer
+// reused for the next emission; copy it to retain it.
 type Tracer interface {
 	OnAccess(ac Access)
 	// OnLock and OnUnlock bracket critical sections (outermost lock only).

@@ -19,7 +19,10 @@ const (
 
 // CostModel gives per-instruction cycle costs under the three execution
 // regimes of Table 3: native (direct) execution, first-time translation
-// plus emulation, and cached-translation emulation.
+// plus emulation, and cached-translation emulation. The model is read
+// once per program when the program is first spawned on a machine (the
+// native costs are baked into the predecoded form); set it before
+// spawning threads.
 type CostModel struct {
 	Direct    map[Op]int64 // native cycles per op
 	DirectDef int64        // native cycles for ops missing from Direct
@@ -67,6 +70,8 @@ type Thread struct {
 	// executed, per the machine's cost model and execution mode.
 	Cycles int64
 
+	ps        *progState // machine-local predecoded program state
+	code      []dinstr   // ps.code, cached for one less indirection
 	halted    bool
 	blockedOn int // lock id the thread is waiting for, or -1
 	granted   bool
@@ -86,11 +91,24 @@ type mlock struct {
 	waiters []*Thread
 }
 
+// lockDenseLimit bounds the dense lock table; App.ReserveCS hands out
+// ids counting up from 1, so real ids are small. Larger (or negative)
+// ids spill to a map.
+const lockDenseLimit = 1 << 16
+
 // Machine is a multi-threaded execution engine over a shared word
 // memory. Threads are interleaved round-robin one instruction at a time,
 // deterministically.
+//
+// The interpreter is direct-threaded: each program is predecoded once
+// per machine into a dense internal form with the native cycle cost and
+// unpacked operands baked into every instruction, machine state (memory,
+// locks, the non-flow lock set) is slice-backed with map spill paths for
+// sparse ids, and the scheduler keeps a ring of unhalted threads so
+// stepping never scans halted ones. The steady-state emulation path
+// performs no heap allocation.
 type Machine struct {
-	Mem     map[uint32]int64
+	Mem     Memory
 	Threads []*Thread
 	Tracer  Tracer
 	Cost    CostModel
@@ -102,24 +120,40 @@ type Machine struct {
 	// TotalCycles sums cycle costs across all threads.
 	TotalCycles int64
 
-	locks      map[int]*mlock
-	translated map[*Program][]bool
-	nonFlow    map[int]bool
-	rr         int
-	nextID     int
+	progs        map[*Program]*progState
+	locks        []mlock        // dense lock table, indexed by lock id
+	lockSpill    map[int]*mlock // ids outside [0, lockDenseLimit)
+	nonFlow      []bool         // dense non-flow set, indexed by lock id
+	nonFlowSpill map[int]bool
+	ring         []*Thread // unhalted threads in spawn order
+	rr           int       // round-robin cursor into ring
+	nextID       int
+
+	// Reusable Access emission state: one Access and one Reads backing
+	// array, overwritten per traced instruction (see Tracer).
+	ac       Access
+	readsBuf [3]Loc
 }
 
 // NewMachine returns an empty machine with the default cost model in
 // direct mode.
 func NewMachine() *Machine {
 	return &Machine{
-		Mem:        make(map[uint32]int64),
-		Cost:       DefaultCostModel(),
-		MaxWindow:  DefaultMaxWindow,
-		locks:      make(map[int]*mlock),
-		translated: make(map[*Program][]bool),
-		nonFlow:    make(map[int]bool),
+		Cost:      DefaultCostModel(),
+		MaxWindow: DefaultMaxWindow,
+		progs:     make(map[*Program]*progState),
 	}
+}
+
+// progStateFor returns (predecoding on first use) the machine's execution
+// state for prog.
+func (m *Machine) progStateFor(prog *Program) *progState {
+	ps := m.progs[prog]
+	if ps == nil {
+		ps = predecode(prog, m.Cost)
+		m.progs[prog] = ps
+	}
+	return ps
 }
 
 // Spawn creates a thread running prog from the given label.
@@ -128,28 +162,60 @@ func (m *Machine) Spawn(prog *Program, label string) (*Thread, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Thread{ID: m.nextID, Prog: prog, PC: pc, blockedOn: -1}
+	ps := m.progStateFor(prog)
+	t := &Thread{ID: m.nextID, Prog: prog, PC: pc, blockedOn: -1, ps: ps, code: ps.code}
 	m.nextID++
 	m.Threads = append(m.Threads, t)
+	m.ring = append(m.ring, t)
 	return t, nil
 }
 
 // SetNonFlow marks a lock's critical sections for native execution —
 // the optimisation Whodunit applies once a lock's accesses are known not
 // to carry transaction flow (§7.2).
-func (m *Machine) SetNonFlow(lock int) { m.nonFlow[lock] = true }
+func (m *Machine) SetNonFlow(lock int) {
+	if lock >= 0 && lock < lockDenseLimit {
+		if lock >= len(m.nonFlow) {
+			nf := make([]bool, lock+1)
+			copy(nf, m.nonFlow)
+			m.nonFlow = nf
+		}
+		m.nonFlow[lock] = true
+		return
+	}
+	if m.nonFlowSpill == nil {
+		m.nonFlowSpill = make(map[int]bool)
+	}
+	m.nonFlowSpill[lock] = true
+}
 
 // NonFlow reports whether lock has been demoted to native execution.
-func (m *Machine) NonFlow(lock int) bool { return m.nonFlow[lock] }
+func (m *Machine) NonFlow(lock int) bool {
+	if lock >= 0 && lock < len(m.nonFlow) {
+		return m.nonFlow[lock]
+	}
+	if lock >= 0 && lock < lockDenseLimit {
+		return false
+	}
+	return m.nonFlowSpill[lock]
+}
 
 // FlushTranslation drops the translation cache (used by the Table 3
-// micro-benchmark to measure first-execution cost).
-func (m *Machine) FlushTranslation() { m.translated = make(map[*Program][]bool) }
+// micro-benchmark to measure first-execution cost). Predecoded programs
+// are kept; only the per-pc translation bits reset.
+func (m *Machine) FlushTranslation() {
+	for _, ps := range m.progs {
+		clear(ps.translated)
+	}
+}
 
 // Reap removes halted threads so long-running hosts (e.g. the Apache
 // model spawning one push/pop execution per connection) do not accumulate
 // dead threads. Thread IDs are not reused; the translation cache is
-// unaffected.
+// unaffected. The scheduler's ring holds only unhalted threads and the
+// round-robin cursor indexes the ring, so reaping preserves the cursor's
+// position among the surviving threads (it was previously reset to 0,
+// skewing round-robin fairness after every reap).
 func (m *Machine) Reap() {
 	live := m.Threads[:0]
 	for _, t := range m.Threads {
@@ -161,7 +227,6 @@ func (m *Machine) Reap() {
 		m.Threads[i] = nil
 	}
 	m.Threads = live
-	m.rr = 0
 }
 
 // ErrDeadlock is returned by Run when unhalted threads exist but none can
@@ -172,12 +237,31 @@ var ErrDeadlock = errors.New("vm: deadlock: all live threads blocked")
 var ErrStepLimit = errors.New("vm: step limit exceeded")
 
 // Run interleaves all threads round-robin until every thread halts.
+//
+// When exactly one thread is runnable — the common case for the
+// library's queue push/pop executions — Run executes whole straight-line
+// instruction runs on it without re-entering the scheduler between
+// instructions; with a single runnable thread this cannot change the
+// interleaving.
 func (m *Machine) Run(maxSteps int64) error {
-	for steps := int64(0); ; steps++ {
+	for steps := int64(0); ; {
 		if steps >= maxSteps {
 			return ErrStepLimit
 		}
+		if len(m.ring) == 1 {
+			t := m.ring[0]
+			if t.Blocked() {
+				return ErrDeadlock
+			}
+			steps += m.execRun(t, maxSteps-steps)
+			if t.halted {
+				m.removeRing(0)
+				return nil
+			}
+			continue
+		}
 		progressed, anyLive := m.Step()
+		steps++
 		if !anyLive {
 			return nil
 		}
@@ -187,30 +271,111 @@ func (m *Machine) Run(maxSteps int64) error {
 	}
 }
 
+// execRun executes up to budget instructions of t (budget ≥ 1, t
+// runnable), returning the number executed. It stops early when t halts
+// or blocks. Straight-line data-op runs outside traced regions execute
+// back to back with no per-instruction regime checks.
+func (m *Machine) execRun(t *Thread, budget int64) int64 {
+	var done int64
+	for done < budget && !t.halted && !t.Blocked() {
+		if pc := t.PC; pc >= 0 && pc < len(t.code) && !m.traced(t) {
+			// A non-traced thread with no held locks has window == 0
+			// (traced would be true otherwise), and a straight-line run
+			// contains no LOCK/UNLOCK, so the trace regime cannot change
+			// mid-run: execute the whole run at once.
+			if n := int64(t.code[pc].runLen); n > 0 {
+				if n > budget-done {
+					n = budget - done
+				}
+				m.execStraight(t, int(n))
+				done += n
+				continue
+			}
+		}
+		m.exec(t)
+		done++
+	}
+	return done
+}
+
+// execStraight executes n straight-line data ops starting at t.PC with
+// direct costs and no tracing — the direct-threaded inner loop.
+func (m *Machine) execStraight(t *Thread, n int) {
+	code := t.code
+	pc := t.PC
+	var cyc int64
+	for i := 0; i < n; i++ {
+		in := &code[pc]
+		cyc += in.cost
+		switch in.op {
+		case NOP:
+		case MOVRR:
+			t.Regs[in.rd] = t.Regs[in.rs]
+		case MOVI:
+			t.Regs[in.rd] = in.imm
+		case LOAD:
+			t.Regs[in.rd] = m.Mem.Load(uint32(t.Regs[in.rs] + in.off))
+		case STORE:
+			m.Mem.Store(uint32(t.Regs[in.rd]+in.off), t.Regs[in.rs])
+		case STOREI:
+			m.Mem.Store(uint32(t.Regs[in.rd]+in.off), in.imm)
+		case ADD:
+			t.Regs[in.rd] = t.Regs[in.rs] + t.Regs[in.rt]
+		case SUB:
+			t.Regs[in.rd] = t.Regs[in.rs] - t.Regs[in.rt]
+		case ADDI:
+			t.Regs[in.rd] = t.Regs[in.rs] + in.imm
+		case INCM:
+			m.Mem.Add(uint32(t.Regs[in.rd]+in.off), 1)
+		case DECM:
+			m.Mem.Add(uint32(t.Regs[in.rd]+in.off), -1)
+		}
+		pc++
+	}
+	t.PC = pc
+	t.Cycles += cyc
+	m.TotalCycles += cyc
+}
+
 // Step executes one instruction on the next runnable thread (round-robin).
 // It reports whether any instruction executed and whether any thread is
 // still live (not halted).
 func (m *Machine) Step() (progressed, anyLive bool) {
-	n := len(m.Threads)
+	n := len(m.ring)
 	for i := 0; i < n; i++ {
-		t := m.Threads[(m.rr+i)%n]
-		if t.halted || t.Blocked() {
+		pos := m.rr + i
+		if pos >= n {
+			pos -= n
+		}
+		t := m.ring[pos]
+		if t.Blocked() {
 			continue
 		}
-		m.rr = (m.rr + i + 1) % n
+		m.rr = pos + 1
+		if m.rr == n {
+			m.rr = 0
+		}
 		m.exec(t)
-		return true, m.live()
+		if t.halted {
+			m.removeRing(pos)
+		}
+		return true, len(m.ring) > 0
 	}
-	return false, m.live()
+	return false, n > 0
 }
 
-func (m *Machine) live() bool {
-	for _, t := range m.Threads {
-		if !t.halted {
-			return true
-		}
+// removeRing drops the (halted) thread at ring position pos, keeping the
+// round-robin cursor on the thread that would have run next.
+func (m *Machine) removeRing(pos int) {
+	copy(m.ring[pos:], m.ring[pos+1:])
+	m.ring[len(m.ring)-1] = nil
+	m.ring = m.ring[:len(m.ring)-1]
+	if m.rr > pos {
+		m.rr--
 	}
-	return false
+	if m.rr >= len(m.ring) {
+		m.rr = 0
+	}
 }
 
 // traced reports whether thread t's next instruction runs under emulation
@@ -220,7 +385,7 @@ func (m *Machine) traced(t *Thread) bool {
 		return false
 	}
 	if len(t.heldLocks) > 0 {
-		return !m.nonFlow[t.heldLocks[0]]
+		return !m.NonFlow(t.heldLocks[0])
 	}
 	return t.window > 0
 }
@@ -230,205 +395,273 @@ func (m *Machine) traced(t *Thread) bool {
 func (m *Machine) charge(t *Thread, pc int, emulated bool) {
 	var c int64
 	if emulated {
-		cache := m.translated[t.Prog]
-		if cache == nil {
-			cache = make([]bool, len(t.Prog.Code))
-			m.translated[t.Prog] = cache
-		}
 		c = m.Cost.Emulate
-		if !cache[pc] {
+		if tr := t.ps.translated; !tr[pc] {
 			c += m.Cost.Translate
-			cache[pc] = true
+			tr[pc] = true
 		}
 	} else {
-		c = m.Cost.direct(t.Prog.Code[pc].Op)
+		c = t.code[pc].cost
 	}
 	t.Cycles += c
 	m.TotalCycles += c
 }
 
+// lock returns (creating if needed) the lock with the given id. The
+// returned pointer is valid only until the next lock call (dense-table
+// growth may move entries); callers use it immediately and never retain
+// it.
 func (m *Machine) lock(id int) *mlock {
-	l, ok := m.locks[id]
-	if !ok {
+	if id >= 0 && id < lockDenseLimit {
+		for i := len(m.locks); i <= id; i++ {
+			m.locks = append(m.locks, mlock{owner: -1})
+		}
+		return &m.locks[id]
+	}
+	l := m.lockSpill[id]
+	if l == nil {
+		if m.lockSpill == nil {
+			m.lockSpill = make(map[int]*mlock)
+		}
 		l = &mlock{owner: -1}
-		m.locks[id] = l
+		m.lockSpill[id] = l
 	}
 	return l
 }
 
 // exec executes one instruction of t.
 func (m *Machine) exec(t *Thread) {
-	if t.PC < 0 || t.PC >= len(t.Prog.Code) {
+	code := t.code
+	if t.PC < 0 || t.PC >= len(code) {
 		t.halted = true
 		return
 	}
 	pc := t.PC
-	in := t.Prog.Code[pc]
-	emu := m.traced(t)
+	in := &code[pc]
 
 	// Lock operations are handled before generic charging because a LOCK
 	// may block (charged only when it completes).
-	switch in.Op {
+	switch in.op {
 	case LOCK:
-		id := int(in.Imm)
-		l := m.lock(id)
-		switch {
-		case l.owner == t.ID && t.granted:
-			// Our pending acquisition was granted by the releaser.
-			t.granted = false
-			t.blockedOn = -1
-		case l.owner == -1:
-			l.owner = t.ID
-		default:
-			// Block; re-executed once granted.
-			t.blockedOn = id
-			l.waiters = append(l.waiters, t)
-			return
-		}
-		t.heldLocks = append(t.heldLocks, id)
-		// Entering the outermost critical section cancels any residual
-		// window and notifies the tracer.
-		if len(t.heldLocks) == 1 {
-			t.window = 0
-			if m.Tracer != nil && m.Mode == ModeEmulateCS && !m.nonFlow[id] {
-				m.Tracer.OnLock(t.ID, id)
-			}
-		}
-		m.charge(t, pc, m.traced(t))
-		t.PC++
+		m.execLock(t, in, pc)
 		return
 	case UNLOCK:
-		id := int(in.Imm)
-		idx := -1
-		for i, h := range t.heldLocks {
-			if h == id {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			panic(fmt.Sprintf("vm: thread %d unlocks %d it does not hold", t.ID, id))
-		}
-		wasEmu := m.traced(t)
-		outermost := idx == 0 && len(t.heldLocks) == 1
-		t.heldLocks = append(t.heldLocks[:idx], t.heldLocks[idx+1:]...)
-		l := m.lock(id)
-		l.owner = -1
-		if len(l.waiters) > 0 {
-			next := l.waiters[0]
-			l.waiters = l.waiters[1:]
-			l.owner = next.ID
-			next.granted = true
-		}
-		if outermost && wasEmu {
-			t.window = m.MaxWindow
-			if m.Tracer != nil {
-				m.Tracer.OnUnlock(t.ID, id)
-			}
-		}
-		m.charge(t, pc, wasEmu)
-		t.PC++
+		m.execUnlock(t, in, pc)
 		return
 	}
 
-	// Generic instruction: consume window budget if running post-CS.
-	if len(t.heldLocks) == 0 && t.window > 0 {
-		defer func() { t.window-- }()
-	}
+	emu := m.traced(t)
+	inWindow := len(t.heldLocks) == 0 && t.window > 0
 	m.charge(t, pc, emu)
-
-	var ac *Access
-	mem := func(base byte, off int64) uint32 { return uint32(t.Regs[base] + off) }
-	switch in.Op {
-	case NOP:
-	case HALT:
-		t.halted = true
-	case MOVRR:
-		ac = &Access{Kind: AccMove, Src: RegLoc(t.ID, in.RS), Dst: RegLoc(t.ID, in.RD),
-			Reads: []Loc{RegLoc(t.ID, in.RS)}}
-		t.Regs[in.RD] = t.Regs[in.RS]
-	case MOVI:
-		ac = &Access{Kind: AccWrite, Dst: RegLoc(t.ID, in.RD)}
-		t.Regs[in.RD] = in.Imm
-	case LOAD:
-		a := mem(in.RS, in.Off)
-		ac = &Access{Kind: AccMove, Src: MemLoc(a), Dst: RegLoc(t.ID, in.RD),
-			Reads: []Loc{RegLoc(t.ID, in.RS), MemLoc(a)}}
-		t.Regs[in.RD] = m.Mem[a]
-	case STORE:
-		a := mem(in.RD, in.Off)
-		ac = &Access{Kind: AccMove, Src: RegLoc(t.ID, in.RS), Dst: MemLoc(a),
-			Reads: []Loc{RegLoc(t.ID, in.RD), RegLoc(t.ID, in.RS)}}
-		m.Mem[a] = t.Regs[in.RS]
-	case STOREI:
-		a := mem(in.RD, in.Off)
-		ac = &Access{Kind: AccWrite, Dst: MemLoc(a), Reads: []Loc{RegLoc(t.ID, in.RD)}}
-		m.Mem[a] = in.Imm
-	case ADD:
-		ac = &Access{Kind: AccWrite, Dst: RegLoc(t.ID, in.RD),
-			Reads: []Loc{RegLoc(t.ID, in.RS), RegLoc(t.ID, in.RT)}}
-		t.Regs[in.RD] = t.Regs[in.RS] + t.Regs[in.RT]
-	case SUB:
-		ac = &Access{Kind: AccWrite, Dst: RegLoc(t.ID, in.RD),
-			Reads: []Loc{RegLoc(t.ID, in.RS), RegLoc(t.ID, in.RT)}}
-		t.Regs[in.RD] = t.Regs[in.RS] - t.Regs[in.RT]
-	case ADDI:
-		ac = &Access{Kind: AccWrite, Dst: RegLoc(t.ID, in.RD),
-			Reads: []Loc{RegLoc(t.ID, in.RS)}}
-		t.Regs[in.RD] = t.Regs[in.RS] + in.Imm
-	case INCM:
-		a := mem(in.RD, in.Off)
-		ac = &Access{Kind: AccWrite, Dst: MemLoc(a),
-			Reads: []Loc{RegLoc(t.ID, in.RD), MemLoc(a)}}
-		m.Mem[a]++
-	case DECM:
-		a := mem(in.RD, in.Off)
-		ac = &Access{Kind: AccWrite, Dst: MemLoc(a),
-			Reads: []Loc{RegLoc(t.ID, in.RD), MemLoc(a)}}
-		m.Mem[a]--
-	case JMP:
-		t.PC = in.Target
-		return
-	case JEQ, JNE, JLT, JGE:
-		ac = &Access{Kind: AccRead, Reads: []Loc{RegLoc(t.ID, in.RS)}}
-		v := t.Regs[in.RS]
-		taken := false
-		switch in.Op {
-		case JEQ:
-			taken = v == in.Imm
-		case JNE:
-			taken = v != in.Imm
-		case JLT:
-			taken = v < in.Imm
-		case JGE:
-			taken = v >= in.Imm
-		}
-		if m.Tracer != nil && emu {
-			m.emitAccess(t, pc, in, ac)
-		}
-		if taken {
-			t.PC = in.Target
-			return
-		}
-		t.PC++
-		return
+	if emu && m.Tracer != nil {
+		m.execTraced(t, in, pc)
+	} else {
+		m.execPlain(t, in)
 	}
-	if ac != nil && m.Tracer != nil && emu {
-		m.emitAccess(t, pc, in, ac)
-	}
-	if !t.halted {
-		t.PC++
+	// Generic instructions consume window budget when running post-CS.
+	if inWindow {
+		t.window--
 	}
 }
 
-func (m *Machine) emitAccess(t *Thread, pc int, in Instr, ac *Access) {
-	ac.Thread = t.ID
-	ac.PC = pc
-	ac.Instr = in
-	ac.InCS = len(t.heldLocks) > 0
-	if ac.InCS {
-		ac.Lock = t.heldLocks[0]
+func (m *Machine) execLock(t *Thread, in *dinstr, pc int) {
+	id := int(in.imm)
+	l := m.lock(id)
+	switch {
+	case l.owner == t.ID && t.granted:
+		// Our pending acquisition was granted by the releaser.
+		t.granted = false
+		t.blockedOn = -1
+	case l.owner == -1:
+		l.owner = t.ID
+	default:
+		// Block; re-executed once granted.
+		t.blockedOn = id
+		l.waiters = append(l.waiters, t)
+		return
 	}
-	ac.InWindow = !ac.InCS && t.window > 0
-	m.Tracer.OnAccess(*ac)
+	t.heldLocks = append(t.heldLocks, id)
+	// Entering the outermost critical section cancels any residual
+	// window and notifies the tracer.
+	if len(t.heldLocks) == 1 {
+		t.window = 0
+		if m.Tracer != nil && m.Mode == ModeEmulateCS && !m.NonFlow(id) {
+			m.Tracer.OnLock(t.ID, id)
+		}
+	}
+	m.charge(t, pc, m.traced(t))
+	t.PC++
+}
+
+func (m *Machine) execUnlock(t *Thread, in *dinstr, pc int) {
+	id := int(in.imm)
+	idx := -1
+	for i, h := range t.heldLocks {
+		if h == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("vm: thread %d unlocks %d it does not hold", t.ID, id))
+	}
+	wasEmu := m.traced(t)
+	outermost := idx == 0 && len(t.heldLocks) == 1
+	t.heldLocks = append(t.heldLocks[:idx], t.heldLocks[idx+1:]...)
+	l := m.lock(id)
+	l.owner = -1
+	if len(l.waiters) > 0 {
+		next := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.owner = next.ID
+		next.granted = true
+	}
+	if outermost && wasEmu {
+		t.window = m.MaxWindow
+		if m.Tracer != nil {
+			m.Tracer.OnUnlock(t.ID, id)
+		}
+	}
+	m.charge(t, pc, wasEmu)
+	t.PC++
+}
+
+// execPlain executes one generic instruction with no tracing.
+func (m *Machine) execPlain(t *Thread, in *dinstr) {
+	switch in.op {
+	case NOP:
+	case HALT:
+		t.halted = true
+		return // PC unchanged
+	case MOVRR:
+		t.Regs[in.rd] = t.Regs[in.rs]
+	case MOVI:
+		t.Regs[in.rd] = in.imm
+	case LOAD:
+		t.Regs[in.rd] = m.Mem.Load(uint32(t.Regs[in.rs] + in.off))
+	case STORE:
+		m.Mem.Store(uint32(t.Regs[in.rd]+in.off), t.Regs[in.rs])
+	case STOREI:
+		m.Mem.Store(uint32(t.Regs[in.rd]+in.off), in.imm)
+	case ADD:
+		t.Regs[in.rd] = t.Regs[in.rs] + t.Regs[in.rt]
+	case SUB:
+		t.Regs[in.rd] = t.Regs[in.rs] - t.Regs[in.rt]
+	case ADDI:
+		t.Regs[in.rd] = t.Regs[in.rs] + in.imm
+	case INCM:
+		m.Mem.Add(uint32(t.Regs[in.rd]+in.off), 1)
+	case DECM:
+		m.Mem.Add(uint32(t.Regs[in.rd]+in.off), -1)
+	case JMP:
+		t.PC = int(in.target)
+		return
+	case JEQ, JNE, JLT, JGE:
+		if branchTaken(in, t.Regs[in.rs]) {
+			t.PC = int(in.target)
+			return
+		}
+	}
+	t.PC++
+}
+
+// execTraced executes one generic instruction under emulation, emitting
+// its Access to the tracer through the machine's reusable buffer.
+func (m *Machine) execTraced(t *Thread, in *dinstr, pc int) {
+	ac := &m.ac
+	*ac = Access{Thread: t.ID, PC: pc, Instr: t.Prog.Code[pc]}
+	if len(t.heldLocks) > 0 {
+		ac.InCS = true
+		ac.Lock = t.heldLocks[0]
+	} else {
+		ac.InWindow = t.window > 0
+	}
+	reads := m.readsBuf[:0]
+	emit := true
+
+	switch in.op {
+	case NOP:
+		emit = false
+	case HALT:
+		t.halted = true
+		return // no emission, PC unchanged
+	case MOVRR:
+		src := RegLoc(t.ID, in.rs)
+		ac.Kind, ac.Src, ac.Dst = AccMove, src, RegLoc(t.ID, in.rd)
+		reads = append(reads, src)
+		t.Regs[in.rd] = t.Regs[in.rs]
+	case MOVI:
+		ac.Kind, ac.Dst = AccWrite, RegLoc(t.ID, in.rd)
+		t.Regs[in.rd] = in.imm
+	case LOAD:
+		a := uint32(t.Regs[in.rs] + in.off)
+		ac.Kind, ac.Src, ac.Dst = AccMove, MemLoc(a), RegLoc(t.ID, in.rd)
+		reads = append(reads, RegLoc(t.ID, in.rs), MemLoc(a))
+		t.Regs[in.rd] = m.Mem.Load(a)
+	case STORE:
+		a := uint32(t.Regs[in.rd] + in.off)
+		ac.Kind, ac.Src, ac.Dst = AccMove, RegLoc(t.ID, in.rs), MemLoc(a)
+		reads = append(reads, RegLoc(t.ID, in.rd), RegLoc(t.ID, in.rs))
+		m.Mem.Store(a, t.Regs[in.rs])
+	case STOREI:
+		a := uint32(t.Regs[in.rd] + in.off)
+		ac.Kind, ac.Dst = AccWrite, MemLoc(a)
+		reads = append(reads, RegLoc(t.ID, in.rd))
+		m.Mem.Store(a, in.imm)
+	case ADD:
+		ac.Kind, ac.Dst = AccWrite, RegLoc(t.ID, in.rd)
+		reads = append(reads, RegLoc(t.ID, in.rs), RegLoc(t.ID, in.rt))
+		t.Regs[in.rd] = t.Regs[in.rs] + t.Regs[in.rt]
+	case SUB:
+		ac.Kind, ac.Dst = AccWrite, RegLoc(t.ID, in.rd)
+		reads = append(reads, RegLoc(t.ID, in.rs), RegLoc(t.ID, in.rt))
+		t.Regs[in.rd] = t.Regs[in.rs] - t.Regs[in.rt]
+	case ADDI:
+		ac.Kind, ac.Dst = AccWrite, RegLoc(t.ID, in.rd)
+		reads = append(reads, RegLoc(t.ID, in.rs))
+		t.Regs[in.rd] = t.Regs[in.rs] + in.imm
+	case INCM:
+		a := uint32(t.Regs[in.rd] + in.off)
+		ac.Kind, ac.Dst = AccWrite, MemLoc(a)
+		reads = append(reads, RegLoc(t.ID, in.rd), MemLoc(a))
+		m.Mem.Add(a, 1)
+	case DECM:
+		a := uint32(t.Regs[in.rd] + in.off)
+		ac.Kind, ac.Dst = AccWrite, MemLoc(a)
+		reads = append(reads, RegLoc(t.ID, in.rd), MemLoc(a))
+		m.Mem.Add(a, -1)
+	case JMP:
+		t.PC = int(in.target)
+		return // no emission
+	case JEQ, JNE, JLT, JGE:
+		ac.Kind = AccRead
+		reads = append(reads, RegLoc(t.ID, in.rs))
+		ac.Reads = reads
+		m.Tracer.OnAccess(*ac)
+		if branchTaken(in, t.Regs[in.rs]) {
+			t.PC = int(in.target)
+		} else {
+			t.PC++
+		}
+		return
+	}
+	if emit {
+		ac.Reads = reads
+		m.Tracer.OnAccess(*ac)
+	}
+	t.PC++
+}
+
+func branchTaken(in *dinstr, v int64) bool {
+	switch in.op {
+	case JEQ:
+		return v == in.imm
+	case JNE:
+		return v != in.imm
+	case JLT:
+		return v < in.imm
+	case JGE:
+		return v >= in.imm
+	}
+	return false
 }

@@ -1,0 +1,87 @@
+package vm
+
+// Memory is the machine's shared word-addressed memory. The address
+// space the library allocates from is deliberately sparse — every queue
+// or custom critical section reserves a 0x10000-word region and touches
+// a handful of words in it — so the backing is paged: a slice directory
+// indexed by page number with fixed-size pages allocated on first store.
+// Loads and stores are two array indexes and a nil check; no map sits on
+// the interpreter hot path. Addresses beyond the directory's range spill
+// to a map, so a stray huge address costs one map entry. The zero value
+// is an empty memory; absent words read as zero, exactly like the map
+// this design replaces.
+type Memory struct {
+	pages []*[pageWords]int64
+	spill map[uint32]int64
+}
+
+const (
+	pageShift = 9              // 512-word (4 KiB) pages
+	pageWords = 1 << pageShift //
+	pageMask  = pageWords - 1  //
+	dirLimit  = 1 << 16        // max directory entries: covers 2^25 words
+)
+
+// Load returns the word at address a (zero if never stored).
+func (m *Memory) Load(a uint32) int64 {
+	pg := a >> pageShift
+	if pg < uint32(len(m.pages)) {
+		if p := m.pages[pg]; p != nil {
+			return p[a&pageMask]
+		}
+		return 0
+	}
+	return m.spill[a]
+}
+
+// Store writes v to address a.
+func (m *Memory) Store(a uint32, v int64) {
+	if p := m.page(a); p != nil {
+		p[a&pageMask] = v
+		return
+	}
+	if m.spill == nil {
+		m.spill = make(map[uint32]int64)
+	}
+	m.spill[a] = v
+}
+
+// Add adds delta to the word at address a (the INCM/DECM read-modify-
+// write).
+func (m *Memory) Add(a uint32, delta int64) {
+	if p := m.page(a); p != nil {
+		p[a&pageMask] += delta
+		return
+	}
+	if m.spill == nil {
+		m.spill = make(map[uint32]int64)
+	}
+	m.spill[a] += delta
+}
+
+// page returns the page covering a, allocating directory and page as
+// needed, or nil when a lies beyond the directory limit (spill path).
+func (m *Memory) page(a uint32) *[pageWords]int64 {
+	pg := a >> pageShift
+	if pg < uint32(len(m.pages)) {
+		if p := m.pages[pg]; p != nil {
+			return p
+		}
+		p := new([pageWords]int64)
+		m.pages[pg] = p
+		return p
+	}
+	if pg >= dirLimit {
+		return nil
+	}
+	n := uint32(64)
+	for n <= pg {
+		n <<= 1
+	}
+	dir := make([]*[pageWords]int64, n)
+	copy(dir, m.pages)
+	m.pages = dir
+	p := new([pageWords]int64)
+	m.pages[pg] = p
+	return p
+}

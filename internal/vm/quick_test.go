@@ -95,7 +95,7 @@ func TestQuickLockCounterAtomic(t *testing.T) {
 		if err := m.Run(10_000_000); err != nil {
 			return false
 		}
-		return m.Mem[0x100] == int64(n*k)
+		return m.Mem.Load(0x100) == int64(n*k)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

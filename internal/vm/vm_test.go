@@ -93,8 +93,8 @@ func TestArithmeticAndMemory(t *testing.T) {
 	if th.Regs[4] != 14 || th.Regs[5] != 7 {
 		t.Fatalf("regs = %v", th.Regs[:6])
 	}
-	if m.Mem[0x100] != 8 {
-		t.Fatalf("mem = %d, want 8", m.Mem[0x100])
+	if m.Mem.Load(0x100) != 8 {
+		t.Fatalf("mem = %d, want 8", m.Mem.Load(0x100))
 	}
 }
 
@@ -139,8 +139,8 @@ func TestLockMutualExclusion(t *testing.T) {
 	if err := m.Run(1000000); err != nil {
 		t.Fatal(err)
 	}
-	if m.Mem[0x100] != 200 {
-		t.Fatalf("counter = %d, want 200", m.Mem[0x100])
+	if m.Mem.Load(0x100) != 200 {
+		t.Fatalf("counter = %d, want 200", m.Mem.Load(0x100))
 	}
 }
 

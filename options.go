@@ -1,5 +1,7 @@
 package whodunit
 
+import "whodunit/internal/crosstalk"
+
 // Option configures an App at construction time.
 type Option func(*App)
 
@@ -46,7 +48,7 @@ func WithCrosstalk(classify func(TxnCtxt) string) Option {
 		if classify == nil {
 			panic("whodunit: WithCrosstalk needs a classifier")
 		}
-		a.monitor = NewCrosstalkMonitor(classify)
+		a.monitor = crosstalk.NewMonitor(classify, nil)
 	}
 }
 

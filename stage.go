@@ -8,6 +8,7 @@ import (
 	"whodunit/internal/profiler"
 	"whodunit/internal/seda"
 	"whodunit/internal/tranctx"
+	"whodunit/internal/vm"
 )
 
 // Stage is one tier of an App: a named profiling domain bundling a
@@ -122,7 +123,11 @@ func (st *Stage) CriticalSection(pr *Probe, l *Lock, fn func()) {
 // to. Reserve a lock and region for each custom structure with
 // App.ReserveCS instead of hard-coding them.
 func (st *Stage) EmulatedCS(pr *Probe, prog *Program, entry string, regs map[byte]int64) *VMThread {
-	return st.app.runEmulated(pr, prog, entry, regs)
+	var rf [vm.NumRegs]int64
+	for r, v := range regs {
+		rf[r] = v
+	}
+	return st.app.runEmulated(pr, prog, entry, &rf)
 }
 
 // Endpoint returns the stage's default message endpoint, creating and

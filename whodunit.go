@@ -46,13 +46,14 @@
 //
 // # Building blocks
 //
-// The remainder of this file re-exports the underlying building blocks
-// for programs that wire stages by hand (and as the compatibility
-// surface for code written against earlier versions; constructors that
-// the App/Stage primitives supersede are marked deprecated in favor of
-// their replacements):
+// The remainder of this file re-exports the underlying building blocks'
+// types for programs that wire stages by hand. The constructors the
+// App/Stage primitives superseded (NewProfiler, NewEndpoint,
+// NewEventLoop, NewSEDAStage, NewSEDAWorker, NewCrosstalkMonitor, the
+// SimQueue alias) are gone with the hand-wiring they required — declare
+// an App and use its stages instead:
 //
-//   - Sim, Thread, CPU, SimQueue, Lock — the deterministic virtual-time
+//   - Sim, Thread, CPU, Lock — the deterministic virtual-time
 //     substrate everything runs on (internal/vclock);
 //   - Profiler, Probe, TxnCtxt — the csprof-style sampling profiler with
 //     per-transaction-context calling context trees (internal/profiler,
@@ -95,13 +96,6 @@ type (
 	Thread = vclock.Thread
 	// CPU is a multi-core processor resource.
 	CPU = vclock.CPU
-	// SimQueue is the raw simulator FIFO queue.
-	//
-	// Deprecated: App.NewQueue returns the context-propagating Queue,
-	// whose Put/Get methods cover the raw-transport uses; reach for a
-	// bare SimQueue (via Sim.NewQueue or Queue.Raw) only when wiring a
-	// simulation by hand.
-	SimQueue = vclock.Queue
 	// Lock is a reader/writer lock with wait observation.
 	Lock = vclock.Lock
 	// Time is a point in virtual time (nanoseconds).
@@ -164,12 +158,6 @@ var ParseMode = profiler.ParseMode
 // Overhead models the profiler's own CPU costs in virtual time.
 type Overhead = profiler.Overhead
 
-// NewProfiler returns a profiler for the named stage.
-//
-// Deprecated: declare an App.Stage instead; it owns a profiler
-// (Stage.Profiler) configured from the app's options.
-func NewProfiler(stage string, mode Mode) *Profiler { return profiler.New(stage, mode) }
-
 // Context hop constructors.
 var (
 	CallHop    = tranctx.CallHop
@@ -193,31 +181,6 @@ type (
 	SEDAElem = seda.Elem
 )
 
-// NewEventLoop returns an event loop for stage, interning contexts in the
-// profiler's table.
-//
-// Deprecated: use Stage.EventLoop / Stage.BindLoop, which tie the loop
-// to the stage's profiler and probe automatically.
-func NewEventLoop(stage string, p *Profiler) *EventLoop {
-	return event.NewLoop(stage, p.Table)
-}
-
-// NewSEDAStage declares a stage of program with the given input queue.
-//
-// Deprecated: use Stage.SEDAStage, which names the program after the
-// owning Stage and registers the SEDA stage with it.
-func NewSEDAStage(program, name string, in seda.Putter) *SEDAStage {
-	return seda.NewStage(program, name, in)
-}
-
-// NewSEDAWorker returns a worker for stage using the profiler's table.
-//
-// Deprecated: use Stage.Worker, which also binds the worker's dispatch
-// hook to the probe.
-func NewSEDAWorker(stage *SEDAStage, p *Profiler) *SEDAWorker {
-	return seda.NewWorker(stage, p.Table)
-}
-
 // Distribution.
 type (
 	// Endpoint tracks sent synopsis chains for request/response
@@ -237,12 +200,6 @@ const (
 	KindResponse = ipc.Response
 )
 
-// NewEndpoint returns a message endpoint for the named stage.
-//
-// Deprecated: use Stage.Endpoint / Stage.NewEndpoint / Stage.Conn,
-// whose sends are included in the stage's dump automatically.
-func NewEndpoint(stage string) *Endpoint { return ipc.NewEndpoint(stage) }
-
 // Crosstalk.
 type (
 	// CrosstalkMonitor accumulates the (waiter, holder) wait matrix.
@@ -250,16 +207,6 @@ type (
 	// CrosstalkPair is one matrix row.
 	CrosstalkPair = crosstalk.PairStat
 )
-
-// NewCrosstalkMonitor returns a monitor classifying transactions with
-// classify; attach it to locks via Lock.Observer.
-//
-// Deprecated: use WithCrosstalk, which attaches the monitor to every
-// lock created through App.NewLock and folds the matrix into the
-// report.
-func NewCrosstalkMonitor(classify func(TxnCtxt) string) *CrosstalkMonitor {
-	return crosstalk.NewMonitor(classify, nil)
-}
 
 // Shared-memory flow detection. Apps built with WithFlowDetection own
 // their machine and tracker (App.Machine, App.FlowTracker) with the

@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	"whodunit"
+	"whodunit/internal/event"
+	"whodunit/internal/ipc"
+	"whodunit/internal/profiler"
 )
 
 // TestPublicAPITwoStagePipeline exercises the facade end to end: two
@@ -13,10 +16,10 @@ import (
 func TestPublicAPITwoStagePipeline(t *testing.T) {
 	s := whodunit.NewSim()
 	cpu := s.NewCPU("cpu", 2)
-	webProf := whodunit.NewProfiler("web", whodunit.ModeWhodunit)
-	dbProf := whodunit.NewProfiler("db", whodunit.ModeWhodunit)
-	webEP := whodunit.NewEndpoint("web")
-	dbEP := whodunit.NewEndpoint("db")
+	webProf := profiler.New("web", whodunit.ModeWhodunit)
+	dbProf := profiler.New("db", whodunit.ModeWhodunit)
+	webEP := ipc.NewEndpoint("web")
+	dbEP := ipc.NewEndpoint("db")
 	reqQ, respQ := s.NewQueue("req"), s.NewQueue("resp")
 
 	s.Go("db", func(th *whodunit.Thread) {
@@ -75,8 +78,8 @@ func TestPublicAPITwoStagePipeline(t *testing.T) {
 }
 
 func TestPublicAPIEventLoop(t *testing.T) {
-	p := whodunit.NewProfiler("srv", whodunit.ModeWhodunit)
-	l := whodunit.NewEventLoop("srv", p)
+	p := profiler.New("srv", whodunit.ModeWhodunit)
+	l := event.NewLoop("srv", p.Table)
 	var ctxts []string
 	read := &whodunit.EventHandler{Name: "read", Fn: func(l *whodunit.EventLoop, ev *whodunit.Event) {
 		ctxts = append(ctxts, l.Curr().String())
