@@ -1,0 +1,111 @@
+// Command whodunit-diff compares two Whodunit reports — the §9
+// regression-hunting workflow ("run A vs run B, explain the delta") as
+// a tool. The two sides are either report JSON files (written with
+// -json by any whodunit command) or fresh runs of corpus scenarios
+// named with -run specs:
+//
+//	whodunit-diff before.json after.json
+//	whodunit-diff -run apache -run apache:seed=7
+//	whodunit-diff -run tpcw -run tpcw:mode=csprof
+//	whodunit-diff -json a.json b.json > delta.json
+//	whodunit-diff -folded a.json b.json | flamegraph.pl --negate > diff.svg
+//	whodunit-diff -threshold 0 a.json b.json   # CI gate: exit 1 on any delta
+//
+// A -run spec is scenario[:seed=N][,mode=off|csprof|whodunit|gprof]
+// (see -list for the scenario corpus). With -threshold N the tool exits
+// 1 when the diff's largest sample/count delta exceeds N; without it
+// the exit status is always 0 and the diff is informational.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whodunit"
+	"whodunit/internal/scenarios"
+)
+
+type runSpecs []string
+
+func (r *runSpecs) String() string { return fmt.Sprint([]string(*r)) }
+func (r *runSpecs) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "whodunit-diff: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func loadReport(path string) *whodunit.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	rep, err := whodunit.ReadReport(f)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	if rep.App == "" && len(rep.Stages) == 0 {
+		fail("%s: not a report (expected a file written with -json)", path)
+	}
+	return rep
+}
+
+func main() {
+	var runs runSpecs
+	flag.Var(&runs, "run", "scenario run spec (repeat twice): name[:seed=N][,mode=M]")
+	threshold := flag.Int64("threshold", -1, "exit 1 if the largest sample/count delta exceeds this (-1 disables gating)")
+	jsonOut := flag.Bool("json", false, "emit the diff as JSON instead of text")
+	folded := flag.Bool("folded", false, "emit two-column folded stacks (difffolded format) for differential flame graphs")
+	list := flag.Bool("list", false, "list the scenario corpus and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range scenarios.Names() {
+			s, _ := scenarios.ByName(name)
+			fmt.Printf("%-24s %s\n", s.Name, s.About)
+		}
+		return
+	}
+
+	var a, b *whodunit.Report
+	switch {
+	case len(runs) == 2 && flag.NArg() == 0:
+		reps := make([]*whodunit.Report, 2)
+		for i, spec := range runs {
+			s, err := scenarios.ParseSpec(spec)
+			if err != nil {
+				fail("%v", err)
+			}
+			reps[i] = s.Report()
+		}
+		a, b = reps[0], reps[1]
+	case len(runs) == 0 && flag.NArg() == 2:
+		a, b = loadReport(flag.Arg(0)), loadReport(flag.Arg(1))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: whodunit-diff [-threshold N] [-json|-folded] a.json b.json")
+		fmt.Fprintln(os.Stderr, "       whodunit-diff [-threshold N] [-json|-folded] -run specA -run specB")
+		fmt.Fprintln(os.Stderr, "       whodunit-diff -list")
+		os.Exit(2)
+	}
+
+	d := whodunit.Diff(a, b)
+	switch {
+	case *folded:
+		whodunit.FoldedDiff(a, b, os.Stdout)
+	case *jsonOut:
+		if err := d.JSON(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	default:
+		d.Text(os.Stdout)
+	}
+	if *threshold >= 0 && d.Exceeds(*threshold) {
+		fmt.Fprintf(os.Stderr, "whodunit-diff: max delta %d exceeds threshold %d\n", d.MaxDelta(), *threshold)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,728 @@
+package whodunit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"whodunit/internal/cct"
+)
+
+// Report diffing — the paper's §9 case studies are all "run A vs run B,
+// explain the delta": the same application profiled before and after a
+// code change, under two seeds, in two modes. Diff structurally matches
+// two Reports of the same application and keeps only what differs:
+// per-stage sample/call deltas, per-context CCT trees matched by
+// interned frame path with per-node deltas and added/removed subtrees,
+// crosstalk-matrix deltas, shared-memory-flow deltas, and
+// stitched-graph edge deltas. A diff renders as annotated text, JSON
+// (lossless round-trip via ReadDiff), and difffolded-style two-column
+// folded stacks (FoldedDiff) for differential flame graphs; MaxDelta
+// powers the CI threshold gate of cmd/whodunit-diff.
+
+// Sides of a diff, used in OnlyIn fields for entries present in just one
+// report.
+const (
+	SideA = "a"
+	SideB = "b"
+)
+
+// NodeDelta is one differing CCT node: the call path (from the tree
+// root) with both sides' self samples and call counts. A node present in
+// only one report is reported once, as a Subtree row whose counts are
+// the subtree's inclusive totals and whose OnlyIn names the side that
+// has it; its descendants are not enumerated.
+type NodeDelta struct {
+	Path    []string `json:"path"`
+	SelfA   int64    `json:"self_a"`
+	SelfB   int64    `json:"self_b"`
+	CallsA  int64    `json:"calls_a,omitempty"`
+	CallsB  int64    `json:"calls_b,omitempty"`
+	Subtree bool     `json:"subtree,omitempty"`
+	OnlyIn  string   `json:"only_in,omitempty"`
+}
+
+// TreeDiff is one differing transaction-context tree within a stage.
+// Trees are matched across reports by context key (synopsis prefix +
+// local context), the identity the stitcher also matches on.
+type TreeDiff struct {
+	Key    string      `json:"key"`
+	Label  string      `json:"label"`
+	OnlyIn string      `json:"only_in,omitempty"`
+	TotalA int64       `json:"total_a"`
+	TotalB int64       `json:"total_b"`
+	Nodes  []NodeDelta `json:"nodes,omitempty"`
+}
+
+// StageDiff is one differing stage, matched by stage name.
+type StageDiff struct {
+	Stage     string     `json:"stage"`
+	OnlyIn    string     `json:"only_in,omitempty"`
+	SamplesA  int64      `json:"samples_a"`
+	SamplesB  int64      `json:"samples_b"`
+	CallsA    int64      `json:"calls_a,omitempty"`
+	CallsB    int64      `json:"calls_b,omitempty"`
+	SwitchesA int64      `json:"switches_a,omitempty"`
+	SwitchesB int64      `json:"switches_b,omitempty"`
+	Trees     []TreeDiff `json:"trees,omitempty"`
+}
+
+// CrosstalkDelta is one differing crosstalk-matrix cell, matched by
+// (waiter, holder) transaction-type pair.
+type CrosstalkDelta struct {
+	Waiter string   `json:"waiter"`
+	Holder string   `json:"holder"`
+	CountA int64    `json:"count_a"`
+	CountB int64    `json:"count_b"`
+	TotalA Duration `json:"total_a_ns"`
+	TotalB Duration `json:"total_b_ns"`
+}
+
+// FlowDelta is one differing shared-memory-flow group. Flows are grouped
+// by (lock, producer thread, consumer thread) — the stable identity of a
+// handoff channel across same-seed runs — and compared by count.
+type FlowDelta struct {
+	Lock     int   `json:"lock"`
+	Producer int   `json:"producer"`
+	Consumer int   `json:"consumer"`
+	CountA   int64 `json:"count_a"`
+	CountB   int64 `json:"count_b"`
+}
+
+// EdgeDelta is one differing stitched-graph edge group, matched by the
+// (stage, context label) endpoints and the edge kind.
+type EdgeDelta struct {
+	FromStage string `json:"from_stage"`
+	FromLabel string `json:"from_label"`
+	ToStage   string `json:"to_stage"`
+	ToLabel   string `json:"to_label"`
+	Kind      string `json:"kind"`
+	CountA    int64  `json:"count_a"`
+	CountB    int64  `json:"count_b"`
+}
+
+// ReportDiff is the structural difference between two Reports of the
+// same application. It holds only differences: an empty diff (Empty)
+// means the runs were behaviorally identical at the report level.
+type ReportDiff struct {
+	AppA      string           `json:"app_a"`
+	AppB      string           `json:"app_b"`
+	ElapsedA  Duration         `json:"elapsed_a_ns"`
+	ElapsedB  Duration         `json:"elapsed_b_ns"`
+	Stages    []StageDiff      `json:"stages,omitempty"`
+	Crosstalk []CrosstalkDelta `json:"crosstalk,omitempty"`
+	Flows     []FlowDelta      `json:"flows,omitempty"`
+	Edges     []EdgeDelta      `json:"edges,omitempty"`
+}
+
+// Diff structurally compares two reports. See ReportDiff.
+func Diff(a, b *Report) *ReportDiff {
+	d := &ReportDiff{AppA: a.App, AppB: b.App, ElapsedA: a.Elapsed, ElapsedB: b.Elapsed}
+	ft := cct.NewFrameTable()
+	d.Stages = diffStages(ft, a.Stages, b.Stages)
+	d.Crosstalk = diffCrosstalk(a.Crosstalk, b.Crosstalk)
+	d.Flows = diffFlows(a.Flows, b.Flows)
+	d.Edges = diffEdges(a.Graph, b.Graph)
+	return d
+}
+
+// Diff compares r (side A) against other (side B).
+func (r *Report) Diff(other *Report) *ReportDiff { return Diff(r, other) }
+
+// Empty reports whether the two reports were identical: same
+// application, same elapsed virtual time, and no stage, crosstalk, flow
+// or stitched-graph differences.
+func (d *ReportDiff) Empty() bool {
+	return d.AppA == d.AppB && d.ElapsedA == d.ElapsedB &&
+		len(d.Stages) == 0 && len(d.Crosstalk) == 0 && len(d.Flows) == 0 && len(d.Edges) == 0
+}
+
+// MaxDelta returns the largest absolute difference the diff records, in
+// sample/count units: node self-sample and call deltas, subtree and tree
+// totals, stage sample/call/switch deltas, crosstalk wait counts, flow
+// counts and stitched-edge counts. Entries present in only one report
+// count at least 1, as does an elapsed-time difference — so under
+// `-threshold 0` any behavioral divergence gates. Virtual-time
+// magnitudes (elapsed, wait durations) are deliberately excluded: they
+// are nanosecond-scaled and would swamp a sample-unit threshold.
+func (d *ReportDiff) MaxDelta() int64 {
+	var max int64
+	up := func(a, b int64) {
+		delta := a - b
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > max {
+			max = delta
+		}
+	}
+	if d.ElapsedA != d.ElapsedB || d.AppA != d.AppB {
+		up(1, 0)
+	}
+	for _, sd := range d.Stages {
+		if sd.OnlyIn != "" {
+			up(1, 0)
+		}
+		up(sd.SamplesA, sd.SamplesB)
+		up(sd.CallsA, sd.CallsB)
+		up(sd.SwitchesA, sd.SwitchesB)
+		for _, td := range sd.Trees {
+			if td.OnlyIn != "" {
+				up(1, 0)
+			}
+			up(td.TotalA, td.TotalB)
+			for _, nd := range td.Nodes {
+				up(nd.SelfA, nd.SelfB)
+				up(nd.CallsA, nd.CallsB)
+				if nd.Subtree {
+					up(1, 0)
+				}
+			}
+		}
+	}
+	for _, cd := range d.Crosstalk {
+		up(cd.CountA, cd.CountB)
+		if cd.TotalA != cd.TotalB {
+			up(1, 0)
+		}
+	}
+	for _, fd := range d.Flows {
+		up(fd.CountA, fd.CountB)
+	}
+	for _, ed := range d.Edges {
+		up(ed.CountA, ed.CountB)
+	}
+	return max
+}
+
+// Exceeds reports whether the diff's MaxDelta is beyond threshold — the
+// CI gate of cmd/whodunit-diff.
+func (d *ReportDiff) Exceeds(threshold int64) bool { return d.MaxDelta() > threshold }
+
+// Mirrored returns the same diff viewed from the other side: every A
+// field swapped with its B counterpart and OnlyIn markers flipped.
+// Diff(b, a) equals Diff(a, b).Mirrored() — entry orders are symmetric
+// by construction (sorted key unions).
+func (d *ReportDiff) Mirrored() *ReportDiff {
+	flip := func(side string) string {
+		switch side {
+		case SideA:
+			return SideB
+		case SideB:
+			return SideA
+		}
+		return side
+	}
+	m := &ReportDiff{AppA: d.AppB, AppB: d.AppA, ElapsedA: d.ElapsedB, ElapsedB: d.ElapsedA}
+	for _, sd := range d.Stages {
+		ms := StageDiff{
+			Stage: sd.Stage, OnlyIn: flip(sd.OnlyIn),
+			SamplesA: sd.SamplesB, SamplesB: sd.SamplesA,
+			CallsA: sd.CallsB, CallsB: sd.CallsA,
+			SwitchesA: sd.SwitchesB, SwitchesB: sd.SwitchesA,
+		}
+		for _, td := range sd.Trees {
+			mt := TreeDiff{
+				Key: td.Key, Label: td.Label, OnlyIn: flip(td.OnlyIn),
+				TotalA: td.TotalB, TotalB: td.TotalA,
+			}
+			for _, nd := range td.Nodes {
+				mt.Nodes = append(mt.Nodes, NodeDelta{
+					Path:  nd.Path,
+					SelfA: nd.SelfB, SelfB: nd.SelfA,
+					CallsA: nd.CallsB, CallsB: nd.CallsA,
+					Subtree: nd.Subtree, OnlyIn: flip(nd.OnlyIn),
+				})
+			}
+			ms.Trees = append(ms.Trees, mt)
+		}
+		m.Stages = append(m.Stages, ms)
+	}
+	for _, cd := range d.Crosstalk {
+		m.Crosstalk = append(m.Crosstalk, CrosstalkDelta{
+			Waiter: cd.Waiter, Holder: cd.Holder,
+			CountA: cd.CountB, CountB: cd.CountA,
+			TotalA: cd.TotalB, TotalB: cd.TotalA,
+		})
+	}
+	for _, fd := range d.Flows {
+		m.Flows = append(m.Flows, FlowDelta{
+			Lock: fd.Lock, Producer: fd.Producer, Consumer: fd.Consumer,
+			CountA: fd.CountB, CountB: fd.CountA,
+		})
+	}
+	for _, ed := range d.Edges {
+		m.Edges = append(m.Edges, EdgeDelta{
+			FromStage: ed.FromStage, FromLabel: ed.FromLabel,
+			ToStage: ed.ToStage, ToLabel: ed.ToLabel, Kind: ed.Kind,
+			CountA: ed.CountB, CountB: ed.CountA,
+		})
+	}
+	return m
+}
+
+// --- stage and tree matching ---
+
+// indexStages and indexTrees define the matching identity shared by
+// Diff and FoldedDiff: stages match by name, trees by context key.
+func indexStages(srs []StageReport) map[string]*StageReport {
+	m := make(map[string]*StageReport, len(srs))
+	for i := range srs {
+		m[srs[i].Stage] = &srs[i]
+	}
+	return m
+}
+
+func indexTrees(tds []TreeDump) map[string]*TreeDump {
+	m := make(map[string]*TreeDump, len(tds))
+	for i := range tds {
+		m[tds[i].Key] = &tds[i]
+	}
+	return m
+}
+
+func diffStages(ft *cct.FrameTable, a, b []StageReport) []StageDiff {
+	am, bm := indexStages(a), indexStages(b)
+	var out []StageDiff
+	for _, name := range sortedKeyUnion(am, bm) {
+		sa, sb := am[name], bm[name]
+		switch {
+		case sb == nil:
+			out = append(out, oneSidedStage(sa, SideA))
+		case sa == nil:
+			out = append(out, oneSidedStage(sb, SideB))
+		default:
+			sd := StageDiff{
+				Stage:    name,
+				SamplesA: sa.Samples, SamplesB: sb.Samples,
+				CallsA: sa.Calls, CallsB: sb.Calls,
+				SwitchesA: sa.CtxtSwitches, SwitchesB: sb.CtxtSwitches,
+				Trees: diffTrees(ft, sa.Dump.Trees, sb.Dump.Trees),
+			}
+			if len(sd.Trees) > 0 || sd.SamplesA != sd.SamplesB ||
+				sd.CallsA != sd.CallsB || sd.SwitchesA != sd.SwitchesB {
+				out = append(out, sd)
+			}
+		}
+	}
+	return out
+}
+
+func oneSidedStage(sr *StageReport, side string) StageDiff {
+	sd := StageDiff{Stage: sr.Stage, OnlyIn: side}
+	for _, td := range sr.Dump.Trees {
+		t := TreeDiff{Key: td.Key, Label: td.Label, OnlyIn: side}
+		if side == SideA {
+			t.TotalA = td.Total
+		} else {
+			t.TotalB = td.Total
+		}
+		sd.Trees = append(sd.Trees, t)
+	}
+	if side == SideA {
+		sd.SamplesA, sd.CallsA, sd.SwitchesA = sr.Samples, sr.Calls, sr.CtxtSwitches
+	} else {
+		sd.SamplesB, sd.CallsB, sd.SwitchesB = sr.Samples, sr.Calls, sr.CtxtSwitches
+	}
+	return sd
+}
+
+func diffTrees(ft *cct.FrameTable, a, b []TreeDump) []TreeDiff {
+	am, bm := indexTrees(a), indexTrees(b)
+	var out []TreeDiff
+	for _, key := range sortedKeyUnion(am, bm) {
+		ta, tb := am[key], bm[key]
+		switch {
+		case tb == nil:
+			out = append(out, TreeDiff{Key: key, Label: ta.Label, OnlyIn: SideA, TotalA: ta.Total})
+		case ta == nil:
+			out = append(out, TreeDiff{Key: key, Label: tb.Label, OnlyIn: SideB, TotalB: tb.Total})
+		default:
+			td := TreeDiff{Key: key, Label: ta.Label, TotalA: ta.Total, TotalB: tb.Total}
+			// Both sides' records rebuild into trees sharing ft, so the
+			// matched-node walk below compares FrameIDs and never
+			// re-interns a frame name.
+			ra := cct.FromRecordsShared(ta.Label, ft, ta.Records)
+			rb := cct.FromRecordsShared(tb.Label, ft, tb.Records)
+			td.Nodes = diffNodes(ft, ra.Root, rb.Root, nil, td.Nodes)
+			if len(td.Nodes) > 0 || td.TotalA != td.TotalB {
+				out = append(out, td)
+			}
+		}
+	}
+	return out
+}
+
+// diffNodes walks two same-context trees in lockstep, matching children
+// by interned FrameID (the trees share ft), and appends a NodeDelta for
+// every node whose self samples or calls differ. A child present on one
+// side only becomes a single Subtree row carrying inclusive totals.
+func diffNodes(ft *cct.FrameTable, na, nb *cct.Node, path []string, out []NodeDelta) []NodeDelta {
+	ids := mergeChildIDs(ft, na.ChildIDs(), nb.ChildIDs())
+	for _, id := range ids {
+		ca, cb := na.ChildByID(id), nb.ChildByID(id)
+		path = append(path, ft.Name(id))
+		switch {
+		case cb == nil:
+			out = append(out, NodeDelta{
+				Path:  clonePath(path),
+				SelfA: ca.Inclusive(), CallsA: ca.InclusiveCalls(), Subtree: true, OnlyIn: SideA,
+			})
+		case ca == nil:
+			out = append(out, NodeDelta{
+				Path:  clonePath(path),
+				SelfB: cb.Inclusive(), CallsB: cb.InclusiveCalls(), Subtree: true, OnlyIn: SideB,
+			})
+		default:
+			if ca.Self != cb.Self || ca.Calls != cb.Calls {
+				out = append(out, NodeDelta{
+					Path:  clonePath(path),
+					SelfA: ca.Self, SelfB: cb.Self,
+					CallsA: ca.Calls, CallsB: cb.Calls,
+				})
+			}
+			out = diffNodes(ft, ca, cb, path, out)
+		}
+		path = path[:len(path)-1]
+	}
+	return out
+}
+
+// mergeChildIDs merges two name-sorted FrameID slices into their sorted
+// union. Both slices were issued by ft, so equal names have equal IDs.
+func mergeChildIDs(ft *cct.FrameTable, a, b []cct.FrameID) []cct.FrameID {
+	out := make([]cct.FrameID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case ft.Name(a[i]) < ft.Name(b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func clonePath(path []string) []string {
+	p := make([]string, len(path))
+	copy(p, path)
+	return p
+}
+
+// sortedKeyUnion returns the sorted union of two maps' keys — the
+// symmetric iteration order that makes Diff(a,b) and Diff(b,a) exact
+// mirrors.
+func sortedKeyUnion[V any](a, b map[string]V) []string {
+	keys := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- crosstalk, flow and graph matching ---
+
+func diffCrosstalk(a, b []CrosstalkPair) []CrosstalkDelta {
+	type cell struct {
+		count int64
+		total Duration
+	}
+	index := func(ps []CrosstalkPair) map[string]cell {
+		m := make(map[string]cell, len(ps))
+		for _, p := range ps {
+			m[p.Waiter+"\x00"+p.Holder] = cell{p.Count, p.Total}
+		}
+		return m
+	}
+	am, bm := index(a), index(b)
+	var out []CrosstalkDelta
+	for _, k := range sortedKeyUnion(am, bm) {
+		ca, cb := am[k], bm[k]
+		if ca == cb {
+			continue
+		}
+		waiter, holder, _ := strings.Cut(k, "\x00")
+		out = append(out, CrosstalkDelta{
+			Waiter: waiter, Holder: holder,
+			CountA: ca.count, CountB: cb.count,
+			TotalA: ca.total, TotalB: cb.total,
+		})
+	}
+	return out
+}
+
+func diffFlows(a, b []FlowEvent) []FlowDelta {
+	type flowKey struct{ lock, prod, cons int }
+	index := func(fs []FlowEvent) map[flowKey]int64 {
+		m := make(map[flowKey]int64, len(fs))
+		for _, f := range fs {
+			m[flowKey{f.Lock, f.Producer, f.Consumer}]++
+		}
+		return m
+	}
+	am, bm := index(a), index(b)
+	keys := make([]flowKey, 0, len(am)+len(bm))
+	for k := range am {
+		keys = append(keys, k)
+	}
+	for k := range bm {
+		if _, ok := am[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].lock != keys[j].lock {
+			return keys[i].lock < keys[j].lock
+		}
+		if keys[i].prod != keys[j].prod {
+			return keys[i].prod < keys[j].prod
+		}
+		return keys[i].cons < keys[j].cons
+	})
+	var out []FlowDelta
+	for _, k := range keys {
+		if am[k] == bm[k] {
+			continue
+		}
+		out = append(out, FlowDelta{
+			Lock: k.lock, Producer: k.prod, Consumer: k.cons,
+			CountA: am[k], CountB: bm[k],
+		})
+	}
+	return out
+}
+
+func diffEdges(a, b *TransactionGraph) []EdgeDelta {
+	index := func(g *TransactionGraph) map[string]int64 {
+		m := make(map[string]int64)
+		if g == nil {
+			return m
+		}
+		for _, e := range g.Edges {
+			from, to := g.Nodes[e.From], g.Nodes[e.To]
+			m[strings.Join([]string{from.Stage, from.Label, to.Stage, to.Label, e.Kind}, "\x00")]++
+		}
+		return m
+	}
+	am, bm := index(a), index(b)
+	var out []EdgeDelta
+	for _, k := range sortedKeyUnion(am, bm) {
+		if am[k] == bm[k] {
+			continue
+		}
+		parts := strings.Split(k, "\x00")
+		out = append(out, EdgeDelta{
+			FromStage: parts[0], FromLabel: parts[1],
+			ToStage: parts[2], ToLabel: parts[3], Kind: parts[4],
+			CountA: am[k], CountB: bm[k],
+		})
+	}
+	return out
+}
+
+// --- renderers ---
+
+// JSON writes the diff as indented JSON; ReadDiff decodes it losslessly.
+func (d *ReportDiff) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("whodunit: encode diff: %w", err)
+	}
+	return nil
+}
+
+// ReadDiff decodes a JSON diff written by ReportDiff.JSON.
+func ReadDiff(r io.Reader) (*ReportDiff, error) {
+	var d ReportDiff
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("whodunit: decode diff: %w", err)
+	}
+	return &d, nil
+}
+
+func delta(a, b int64) string {
+	if b >= a {
+		return fmt.Sprintf("+%d", b-a)
+	}
+	return fmt.Sprintf("%d", b-a)
+}
+
+// Text writes the annotated human-readable diff: ± per-node sample
+// deltas under each differing context tree, then crosstalk, flow and
+// stitched-graph deltas. An empty diff prints a single line saying so.
+func (d *ReportDiff) Text(w io.Writer) {
+	fmt.Fprintf(w, "=== whodunit diff: %s (A) vs %s (B) ===\n", d.AppA, d.AppB)
+	if d.Empty() {
+		fmt.Fprintln(w, "reports are identical")
+		return
+	}
+	if d.ElapsedA != d.ElapsedB {
+		fmt.Fprintf(w, "virtual time: %.6fs -> %.6fs\n", d.ElapsedA.Seconds(), d.ElapsedB.Seconds())
+	}
+	for _, sd := range d.Stages {
+		switch sd.OnlyIn {
+		case SideA:
+			fmt.Fprintf(w, "\n- stage %s only in A: %d samples\n", sd.Stage, sd.SamplesA)
+		case SideB:
+			fmt.Fprintf(w, "\n+ stage %s only in B: %d samples\n", sd.Stage, sd.SamplesB)
+		default:
+			fmt.Fprintf(w, "\nstage %s: samples %d -> %d (%s)", sd.Stage,
+				sd.SamplesA, sd.SamplesB, delta(sd.SamplesA, sd.SamplesB))
+			if sd.CallsA != sd.CallsB {
+				fmt.Fprintf(w, ", calls %d -> %d", sd.CallsA, sd.CallsB)
+			}
+			if sd.SwitchesA != sd.SwitchesB {
+				fmt.Fprintf(w, ", context switches %d -> %d", sd.SwitchesA, sd.SwitchesB)
+			}
+			fmt.Fprintln(w)
+		}
+		for _, td := range sd.Trees {
+			switch td.OnlyIn {
+			case SideA:
+				fmt.Fprintf(w, "  - context only in A: %s (%d samples)\n", td.Label, td.TotalA)
+			case SideB:
+				fmt.Fprintf(w, "  + context only in B: %s (%d samples)\n", td.Label, td.TotalB)
+			default:
+				fmt.Fprintf(w, "  context %s: %d -> %d (%s)\n",
+					td.Label, td.TotalA, td.TotalB, delta(td.TotalA, td.TotalB))
+			}
+			for _, nd := range td.Nodes {
+				frames := strings.Join(nd.Path, ";")
+				switch {
+				case nd.OnlyIn == SideA:
+					fmt.Fprintf(w, "    - %s (subtree, %d samples)\n", frames, nd.SelfA)
+				case nd.OnlyIn == SideB:
+					fmt.Fprintf(w, "    + %s (subtree, %d samples)\n", frames, nd.SelfB)
+				default:
+					fmt.Fprintf(w, "    ± %s: self %d -> %d (%s)", frames,
+						nd.SelfA, nd.SelfB, delta(nd.SelfA, nd.SelfB))
+					if nd.CallsA != nd.CallsB {
+						fmt.Fprintf(w, ", calls %d -> %d", nd.CallsA, nd.CallsB)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+		}
+	}
+	if len(d.Crosstalk) > 0 {
+		fmt.Fprintf(w, "\ncrosstalk deltas (waiter <- holder):\n")
+		for _, cd := range d.Crosstalk {
+			fmt.Fprintf(w, "  %-24s %-24s count %d -> %d, total wait %.2fms -> %.2fms\n",
+				cd.Waiter, cd.Holder, cd.CountA, cd.CountB, cd.TotalA.Millis(), cd.TotalB.Millis())
+		}
+	}
+	if len(d.Flows) > 0 {
+		fmt.Fprintf(w, "\nshared-memory flow deltas:\n")
+		for _, fd := range d.Flows {
+			fmt.Fprintf(w, "  lock %d t%d->t%d: %d -> %d flows\n",
+				fd.Lock, fd.Producer, fd.Consumer, fd.CountA, fd.CountB)
+		}
+	}
+	if len(d.Edges) > 0 {
+		fmt.Fprintf(w, "\nstitched-graph edge deltas:\n")
+		for _, ed := range d.Edges {
+			fmt.Fprintf(w, "  [%s] %s -%s-> [%s] %s: %d -> %d\n",
+				ed.FromStage, ed.FromLabel, ed.Kind, ed.ToStage, ed.ToLabel, ed.CountA, ed.CountB)
+		}
+	}
+}
+
+// FoldedDiff writes the two reports as two-column folded stacks — the
+// difffolded.pl format flamegraph.pl consumes for differential flame
+// graphs:
+//
+//	stage;context;frame;frame... selfA selfB
+//
+// Every call path with samples in either report is emitted (unchanged
+// paths included — the renderer needs both columns to size and color
+// frames), in the deterministic stage/context/path order Diff uses.
+func FoldedDiff(a, b *Report, w io.Writer) {
+	ft := cct.NewFrameTable()
+	am, bm := indexStages(a.Stages), indexStages(b.Stages)
+	for _, stage := range sortedKeyUnion(am, bm) {
+		ta := map[string]*TreeDump{}
+		tb := map[string]*TreeDump{}
+		if sr := am[stage]; sr != nil {
+			ta = indexTrees(sr.Dump.Trees)
+		}
+		if sr := bm[stage]; sr != nil {
+			tb = indexTrees(sr.Dump.Trees)
+		}
+		for _, key := range sortedKeyUnion(ta, tb) {
+			da, db := ta[key], tb[key]
+			label := ""
+			var ra, rb *cct.Tree
+			if da != nil {
+				label = da.Label
+				ra = cct.FromRecordsShared(da.Label, ft, da.Records)
+			} else {
+				ra = cct.NewShared("", ft)
+			}
+			if db != nil {
+				label = db.Label
+				rb = cct.FromRecordsShared(db.Label, ft, db.Records)
+			} else {
+				rb = cct.NewShared("", ft)
+			}
+			foldNodes(ft, ra.Root, rb.Root, stage+";"+label, w)
+		}
+	}
+}
+
+func foldNodes(ft *cct.FrameTable, na, nb *cct.Node, prefix string, w io.Writer) {
+	for _, id := range mergeChildIDs(ft, na.ChildIDs(), nb.ChildIDs()) {
+		ca, cb := na.ChildByID(id), nb.ChildByID(id)
+		line := prefix + ";" + ft.Name(id)
+		var selfA, selfB int64
+		if ca != nil {
+			selfA = ca.Self
+		}
+		if cb != nil {
+			selfB = cb.Self
+		}
+		if selfA != 0 || selfB != 0 {
+			fmt.Fprintf(w, "%s %d %d\n", line, selfA, selfB)
+		}
+		switch {
+		case cb == nil:
+			foldOneSide(ft, ca, line, w, true)
+		case ca == nil:
+			foldOneSide(ft, cb, line, w, false)
+		default:
+			foldNodes(ft, ca, cb, line, w)
+		}
+	}
+}
+
+func foldOneSide(ft *cct.FrameTable, n *cct.Node, prefix string, w io.Writer, sideA bool) {
+	for _, id := range n.ChildIDs() {
+		c := n.ChildByID(id)
+		line := prefix + ";" + ft.Name(id)
+		if c.Self != 0 {
+			if sideA {
+				fmt.Fprintf(w, "%s %d 0\n", line, c.Self)
+			} else {
+				fmt.Fprintf(w, "%s 0 %d\n", line, c.Self)
+			}
+		}
+		foldOneSide(ft, c, line, w, sideA)
+	}
+}

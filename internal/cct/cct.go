@@ -50,6 +50,12 @@ func (ft *FrameTable) ID(name string) FrameID {
 // Name resolves an ID issued by this table.
 func (ft *FrameTable) Name(id FrameID) string { return ft.names[id] }
 
+// Lookup returns the ID of an already-interned name without interning it.
+func (ft *FrameTable) Lookup(name string) (FrameID, bool) {
+	id, ok := ft.ids[name]
+	return id, ok
+}
+
 // Len reports the number of interned frames.
 func (ft *FrameTable) Len() int { return len(ft.names) }
 
@@ -111,6 +117,30 @@ func (n *Node) child(id FrameID) *Node {
 
 // Parent returns the parent node (nil for the root).
 func (n *Node) Parent() *Node { return n.parent }
+
+// ID returns the node's interned frame id (meaningless for the root).
+func (n *Node) ID() FrameID { return n.id }
+
+// ChildByID returns the child for an already-interned frame without
+// creating it, or nil. Together with ChildIDs it is the walk hook for
+// structural matching across trees that share a FrameTable (Report
+// diffing): matched-node walks compare FrameIDs and never re-intern
+// frame names.
+func (n *Node) ChildByID(id FrameID) *Node {
+	return n.children[id]
+}
+
+// ChildIDs returns the node's children's frame ids sorted by frame name
+// — the same deterministic order Children uses, without materializing
+// the child nodes.
+func (n *Node) ChildIDs() []FrameID {
+	out := make([]FrameID, 0, len(n.children))
+	for id := range n.children {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return n.ft.names[out[i]] < n.ft.names[out[j]] })
+	return out
+}
 
 // Children returns the node's children sorted by frame name, for
 // deterministic iteration.
@@ -189,6 +219,17 @@ func (n *Node) Inclusive() int64 {
 	sum := n.Self
 	for _, c := range n.children {
 		sum += c.Inclusive()
+	}
+	return sum
+}
+
+// InclusiveCalls reports the node's inclusive call count (itself plus
+// all descendants) — the aggregate a diff reports for a subtree present
+// in only one of two runs.
+func (n *Node) InclusiveCalls() int64 {
+	sum := n.Calls
+	for _, c := range n.children {
+		sum += c.InclusiveCalls()
 	}
 	return sum
 }
@@ -294,7 +335,15 @@ func (t *Tree) Flatten() []FlatRecord {
 
 // FromRecords rebuilds a tree from flattened records.
 func FromRecords(label string, recs []FlatRecord) *Tree {
-	t := New(label)
+	return FromRecordsShared(label, NewFrameTable(), recs)
+}
+
+// FromRecordsShared rebuilds a tree from flattened records, interning
+// its frames in ft. Rebuilding two runs' dumps into one shared table is
+// what lets a diff match their nodes by FrameID alone: each distinct
+// frame name is interned exactly once, at tree build.
+func FromRecordsShared(label string, ft *FrameTable, recs []FlatRecord) *Tree {
+	t := NewShared(label, ft)
 	for _, r := range recs {
 		n := t.Path(r.Path)
 		n.Self += r.Self

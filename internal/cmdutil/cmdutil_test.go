@@ -1,0 +1,92 @@
+package cmdutil_test
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"testing"
+
+	"whodunit"
+	"whodunit/internal/cmdutil"
+)
+
+// The flag helpers register on the global CommandLine (that is their
+// contract — every whodunit-* binary shares one flag set), so each is
+// registered exactly once for the whole test binary.
+var (
+	modeFlag = cmdutil.ModeFlag()
+	jsonFlag = cmdutil.JSONFlag()
+)
+
+func TestModeFlagDefault(t *testing.T) {
+	if *modeFlag != whodunit.ModeWhodunit {
+		t.Fatalf("default mode = %v, want whodunit", *modeFlag)
+	}
+}
+
+func TestModeFlagParsesEveryMode(t *testing.T) {
+	want := map[string]whodunit.Mode{
+		"off":      whodunit.ModeOff,
+		"csprof":   whodunit.ModeSampling,
+		"whodunit": whodunit.ModeWhodunit,
+		"gprof":    whodunit.ModeInstrumented,
+	}
+	for name, m := range want {
+		if err := flag.CommandLine.Set("mode", name); err != nil {
+			t.Fatalf("set mode=%s: %v", name, err)
+		}
+		if *modeFlag != m {
+			t.Fatalf("mode %s parsed to %v, want %v", name, *modeFlag, m)
+		}
+	}
+	if err := flag.CommandLine.Set("mode", "bogus"); err == nil {
+		t.Fatal("mode=bogus accepted")
+	}
+	// Leave the shared flag at its documented default.
+	if err := flag.CommandLine.Set("mode", "whodunit"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONFlag(t *testing.T) {
+	if *jsonFlag {
+		t.Fatal("json flag defaults to true")
+	}
+	if err := flag.CommandLine.Set("json", "true"); err != nil {
+		t.Fatal(err)
+	}
+	if !*jsonFlag {
+		t.Fatal("json flag did not set")
+	}
+	if err := flag.CommandLine.Set("json", "false"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitJSONRoundTrips(t *testing.T) {
+	rep := whodunit.NewReport("cmdutil-test")
+	rep.Elapsed = 3 * whodunit.Millisecond
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	cmdutil.EmitJSON("cmdutil-test", rep)
+	w.Close()
+	os.Stdout = old
+
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := whodunit.ReadReport(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("EmitJSON output does not decode: %v\n%s", err, raw)
+	}
+	if decoded.App != "cmdutil-test" || decoded.Elapsed != rep.Elapsed {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}

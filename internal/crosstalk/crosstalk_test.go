@@ -171,3 +171,72 @@ func TestWaiterTypesSorted(t *testing.T) {
 		t.Fatalf("types = %v", types)
 	}
 }
+
+// TestMatrixAccumulation pins the aggregation arithmetic: repeated waits
+// on the same (waiter, holder) pair accumulate count and total, the
+// reported mean is total/count, and WaitTotal aggregates across holders.
+func TestMatrixAccumulation(t *testing.T) {
+	s, p, l, mon := setup()
+	cpu := s.NewCPU("cpu", 8)
+	// Three rounds: OrderDisplay holds 10ms, Home arrives mid-hold and
+	// waits 6ms, 4ms, 2ms respectively.
+	for i, wait := range []vclock.Duration{6 * vclock.Millisecond, 4 * vclock.Millisecond, 2 * vclock.Millisecond} {
+		base := vclock.Time(i * int(20*vclock.Millisecond))
+		spawnTxn(s, p, cpu, l, base, "OrderDisplay", vclock.Exclusive, 10*vclock.Millisecond)
+		spawnTxn(s, p, cpu, l, base+vclock.Time(10*vclock.Millisecond-wait), "Home", vclock.Exclusive, vclock.Millisecond)
+	}
+	s.Run()
+	s.Shutdown()
+
+	pairs := mon.Pairs()
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %+v, want exactly the accumulated (Home, OrderDisplay) cell", pairs)
+	}
+	got := pairs[0]
+	if got.Waiter != "Home" || got.Holder != "OrderDisplay" {
+		t.Fatalf("pair = %+v", got)
+	}
+	if got.Count != 3 {
+		t.Fatalf("count = %d, want 3 accumulated waits", got.Count)
+	}
+	if want := 12 * vclock.Millisecond; got.Total != want {
+		t.Fatalf("total = %v, want %v", got.Total, want)
+	}
+	if want := 4 * vclock.Millisecond; got.Mean != want {
+		t.Fatalf("mean = %v, want %v", got.Mean, want)
+	}
+	total, n := mon.WaitTotal("Home")
+	if total != 12*vclock.Millisecond || n != 3 {
+		t.Fatalf("WaitTotal(Home) = %v/%d, want 12ms/3", total, n)
+	}
+	if total, n := mon.WaitTotal("OrderDisplay"); total != 0 || n != 0 {
+		t.Fatalf("WaitTotal(OrderDisplay) = %v/%d, want zero (it never waited)", total, n)
+	}
+}
+
+// TestPairsSortedByTotalWait pins the matrix ordering contract: rows
+// sort by descending total wait, ties broken by waiter then holder.
+func TestPairsSortedByTotalWait(t *testing.T) {
+	s, p, l, mon := setup()
+	cpu := s.NewCPU("cpu", 8)
+	// BestSellers holds 30ms; two distinct waiters arrive at different
+	// points, giving different totals.
+	spawnTxn(s, p, cpu, l, 0, "BestSellers", vclock.Exclusive, 30*vclock.Millisecond)
+	spawnTxn(s, p, cpu, l, vclock.Time(5*vclock.Millisecond), "Home", vclock.Exclusive, vclock.Millisecond)
+	spawnTxn(s, p, cpu, l, vclock.Time(20*vclock.Millisecond), "AdminConfirm", vclock.Exclusive, vclock.Millisecond)
+	s.Run()
+	s.Shutdown()
+
+	pairs := mon.Pairs()
+	if len(pairs) < 2 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Total > pairs[i-1].Total {
+			t.Fatalf("pairs not sorted by descending total: %+v", pairs)
+		}
+	}
+	if pairs[0].Waiter != "Home" {
+		t.Fatalf("largest total should be Home's 25ms wait: %+v", pairs[0])
+	}
+}

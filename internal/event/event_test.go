@@ -169,3 +169,47 @@ func TestNilEventPanics(t *testing.T) {
 	}()
 	l.Dispatch(nil)
 }
+
+// TestNestedEnqueueOrdering pins global FIFO ordering across handlers
+// that enqueue continuations while the loop drains: events dispatch in
+// exactly the order they became ready, even when readiness interleaves
+// with dispatch (the §4.1 loop's queue discipline).
+func TestNestedEnqueueOrdering(t *testing.T) {
+	table := tranctx.NewTable()
+	l := NewLoop("srv", table)
+
+	var order []string
+	record := func(name string) *Handler {
+		return &Handler{Name: name, Fn: func(l *Loop, ev *Event) {
+			order = append(order, name)
+		}}
+	}
+	hLeaf1, hLeaf2 := record("leaf1"), record("leaf2")
+	hMid := &Handler{Name: "mid", Fn: func(l *Loop, ev *Event) {
+		order = append(order, "mid")
+		l.Ready(l.NewEvent(hLeaf2, nil))
+	}}
+	hRoot := &Handler{Name: "root", Fn: func(l *Loop, ev *Event) {
+		order = append(order, "root")
+		l.Ready(l.NewEvent(hMid, nil))
+		l.Ready(l.NewEvent(hLeaf1, nil))
+	}}
+
+	l.Ready(l.NewEvent(hRoot, nil))
+	l.Run()
+
+	// root enqueues mid then leaf1; mid (dispatched before leaf1 — FIFO)
+	// enqueues leaf2 behind leaf1.
+	want := []string{"root", "mid", "leaf1", "leaf2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if l.Dispatched() != 4 {
+		t.Fatalf("dispatched = %d, want 4", l.Dispatched())
+	}
+}

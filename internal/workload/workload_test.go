@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"whodunit/internal/par"
 	"whodunit/internal/vclock"
 )
 
@@ -180,5 +181,48 @@ func TestOrderingMixShiftsLoad(t *testing.T) {
 	}
 	if count(OrderingMix, BestSellers) > count(BrowsingMix, BestSellers)/5 {
 		t.Fatal("ordering mix should browse much less")
+	}
+}
+
+// TestGenWebShardBoundaries pins the sharded generator at the exact
+// worker-shard edges: trace sizes straddling the 256-item shard
+// (genShard-1, genShard, genShard+1, 2*genShard) must come out
+// bit-identical whether the par pool runs one worker or many — the
+// regime where an off-by-one in a shard's [lo, hi) bounds or its
+// RNG.Skip offset would duplicate or drop the boundary item.
+func TestGenWebShardBoundaries(t *testing.T) {
+	for _, n := range []int{genShard - 1, genShard, genShard + 1, 2 * genShard} {
+		cfg := DefaultWebConfig()
+		cfg.NumConns = n
+		cfg.NumFiles = n
+
+		prev := par.MaxWorkers
+		par.MaxWorkers = 1
+		serial := GenWeb(cfg)
+		par.MaxWorkers = prev
+		parallel := GenWeb(cfg)
+
+		if len(serial.Conns) != n || len(parallel.Conns) != n {
+			t.Fatalf("n=%d: conns = %d serial / %d parallel", n, len(serial.Conns), len(parallel.Conns))
+		}
+		if serial.TotalBytes != parallel.TotalBytes {
+			t.Fatalf("n=%d: total bytes differ: %d vs %d", n, serial.TotalBytes, parallel.TotalBytes)
+		}
+		for i := range serial.Files {
+			if serial.Files[i] != parallel.Files[i] {
+				t.Fatalf("n=%d: file %d size differs across worker counts", n, i)
+			}
+		}
+		for c := range serial.Conns {
+			a, b := serial.Conns[c], parallel.Conns[c]
+			if len(a.Reqs) != len(b.Reqs) {
+				t.Fatalf("n=%d: conn %d request count differs: %d vs %d", n, c, len(a.Reqs), len(b.Reqs))
+			}
+			for r := range a.Reqs {
+				if a.Reqs[r] != b.Reqs[r] {
+					t.Fatalf("n=%d: conn %d req %d differs: %+v vs %+v", n, c, r, a.Reqs[r], b.Reqs[r])
+				}
+			}
+		}
 	}
 }

@@ -237,6 +237,8 @@ var AssembleProgram = vm.Assemble
 type (
 	// StageDump is one stage's serialized profile.
 	StageDump = stitch.StageDump
+	// TreeDump is one serialized per-context CCT within a StageDump.
+	TreeDump = stitch.TreeDump
 	// TransactionGraph is the stitched end-to-end profile.
 	TransactionGraph = stitch.Graph
 )
