@@ -47,6 +47,13 @@ type App struct {
 	flow         *flowState
 	cyclesPerSec int64
 
+	// Windowed (continuous-profiling) runs: profiles are retired into
+	// per-window Reports every `window` of virtual time (WithWindow).
+	window   Duration
+	onWindow func(*Report)
+	winSeq   int64
+	winStart vclock.Time
+
 	ran bool
 }
 
@@ -159,9 +166,116 @@ func (a *App) run(stop func() bool) *Report {
 		panic(fmt.Sprintf("whodunit: app %q already run", a.Name))
 	}
 	a.ran = true
+	if a.window > 0 {
+		if stop == nil {
+			panic(fmt.Sprintf("whodunit: app %q has WithWindow but no stop condition; use RunUntil, RunFor or a Server", a.Name))
+		}
+		a.winStart = a.sim.Now()
+		a.sim.Every(a.window, func() { a.retireWindow(a.sim.Now()) })
+	}
 	a.sim.RunUntil(stop)
+	if a.window > 0 {
+		// Retire whatever accumulated since the last tick as a final
+		// (possibly partial) window, so shutdown loses no samples.
+		a.retireWindow(a.sim.Now())
+	}
 	a.sim.Shutdown()
 	return a.Report()
+}
+
+// Window returns the app's aggregation-window length (0 when the app is
+// not windowed).
+func (a *App) Window() Duration { return a.window }
+
+// OnWindow registers the window-retirement callback of a windowed app
+// (WithWindow): fn receives each per-window Report, in sequence order,
+// from the goroutine driving the simulation. Must be set before Run.
+func (a *App) OnWindow(fn func(*Report)) {
+	if a.ran {
+		panic("whodunit: OnWindow after run started")
+	}
+	a.onWindow = fn
+}
+
+// retireWindow closes the aggregation window ending at end: every
+// stage's profiler retires its tree set (an O(1) swap — see
+// profiler.Retire), the retired snapshots are assembled into a
+// per-window Report, and the OnWindow callback receives it. Runs in
+// scheduler context at window ticks and once more after RunUntil
+// returns, for the final partial window.
+//
+// Window reports deliberately omit the crosstalk matrix and flow list:
+// those accumulate over the whole run, and copying cumulative totals
+// into every window would make behaviorally identical adjacent windows
+// diff non-empty.
+func (a *App) retireWindow(end vclock.Time) {
+	if end <= a.winStart {
+		return // empty window (e.g. final retire landing on a tick)
+	}
+	meta := &WindowMeta{Seq: a.winSeq, Start: Duration(a.winStart), End: Duration(end)}
+	srs := make([]StageReport, 0, len(a.stages))
+	for _, st := range a.stages {
+		snap := st.prof.Retire()
+		srs = append(srs, NewStageReportFrom(snap, st.endpoints...))
+	}
+	rep := NewReport(a.Name, srs...)
+	rep.Elapsed = Duration(end.Sub(a.winStart))
+	rep.Window = meta
+	a.winSeq, a.winStart = a.winSeq+1, end
+	if a.onWindow != nil {
+		a.onWindow(rep)
+	}
+}
+
+// LiveWindowReport builds a Report of the in-progress window without
+// retiring it: the same shape retireWindow will eventually produce for
+// this window, computed from detached profiler snapshots
+// (profiler.Snapshot), so the returned report shares nothing mutable
+// with the live run. Must be called synchronously with the simulation
+// (scheduler context or between events); the result is then
+// free-threaded. This is the snapshot-while-running path behind the
+// serving API's live /report.
+func (a *App) LiveWindowReport() *Report {
+	now := a.sim.Now()
+	srs := make([]StageReport, 0, len(a.stages))
+	for _, st := range a.stages {
+		srs = append(srs, NewStageReportFrom(st.prof.Snapshot(), st.endpoints...))
+	}
+	rep := NewReport(a.Name, srs...)
+	rep.Elapsed = Duration(now.Sub(a.winStart))
+	rep.Window = &WindowMeta{Seq: a.winSeq, Start: Duration(a.winStart), End: Duration(now)}
+	return rep
+}
+
+// Arrivals installs an open-loop arrival process: arrive(i) is invoked
+// in scheduler context at exponentially distributed virtual-time
+// intervals with the given mean, i counting arrivals from 0. The
+// process draws from its own RNG stream (derived from the app seed and
+// name), so adding an arrival process never perturbs other seeded
+// draws. It reschedules itself forever — open-loop apps must be run
+// with a stop condition (RunFor, RunUntil or a Server).
+//
+// arrive runs in scheduler context and must not block; typically it
+// puts work on a Queue for stage threads to consume.
+func (a *App) Arrivals(name string, mean Duration, arrive func(i int64)) {
+	if mean <= 0 {
+		panic("whodunit: Arrivals needs a positive mean interarrival time")
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	rng := vclock.NewRNG(a.seed ^ h)
+	var n int64
+	var next func()
+	next = func() {
+		i := n
+		n++
+		arrive(i)
+		a.sim.After(rng.Exp(mean), next)
+	}
+	a.sim.After(rng.Exp(mean), next)
 }
 
 // RunApps runs independent apps concurrently across GOMAXPROCS workers

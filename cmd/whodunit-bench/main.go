@@ -53,6 +53,14 @@ func main() {
 	mode := cmdutil.ModeFlag()
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "whodunit-bench: unexpected arguments %q (configuration is flag-only)\n", flag.Args())
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "whodunit-bench: -workers must be >= 0 (got %d)\n", *workers)
+		os.Exit(2)
+	}
 	if *only != "" {
 		known := false
 		for _, n := range experimentNames {
@@ -65,6 +73,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "whodunit-bench: unknown experiment %q (want %s)\n",
 				*only, strings.Join(experimentNames, "|"))
 			os.Exit(2)
+		}
+		// -mode only affects the case-study figures; an explicit -mode
+		// combined with -only for any other experiment is a conflict (the
+		// mode would silently do nothing), the same contract
+		// whodunit-stitch enforces for its flag combinations.
+		modeDependent := map[string]bool{"fig8": true, "fig9": true, "fig10": true}
+		if !modeDependent[*only] {
+			modeSet := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "mode" {
+					modeSet = true
+				}
+			})
+			if modeSet {
+				fmt.Fprintf(os.Stderr, "whodunit-bench: -mode has no effect on experiment %q (only fig8, fig9 and fig10 honor it)\n", *only)
+				os.Exit(2)
+			}
 		}
 	}
 

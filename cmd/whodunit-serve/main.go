@@ -1,0 +1,167 @@
+// Command whodunit-serve runs a serving scenario as a continuous
+// profiling service: an open-loop app on the virtual clock, profiles
+// aggregated into fixed virtual-time windows, adjacent windows
+// auto-diffed against an alert threshold, all exposed over HTTP.
+//
+//	whodunit-serve -scenario serve-web                    # serve on 127.0.0.1:7077
+//	curl localhost:7077/report?format=text                # latest retired window
+//	curl localhost:7077/report?window=live                # the in-progress window
+//	curl localhost:7077/windows                           # retained-window index
+//	curl -N localhost:7077/stream                         # SSE feed of retiring windows
+//	curl "localhost:7077/diff?a=3&b=4&format=text"        # diff two retained windows
+//	whodunit-serve -scenario serve-shift -addr "" -windows 6   # headless bounded run
+//
+// Each retired window prints one line to stdout; windows whose
+// adjacent diff exceeds the threshold print an ALERT line. The run
+// stops after -windows windows (0 = run until SIGINT/SIGTERM); on a
+// signal the simulation drains gracefully, retiring the in-progress
+// window before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"whodunit"
+	"whodunit/internal/cmdutil"
+	"whodunit/internal/scenarios"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "whodunit-serve: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	scenario := flag.String("scenario", "serve-web", "serving scenario to run (see -list)")
+	list := flag.Bool("list", false, "list serving scenarios and exit")
+	addr := flag.String("addr", "127.0.0.1:7077", "HTTP listen address (empty = headless, no HTTP)")
+	windowFlag := flag.Duration("window", 0, "aggregation window in virtual time (default: the scenario's recommended window)")
+	retain := flag.Int("retain", 16, "retired windows kept queryable")
+	threshold := flag.Int64("threshold", -2, "adjacent-window alert threshold in sample units; -1 disables (default: the scenario's recommended threshold)")
+	maxWindows := flag.Int("windows", 0, "stop after this many retired windows (0 = run until signal)")
+	pace := flag.Float64("pace", 1.0, "virtual seconds simulated per wall second (0 = free-run)")
+	seed := flag.Uint64("seed", 0, "workload seed override (default: the scenario's seed)")
+	mode := cmdutil.ModeFlag()
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenarios.ServeAll() {
+			fmt.Printf("%-14s window %s, threshold %d — %s\n",
+				s.Name, time.Duration(s.Window), s.Threshold, s.About)
+		}
+		return
+	}
+	if flag.NArg() > 0 {
+		fail("unexpected arguments %q (configuration is flag-only)", flag.Args())
+	}
+	s, ok := scenarios.ServeByName(*scenario)
+	if !ok {
+		fail("unknown scenario %q (known: %s)", *scenario, strings.Join(scenarios.ServeNames(), ", "))
+	}
+	if *retain < 1 {
+		fail("-retain must be at least 1 (got %d)", *retain)
+	}
+	if *maxWindows < 0 {
+		fail("-windows must be >= 0 (got %d)", *maxWindows)
+	}
+	if *pace < 0 {
+		fail("-pace must be >= 0 (got %v)", *pace)
+	}
+	if *windowFlag < 0 {
+		fail("-window must be positive (got %v)", *windowFlag)
+	}
+	if *threshold < -2 {
+		fail("-threshold must be >= -1 (got %d); -1 disables alerting", *threshold)
+	}
+	if *addr == "" && *maxWindows == 0 {
+		fail("headless (-addr \"\") with -windows 0 would run forever with no way to observe it; set -windows or an -addr")
+	}
+
+	p := s.Defaults
+	p.Mode = *mode
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	window := s.Window
+	if *windowFlag > 0 {
+		window = whodunit.Duration(*windowFlag)
+	}
+	thr := s.Threshold
+	if *threshold >= -1 {
+		thr = *threshold
+	}
+
+	app := s.MakeApp(p)
+	srv := whodunit.NewServer(app, whodunit.ServeConfig{
+		Window:     window,
+		Retain:     *retain,
+		Threshold:  thr,
+		MaxWindows: *maxWindows,
+		Pace:       *pace,
+	})
+
+	// Narrate retirements on stdout (the headless CI path greps these).
+	// The subscription closes when the run finishes, so waiting on
+	// printerDone after Run guarantees every window line is emitted —
+	// including the final partial window of a graceful drain.
+	events, cancelEvents := srv.Ring().Subscribe(64)
+	printerDone := make(chan struct{})
+	go func() {
+		defer close(printerDone)
+		for kv := range events {
+			rep := kv.V.Report
+			fmt.Printf("window %d [%.3fs, %.3fs): %d samples",
+				rep.Window.Seq, rep.Window.Start.Seconds(), rep.Window.End.Seconds(), rep.TotalSamples())
+			if kv.V.Diff != nil {
+				fmt.Printf(", max delta %d vs window %d", kv.V.MaxDelta, rep.Window.Seq-1)
+			}
+			fmt.Println()
+			if kv.V.Alert {
+				fmt.Printf("ALERT window %d: adjacent diff max delta %d exceeds threshold %d\n",
+					rep.Window.Seq, kv.V.MaxDelta, thr)
+			}
+		}
+	}()
+	defer cancelEvents()
+
+	var httpSrv *http.Server
+	if *addr != "" {
+		httpSrv = &http.Server{Addr: *addr, Handler: srv.Handler()}
+		go func() {
+			fmt.Printf("serving %s on http://%s (window %s, threshold %d, pace %gx)\n",
+				s.Name, *addr, time.Duration(window), thr, *pace)
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fail("%v", err)
+			}
+		}()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-sigCh:
+			fmt.Printf("received %s, draining: retiring the in-progress window\n", sig)
+			srv.Stop()
+		case <-srv.Done():
+		}
+	}()
+
+	srv.Run()
+	<-printerDone
+	fmt.Printf("run finished: %d windows retired, %d alerts\n", srv.Ring().Total(), srv.AlertsTotal())
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}
+}

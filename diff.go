@@ -107,10 +107,17 @@ type EdgeDelta struct {
 // same application. It holds only differences: an empty diff (Empty)
 // means the runs were behaviorally identical at the report level.
 type ReportDiff struct {
-	AppA      string           `json:"app_a"`
-	AppB      string           `json:"app_b"`
-	ElapsedA  Duration         `json:"elapsed_a_ns"`
-	ElapsedB  Duration         `json:"elapsed_b_ns"`
+	AppA     string   `json:"app_a"`
+	AppB     string   `json:"app_b"`
+	ElapsedA Duration `json:"elapsed_a_ns"`
+	ElapsedB Duration `json:"elapsed_b_ns"`
+	// WindowA/WindowB carry the compared reports' window metadata when
+	// diffing windowed reports (continuous profiling). They are pure
+	// provenance: Empty and MaxDelta ignore them, so two behaviorally
+	// identical adjacent windows diff empty despite distinct sequence
+	// numbers and spans.
+	WindowA   *WindowMeta      `json:"window_a,omitempty"`
+	WindowB   *WindowMeta      `json:"window_b,omitempty"`
 	Stages    []StageDiff      `json:"stages,omitempty"`
 	Crosstalk []CrosstalkDelta `json:"crosstalk,omitempty"`
 	Flows     []FlowDelta      `json:"flows,omitempty"`
@@ -119,7 +126,8 @@ type ReportDiff struct {
 
 // Diff structurally compares two reports. See ReportDiff.
 func Diff(a, b *Report) *ReportDiff {
-	d := &ReportDiff{AppA: a.App, AppB: b.App, ElapsedA: a.Elapsed, ElapsedB: b.Elapsed}
+	d := &ReportDiff{AppA: a.App, AppB: b.App, ElapsedA: a.Elapsed, ElapsedB: b.Elapsed,
+		WindowA: a.Window, WindowB: b.Window}
 	ft := cct.NewFrameTable()
 	d.Stages = diffStages(ft, a.Stages, b.Stages)
 	d.Crosstalk = diffCrosstalk(a.Crosstalk, b.Crosstalk)
@@ -215,7 +223,8 @@ func (d *ReportDiff) Mirrored() *ReportDiff {
 		}
 		return side
 	}
-	m := &ReportDiff{AppA: d.AppB, AppB: d.AppA, ElapsedA: d.ElapsedB, ElapsedB: d.ElapsedA}
+	m := &ReportDiff{AppA: d.AppB, AppB: d.AppA, ElapsedA: d.ElapsedB, ElapsedB: d.ElapsedA,
+		WindowA: d.WindowB, WindowB: d.WindowA}
 	for _, sd := range d.Stages {
 		ms := StageDiff{
 			Stage: sd.Stage, OnlyIn: flip(sd.OnlyIn),
@@ -570,6 +579,15 @@ func delta(a, b int64) string {
 // stitched-graph deltas. An empty diff prints a single line saying so.
 func (d *ReportDiff) Text(w io.Writer) {
 	fmt.Fprintf(w, "=== whodunit diff: %s (A) vs %s (B) ===\n", d.AppA, d.AppB)
+	if d.WindowA != nil || d.WindowB != nil {
+		wfmt := func(m *WindowMeta) string {
+			if m == nil {
+				return "(whole run)"
+			}
+			return fmt.Sprintf("window %d [%.6fs, %.6fs)", m.Seq, m.Start.Seconds(), m.End.Seconds())
+		}
+		fmt.Fprintf(w, "%s vs %s\n", wfmt(d.WindowA), wfmt(d.WindowB))
+	}
 	if d.Empty() {
 		fmt.Fprintln(w, "reports are identical")
 		return

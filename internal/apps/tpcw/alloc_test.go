@@ -1,0 +1,51 @@
+package tpcw
+
+import (
+	"testing"
+
+	"whodunit"
+	"whodunit/internal/workload"
+)
+
+// TestSteadyStateRequestAllocations pins the steady-state allocation
+// cost of the three-tier request path. One envelope per client reused
+// around the whole round trip, interned synopsis chains, precomputed
+// servlet frame names and ID-interned CCT paths leave only amortized
+// slice growth (simulator event heap, queue buffers) on the hot path —
+// measured ~0.003 allocs/request. A regression that reintroduces a
+// per-hop envelope, chain or frame-name allocation costs 1+ allocs per
+// request and trips the bound by an order of magnitude.
+func TestSteadyStateRequestAllocations(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Duration = 30 * whodunit.Minute // out-lasts warmup + measurement
+	cfg.ThinkMean = 50 * whodunit.Millisecond
+	// Read-only mix: row inserts (BuyConfirm) legitimately allocate.
+	cfg.Mix = map[string]float64{
+		workload.Home:          0.4,
+		workload.ProductDetail: 0.3,
+		workload.SearchRequest: 0.2,
+		workload.ShoppingCart:  0.1,
+	}
+	sys := build(cfg)
+	sim := sys.app.Sim()
+	runFor := func(d whodunit.Duration) {
+		end := sim.Now().Add(d)
+		sim.RunUntil(func() bool { return sim.Now() >= end })
+	}
+	// Warm up: intern every chain and frame, grow trees, queues and the
+	// event heap to steady-state capacity.
+	runFor(20 * whodunit.Second)
+
+	before := sys.res.Completed
+	const rounds = 5
+	avgPerRound := testing.AllocsPerRun(rounds, func() { runFor(2 * whodunit.Second) })
+	requests := sys.res.Completed - before // across all rounds+1 calls
+	if requests < 100 {
+		t.Fatalf("only %d requests completed during measurement; workload misconfigured", requests)
+	}
+	perRequest := avgPerRound * float64(rounds+1) / float64(requests)
+	t.Logf("%.3f allocs/request over %d requests (%.1f allocs/round)", perRequest, requests, avgPerRound)
+	if perRequest >= 0.1 {
+		t.Errorf("steady-state request path allocates %.3f allocs/request, want < 0.1", perRequest)
+	}
+}

@@ -131,11 +131,21 @@ func (t *TypeStats) Mean() whodunit.Duration {
 	return t.TotalResp / whodunit.Duration(t.Count)
 }
 
-// request is the in-sim message envelope between tiers.
+// request is the in-sim message envelope between tiers. Exactly one
+// envelope exists per client, allocated once and reused around the whole
+// client → squid → tomcat → mysql → back round trip: each tier saves the
+// upstream reply queue in a local, rewrites the envelope's fields for the
+// next hop, and forwards the same pointer. Because every tier holds the
+// envelope exclusively between its Get and its Put, the reuse is
+// race-free by construction, and the steady-state request path allocates
+// no envelopes at all (PR 4's remaining per-request allocation). The
+// payloads are typed fields rather than an `any` slot for the same
+// reason: interface boxing of webReq/dbQuery allocated per hop.
 type request struct {
-	msg     whodunit.Msg
-	payload any
-	replyQ  *whodunit.Queue
+	msg    whodunit.Msg
+	web    webReq  // client -> tomcat payload
+	q      dbQuery // tomcat -> mysql payload
+	replyQ *whodunit.Queue
 }
 
 // dbQuery is the Tomcat->MySQL payload.
@@ -154,6 +164,21 @@ type webReq struct {
 
 // Run executes the configured TPC-W system and collects the results.
 func Run(cfg Config) *Result {
+	return build(cfg).finish()
+}
+
+// system is the built-but-not-yet-run TPC-W model: every stage thread
+// declared, tables loaded, clients installed. Run = build + finish; the
+// allocation regression test drives the simulator in chunks between the
+// two to measure the steady-state request path.
+type system struct {
+	app       *whodunit.App
+	res       *Result
+	end       whodunit.Time
+	chainName map[chainKey]string
+}
+
+func build(cfg Config) *system {
 	if cfg.Clients <= 0 {
 		panic("tpcw: need at least one client")
 	}
@@ -241,20 +266,21 @@ func Run(cfg Config) *Result {
 		res.AppBytes += appBytes
 	}
 
-	// MySQL tier: workers execute queries.
+	// MySQL tier: workers execute queries. The reply reuses the incoming
+	// envelope: its replyQ already names the issuing Tomcat worker.
 	for w := 0; w < cfg.DBWorkers; w++ {
 		mysqlSt.Go(fmt.Sprintf("mysqld-%d", w), func(th *whodunit.Thread, pr *whodunit.Probe) {
 			for {
 				req := mysqlQ.Get(th).(*request)
 				mysqlEP.Recv(pr, req.msg)
-				q := req.payload.(dbQuery)
+				q := req.q
 				func() {
 					defer pr.Exit(pr.Enter("dispatch_query"))
 					execQuery(db, pr, q, item, orderLine, customer, orders, author)
 				}()
-				reply := mysqlEP.Send(pr, "ok")
-				countMsg(reply, 256)
-				req.replyQ.Put(&request{msg: reply, payload: "ok"})
+				req.msg = mysqlEP.Send(pr, nil)
+				countMsg(req.msg, 256)
+				req.replyQ.Put(req)
 			}
 		})
 	}
@@ -264,6 +290,13 @@ func Run(cfg Config) *Result {
 	bestSellersCache := make(map[int64]cacheEntry)
 	searchCache := make(map[int64]cacheEntry)
 
+	// Servlet frame names, precomputed: "servlet_" + interaction concat
+	// on the request path was a per-request allocation.
+	servletFrame := make(map[string]string, len(workload.Interactions))
+	for _, name := range workload.Interactions {
+		servletFrame[name] = "servlet_" + name
+	}
+
 	// Tomcat tier: servlets.
 	for w := 0; w < cfg.TomcatWorkers; w++ {
 		tomcatSt.Go(fmt.Sprintf("tomcat-%d", w), func(th *whodunit.Thread, pr *whodunit.Probe) {
@@ -271,9 +304,10 @@ func Run(cfg Config) *Result {
 			for {
 				req := tomcatQ.Get(th).(*request)
 				tomcatEP.Recv(pr, req.msg)
-				wr := req.payload.(webReq)
+				wr := req.web
+				upstream := req.replyQ
 				func() {
-					defer pr.Exit(pr.Enter("servlet_" + wr.interaction))
+					defer pr.Exit(pr.Enter(servletFrame[wr.interaction]))
 					pr.ComputeN(2*whodunit.Millisecond, 400) // servlet + page generation
 
 					needDB := true
@@ -292,12 +326,12 @@ func Run(cfg Config) *Result {
 					if needDB {
 						func() {
 							defer pr.Exit(pr.Enter("db_rpc"))
-							msg := tomcatEP.Send(pr, nil)
-							chainName[chainKeyOf(msg.Chain)] = wr.interaction
-							countMsg(msg, 512)
-							mysqlQ.Put(&request{msg: msg, payload: dbQuery{
-								interaction: wr.interaction, subject: wr.subject, itemID: wr.itemID,
-							}, replyQ: replyQ})
+							req.msg = tomcatEP.Send(pr, nil)
+							chainName[chainKeyOf(req.msg.Chain)] = wr.interaction
+							countMsg(req.msg, 512)
+							req.q = dbQuery{interaction: wr.interaction, subject: wr.subject, itemID: wr.itemID}
+							req.replyQ = replyQ
+							mysqlQ.Put(req)
 							resp := replyQ.Get(th).(*request)
 							tomcatEP.Recv(pr, resp.msg)
 						}()
@@ -312,9 +346,10 @@ func Run(cfg Config) *Result {
 					}
 					pr.ComputeN(whodunit.Millisecond, 200) // response rendering
 				}()
-				reply := tomcatEP.Send(pr, nil)
-				countMsg(reply, 8192)
-				req.replyQ.Put(&request{msg: reply})
+				req.msg = tomcatEP.Send(pr, nil)
+				countMsg(req.msg, 8192)
+				req.replyQ = nil
+				upstream.Put(req)
 			}
 		})
 	}
@@ -326,19 +361,22 @@ func Run(cfg Config) *Result {
 			for {
 				req := squidQ.Get(th).(*request)
 				squidEP.Recv(pr, req.msg)
+				upstream := req.replyQ
 				func() {
 					defer pr.Exit(pr.Enter("forward_dynamic"))
 					pr.Compute(300 * whodunit.Microsecond)
-					msg := squidEP.Send(pr, nil)
-					countMsg(msg, 512)
-					tomcatQ.Put(&request{msg: msg, payload: req.payload, replyQ: replyQ})
+					req.msg = squidEP.Send(pr, nil)
+					countMsg(req.msg, 512)
+					req.replyQ = replyQ
+					tomcatQ.Put(req)
 					resp := replyQ.Get(th).(*request)
 					squidEP.Recv(pr, resp.msg)
 					pr.Compute(200 * whodunit.Microsecond)
 				}()
-				reply := squidEP.Send(pr, nil)
-				countMsg(reply, 8192)
-				req.replyQ.Put(&request{msg: reply})
+				req.msg = squidEP.Send(pr, nil)
+				countMsg(req.msg, 8192)
+				req.replyQ = nil
+				upstream.Put(req)
 			}
 		})
 	}
@@ -349,20 +387,27 @@ func Run(cfg Config) *Result {
 	end := whodunit.Time(cfg.Duration)
 	for c := 0; c < cfg.Clients; c++ {
 		mix := workload.NewMixSampler(cfg.Seed+uint64(c)*7919, mixWeights)
+		mix.SetThinkMean(think)
 		crng := vclock.NewRNG(cfg.Seed + uint64(c)*104729)
 		s.Go(fmt.Sprintf("client-%d", c), func(th *whodunit.Thread) {
 			replyQ := app.NewQueue(th.Name + "-reply")
+			// The client's one envelope, reused for every request (see
+			// request). It comes back on replyQ at the end of each round
+			// trip, so reusing it here never races with a tier.
+			env := &request{}
 			// Desynchronised start.
 			th.Sleep(whodunit.Duration(crng.Intn(int(think))))
 			for th.Now() < end {
 				name := mix.Next()
-				wr := webReq{
+				env.msg = whodunit.Msg{}
+				env.web = webReq{
 					interaction: name,
 					subject:     int64(crng.Intn(24)),
 					itemID:      int64(crng.Intn(10000)),
 				}
+				env.replyQ = replyQ
 				start := th.Now()
-				squidQ.Put(&request{msg: whodunit.Msg{}, payload: wr, replyQ: replyQ})
+				squidQ.Put(env)
 				replyQ.Get(th)
 				if th.Now() >= end {
 					break
@@ -376,7 +421,15 @@ func Run(cfg Config) *Result {
 		})
 	}
 
-	rep := app.RunUntil(func() bool { return s.Now() >= end })
+	return &system{app: app, res: res, end: end, chainName: chainName}
+}
+
+// finish drives the built system to its configured end, shuts it down
+// and computes the result metrics.
+func (sys *system) finish() *Result {
+	res, chainName := sys.res, sys.chainName
+	s := sys.app.Sim()
+	rep := sys.app.RunUntil(func() bool { return s.Now() >= sys.end })
 	res.Report = rep
 	res.Elapsed = rep.Elapsed
 

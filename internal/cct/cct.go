@@ -249,6 +249,26 @@ func (t *Tree) Merge(src *Tree) {
 	t.total += src.total
 }
 
+// CloneShared returns a deep copy of t whose frames are interned in ft —
+// the detach step of a profiler snapshot. The copy shares nothing mutable
+// with t (frame-name strings are immutable), so it can be read from any
+// goroutine while further samples accumulate into t. Children are copied
+// in name order, so the clone's frame table interns names in a
+// deterministic order.
+func (t *Tree) CloneShared(ft *FrameTable) *Tree {
+	out := NewShared(t.Label, ft)
+	var rec func(dst, src *Node)
+	rec = func(dst, src *Node) {
+		dst.Self, dst.Calls = src.Self, src.Calls
+		for _, c := range src.Children() {
+			rec(dst.child(ft.ID(c.Frame)), c)
+		}
+	}
+	rec(out.Root, t.Root)
+	out.total = t.total
+	return out
+}
+
 // Walk visits every node in deterministic (preorder, name-sorted) order.
 // depth is 0 for the root's immediate children.
 func (t *Tree) Walk(fn func(n *Node, depth int)) {

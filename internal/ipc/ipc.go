@@ -97,25 +97,29 @@ func (e *Endpoint) lookupSent(ch tranctx.Chain) (profiler.TxnCtxt, bool) {
 // Send builds a message carrying data, stamped with the probe's
 // transaction context at the send point. The send wrapper of §7.4:
 // compute the synopsis, associate the current CCT with it, piggy-back it.
+//
+// The chain dictionary doubles as an intern table: on a steady-state hit
+// the stored chain is returned and Send allocates nothing — the chain is
+// only materialised the first time a distinct (prefix, synopsis) pair is
+// sent. Chains are immutable by convention throughout the repo (they are
+// shared across messages, dictionary entries and stitch records), so
+// handing out the stored slice is safe.
 func (e *Endpoint) Send(pr *profiler.Probe, data any) Msg {
 	at := pr.CallCtxt()
-	chain := make(tranctx.Chain, 0, len(at.Prefix)+1)
-	chain = append(chain, at.Prefix...)
-	chain = append(chain, at.Local.Synopsis())
-	h := chain.Hash()
+	last := at.Local.Synopsis()
+	h := at.Prefix.HashWith(last)
 	bucket := e.sent[h]
-	found := false
 	for i := range bucket {
-		if bucket[i].chain.Equal(chain) {
+		if bucket[i].chain.EqualWith(at.Prefix, last) {
 			bucket[i].ctxt = pr.Txn() // latest send of a chain wins
-			found = true
-			break
+			return Msg{Chain: bucket[i].chain, Data: data}
 		}
 	}
-	if !found {
-		e.sent[h] = append(bucket, sentEntry{chain: chain, ctxt: pr.Txn()})
-		e.sends = append(e.sends, SendRecord{Chain: chain.String(), FromKey: pr.Txn().Key(), FromName: pr.Txn().Label()})
-	}
+	chain := make(tranctx.Chain, 0, len(at.Prefix)+1)
+	chain = append(chain, at.Prefix...)
+	chain = append(chain, last)
+	e.sent[h] = append(bucket, sentEntry{chain: chain, ctxt: pr.Txn()})
+	e.sends = append(e.sends, SendRecord{Chain: chain.String(), FromKey: pr.Txn().Key(), FromName: pr.Txn().Label()})
 	return Msg{Chain: chain, Data: data}
 }
 
@@ -131,9 +135,9 @@ func (e *Endpoint) Recv(pr *profiler.Probe, msg Msg) Kind {
 			return Response
 		}
 	}
-	prefix := make(tranctx.Chain, len(msg.Chain))
-	copy(prefix, msg.Chain)
-	pr.SetTxn(profiler.TxnCtxt{Prefix: prefix, Local: pr.Profiler().Table.Root()})
+	// Adopt the sender's chain as prefix directly: chains are immutable
+	// by convention, so no defensive copy is taken on this hot path.
+	pr.SetTxn(profiler.TxnCtxt{Prefix: msg.Chain, Local: pr.Profiler().Table.Root()})
 	return Request
 }
 

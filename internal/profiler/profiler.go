@@ -168,6 +168,7 @@ type Profiler struct {
 	slots        []treeSlot       // creation order, deterministic
 	index        map[ctxtID][]int // ctxtID -> slot indexes (hash bucket)
 	byLabel      map[string]int   // rendered label -> first slot index
+	probes       []*Probe         // every probe issued; Retire invalidates their caches
 	samples      int64
 	calls        int64
 	ctxtSwitches int64
@@ -308,6 +309,168 @@ func (p *Profiler) Shares() []ContextShare {
 	return out
 }
 
+// Snapshot is a read-only view of a profiler's accumulated state: the
+// per-context CCT dictionary plus the sampling counters, detached from
+// the live sampling path. Snapshots come from two constructors with
+// different cost/safety trade-offs:
+//
+//   - Profiler.Retire transfers ownership of the active tree set in O(1)
+//     (copy-on-retire): the snapshot's trees still share the profiler's
+//     frame table, so they must be read from the goroutine driving the
+//     simulation (scheduler callbacks, stop predicates, post-run code).
+//     This is the window-retirement path of the continuous profiling
+//     service.
+//   - Profiler.Snapshot deep-copies every tree into a snapshot-private
+//     frame table: the result shares nothing mutable with the live
+//     profiler and can be read from any goroutine while the simulation
+//     advances (the snapshot-while-running path behind live /report).
+//
+// A Snapshot mirrors the Profiler's presentation API (Entries, Trees,
+// TreeByLabel, TotalSamples, Stats, Merged, Shares) so report builders
+// accept either.
+type Snapshot struct {
+	Stage string
+	Mode  Mode
+
+	slots        []treeSlot
+	byLabel      map[string]int
+	samples      int64
+	calls        int64
+	ctxtSwitches int64
+	overheadAcc  vclock.Duration
+}
+
+// Retire ends the current aggregation window: it returns a Snapshot
+// owning every tree accumulated since the previous Retire (or the start
+// of the run) and resets the profiler to an empty dictionary. The
+// retirement itself is O(1) — the active tree set is swapped out, not
+// copied. Counters (samples, calls, context switches, overhead) move to
+// the snapshot and restart from zero; probes' sampling phases, call
+// stacks and transaction contexts carry over, so the concatenation of
+// retired windows is sample-for-sample the profile an unwindowed run
+// would have taken.
+//
+// See Snapshot for the concurrency contract of the returned view.
+func (p *Profiler) Retire() *Snapshot {
+	s := &Snapshot{
+		Stage:        p.Stage,
+		Mode:         p.Mode,
+		slots:        p.slots,
+		byLabel:      p.byLabel,
+		samples:      p.samples,
+		calls:        p.calls,
+		ctxtSwitches: p.ctxtSwitches,
+		overheadAcc:  p.overheadAcc,
+	}
+	p.slots = nil
+	p.index = make(map[ctxtID][]int)
+	p.byLabel = make(map[string]int)
+	p.samples, p.calls, p.ctxtSwitches, p.overheadAcc = 0, 0, 0, 0
+	// Every probe's cached tree pointer now names a retired tree; the
+	// next sample must re-resolve against the fresh dictionary.
+	for _, pr := range p.probes {
+		pr.cur = nil
+	}
+	return s
+}
+
+// Snapshot returns a detached deep copy of the profiler's current state:
+// every tree is cloned into a snapshot-private frame table, so the result
+// can be read from any goroutine while probes keep mutating the live
+// profiler. The copy itself must be taken synchronously with the
+// simulation (from the run goroutine, a scheduler callback, or a stop
+// predicate); only the returned snapshot is free-threaded.
+func (p *Profiler) Snapshot() *Snapshot {
+	ft := cct.NewFrameTable()
+	slots := make([]treeSlot, len(p.slots))
+	for i, sl := range p.slots {
+		slots[i] = treeSlot{ctxt: sl.ctxt, tree: sl.tree.CloneShared(ft)}
+	}
+	byLabel := make(map[string]int, len(p.byLabel))
+	for k, v := range p.byLabel {
+		byLabel[k] = v
+	}
+	return &Snapshot{
+		Stage:        p.Stage,
+		Mode:         p.Mode,
+		slots:        slots,
+		byLabel:      byLabel,
+		samples:      p.samples,
+		calls:        p.calls,
+		ctxtSwitches: p.ctxtSwitches,
+		overheadAcc:  p.overheadAcc,
+	}
+}
+
+// Entries returns every (context, CCT) pair in creation order, rendering
+// the serializable Key strings at call time.
+func (s *Snapshot) Entries() []TreeEntry {
+	out := make([]TreeEntry, 0, len(s.slots))
+	for _, sl := range s.slots {
+		out = append(out, TreeEntry{Key: sl.ctxt.Key(), Ctxt: sl.ctxt, Tree: sl.tree})
+	}
+	return out
+}
+
+// Trees returns every CCT in creation order.
+func (s *Snapshot) Trees() []*cct.Tree {
+	out := make([]*cct.Tree, 0, len(s.slots))
+	for _, sl := range s.slots {
+		out = append(out, sl.tree)
+	}
+	return out
+}
+
+// TreeByLabel finds a CCT by its rendered context label, or nil, with
+// Profiler.TreeByLabel's first-created-wins semantics.
+func (s *Snapshot) TreeByLabel(label string) *cct.Tree {
+	if i, ok := s.byLabel[label]; ok {
+		return s.slots[i].tree
+	}
+	return nil
+}
+
+// TotalSamples reports all samples in the snapshot.
+func (s *Snapshot) TotalSamples() int64 { return s.samples }
+
+// Stats reports the snapshot's sample count, instrumented call count,
+// context switches and modelled profiling overhead.
+func (s *Snapshot) Stats() (samples, calls, ctxtSwitches int64, overhead vclock.Duration) {
+	return s.samples, s.calls, s.ctxtSwitches, s.overheadAcc
+}
+
+// Merged returns a single CCT merging every context. The merge matches
+// frames by name into a fresh private tree, so it is safe under the same
+// contract as the snapshot's other read paths.
+func (s *Snapshot) Merged() *cct.Tree {
+	m := cct.New("(all contexts)")
+	for _, sl := range s.slots {
+		m.Merge(sl.tree)
+	}
+	return m
+}
+
+// Shares computes per-context sample shares, sorted by descending share
+// then label.
+func (s *Snapshot) Shares() []ContextShare {
+	out := make([]ContextShare, 0, len(s.slots))
+	for _, sl := range s.slots {
+		t := sl.tree
+		sh := 0.0
+		if s.samples > 0 {
+			sh = float64(t.Total()) / float64(s.samples)
+		}
+		out = append(out, ContextShare{Label: t.Label, Samples: t.Total(), Share: sh})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
 // Probe is a per-thread instrumentation handle: it owns the thread's call
 // stack, current transaction context and sampling phase. All application
 // CPU consumption flows through Probe.Compute.
@@ -322,20 +485,30 @@ type Probe struct {
 	phase   vclock.Duration // CPU consumed since the last sample boundary
 	pending vclock.Duration // overhead to charge on the next Compute
 
-	// CallCtxt cache: sends from an unchanged (context, call stack) pair
-	// — the steady state of every server loop — reuse the interned
-	// extension instead of re-joining the call path. Extend interns, so
-	// the cached Ctxt is pointer-identical to what a recomputation would
-	// return.
-	ccBase  *tranctx.Ctxt // txn.Local the cache was computed from
-	ccStack []cct.FrameID // stack snapshot the cache was computed from
-	ccLocal *tranctx.Ctxt // cached Extend result
+	// CallCtxt cache: sends from an already-seen (context, call stack)
+	// pair — the steady state of every server loop, even one that
+	// round-robins across handler frames — reuse the interned extension
+	// instead of re-joining the call path. Extend interns, so a cached
+	// Ctxt is pointer-identical to what a recomputation would return.
+	// Contexts outlive window retirement (the tranctx Table is
+	// stage-lifetime), so the cache never needs invalidating.
+	ccTab map[uint64][]ccEntry
+}
+
+// ccEntry is one memoized CallCtxt extension: base context + interned
+// call stack -> extended context.
+type ccEntry struct {
+	base  *tranctx.Ctxt
+	stack []cct.FrameID
+	ext   *tranctx.Ctxt
 }
 
 // NewProbe creates a probe for thread th charging CPU demand to cpu. The
 // probe starts with the root transaction context and an empty call stack.
 func (p *Profiler) NewProbe(th *vclock.Thread, cpu *vclock.CPU) *Probe {
-	return &Probe{prof: p, th: th, cpu: cpu, txn: p.RootTxn()}
+	pr := &Probe{prof: p, th: th, cpu: cpu, txn: p.RootTxn()}
+	p.probes = append(p.probes, pr)
+	return pr
 }
 
 // Thread returns the probed thread.
@@ -408,12 +581,25 @@ func (pr *Probe) SetLocal(c *tranctx.Ctxt) {
 func (pr *Probe) CallCtxt() TxnCtxt {
 	local := pr.txn.Local
 	if len(pr.stack) > 0 {
-		if pr.ccLocal != nil && pr.ccBase == local && slices.Equal(pr.ccStack, pr.stack) {
-			local = pr.ccLocal
-		} else {
+		h := uint64(local.Synopsis())
+		for _, id := range pr.stack {
+			h = (h ^ uint64(id)) * 1099511628211 // FNV-1a step
+		}
+		bucket := pr.ccTab[h]
+		hit := false
+		for i := range bucket {
+			if bucket[i].base == local && slices.Equal(bucket[i].stack, pr.stack) {
+				local = bucket[i].ext
+				hit = true
+				break
+			}
+		}
+		if !hit {
 			ext := local.Extend(tranctx.CallHop(pr.prof.Stage, pr.Stack()...))
-			pr.ccBase, pr.ccLocal = local, ext
-			pr.ccStack = append(pr.ccStack[:0], pr.stack...)
+			if pr.ccTab == nil {
+				pr.ccTab = make(map[uint64][]ccEntry)
+			}
+			pr.ccTab[h] = append(bucket, ccEntry{base: local, stack: slices.Clone(pr.stack), ext: ext})
 			local = ext
 		}
 	}

@@ -1,0 +1,189 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"whodunit"
+	"whodunit/internal/vclock"
+)
+
+// Serving scenarios: open-loop, self-sustaining apps for the continuous
+// profiling service (whodunit.Server, cmd/whodunit-serve). Unlike the
+// batch corpus above, these apps never terminate on their own — an
+// arrival process keeps injecting work on the virtual clock — so they
+// live in their own registry: RunAll would hang on them, and the serving
+// harness (bounded window counts, Stop) is the only way to drive them.
+//
+// Determinism carries over unchanged: with a fixed seed the sequence of
+// retired-window Reports is bit-identical across runs, and the windowed
+// goldens in testdata pin it.
+
+// ServeScenario is one serving-corpus entry: an open-loop app plus the
+// recommended window length and adjacent-window alert threshold for
+// serving it.
+type ServeScenario struct {
+	Name     string
+	About    string
+	Defaults Params
+	// Window is the recommended aggregation-window length.
+	Window whodunit.Duration
+	// Threshold is the recommended adjacent-window alert threshold (in
+	// sample units, see ReportDiff.MaxDelta): comfortably above the
+	// scenario's steady-state window-to-window noise, comfortably below
+	// any real behavior shift it models.
+	Threshold int64
+
+	MakeApp func(p Params) *whodunit.App
+}
+
+// serveWebApp builds the open-loop two-tier web app: a Poisson arrival
+// process puts page requests on the request queue, web workers serve
+// them against a db stage, forever. searchShift, when positive, is the
+// virtual time at which the workload mix shifts from mostly-home to
+// mostly-search — the injected regression of the serve-shift scenario.
+func serveWebApp(name string, p Params, searchShift whodunit.Duration) *whodunit.App {
+	app := whodunit.NewApp(name,
+		whodunit.WithMode(p.Mode),
+		whodunit.WithCores(2),
+		whodunit.WithSeed(p.Seed))
+	web, db := app.Stage("web"), app.Stage("db")
+	reqQ, dbQ := app.NewQueue("requests"), app.NewQueue("db-requests")
+
+	// Page mix: mostly cheap home pages; after searchShift (if set) the
+	// mix inverts to mostly expensive searches. The draw comes from the
+	// arrival process's own RNG stream, so the request sequence is a pure
+	// function of (seed, virtual time).
+	pageRNG := vclock.NewRNG(p.Seed ^ 0x9e3779b97f4a7c15)
+	page := func() string {
+		searchProb := 0.2
+		if searchShift > 0 && app.Sim().Now() >= vclock.Time(searchShift) {
+			searchProb = 0.8
+		}
+		if pageRNG.Float64() < searchProb {
+			return "search"
+		}
+		return "home"
+	}
+	app.Arrivals("requests", 15*whodunit.Millisecond, func(i int64) {
+		reqQ.Put(page())
+	})
+
+	// dbReq routes the db's response back to the issuing web worker.
+	type dbReq struct {
+		page  string
+		respQ *whodunit.Queue
+	}
+	serveFrame := map[string]string{"home": "serve_home", "search": "serve_search"}
+
+	db.Go("db", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		for {
+			msg := dbQ.Get(th).(whodunit.Msg)
+			db.Endpoint().Recv(pr, msg)
+			req := msg.Data.(dbReq)
+			func() {
+				defer pr.Exit(pr.Enter("exec_query"))
+				if req.page == "search" {
+					defer pr.Exit(pr.Enter("sort_rows"))
+					pr.Compute(30 * whodunit.Millisecond)
+				} else {
+					pr.Compute(3 * whodunit.Millisecond)
+				}
+				req.respQ.Put(db.Endpoint().Send(pr, nil))
+			}()
+		}
+	})
+	const webWorkers = 4
+	for w := 0; w < webWorkers; w++ {
+		respQ := app.NewQueue(fmt.Sprintf("responses-%d", w))
+		web.Go(fmt.Sprintf("web-%d", w), func(th *whodunit.Thread, pr *whodunit.Probe) {
+			for {
+				pg := reqQ.Get(th).(string)
+				func() {
+					defer pr.Exit(pr.Enter(serveFrame[pg]))
+					pr.Compute(whodunit.Millisecond)
+					dbQ.Put(web.Endpoint().Send(pr, dbReq{page: pg, respQ: respQ}))
+					web.Endpoint().Recv(pr, respQ.Get(th).(whodunit.Msg))
+				}()
+			}
+		})
+	}
+	return app
+}
+
+// serveAll is the serving corpus, in golden-regeneration order.
+var serveAll = []ServeScenario{
+	{
+		Name:      "serve-web",
+		About:     "open-loop two-tier web app, steady 80/20 home/search mix",
+		Defaults:  Params{Seed: 11, Mode: whodunit.ModeWhodunit},
+		Window:    2 * whodunit.Second,
+		Threshold: 400,
+		MakeApp: func(p Params) *whodunit.App {
+			return serveWebApp("serve-web", p, 0)
+		},
+	},
+	{
+		Name:      "serve-shift",
+		About:     "serve-web with the mix inverting to 80% search at t=6s (injected regression)",
+		Defaults:  Params{Seed: 11, Mode: whodunit.ModeWhodunit},
+		Window:    2 * whodunit.Second,
+		Threshold: 400,
+		MakeApp: func(p Params) *whodunit.App {
+			return serveWebApp("serve-shift", p, 6*whodunit.Second)
+		},
+	},
+}
+
+// ServeAll returns the serving corpus in its stable order.
+func ServeAll() []ServeScenario {
+	out := make([]ServeScenario, len(serveAll))
+	copy(out, serveAll)
+	return out
+}
+
+// ServeNames returns every serving-scenario name, in corpus order.
+func ServeNames() []string {
+	out := make([]string, 0, len(serveAll))
+	for _, s := range serveAll {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// ServeByName looks a serving scenario up.
+func ServeByName(name string) (ServeScenario, bool) {
+	for _, s := range serveAll {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ServeScenario{}, false
+}
+
+// Windows runs the scenario at its defaults until n windows of the
+// scenario's recommended length have retired and returns them in
+// sequence order — the deterministic core the windowed goldens and the
+// serving tests share. The final partial window (retired when the stop
+// condition trips mid-window) is excluded.
+func (s ServeScenario) Windows(n int) []*whodunit.Report {
+	return s.WindowsWith(s.Defaults, n)
+}
+
+// WindowsWith is Windows with explicit parameters.
+func (s ServeScenario) WindowsWith(p Params, n int) []*whodunit.Report {
+	app := s.MakeApp(p)
+	srv := whodunit.NewServer(app, whodunit.ServeConfig{
+		Window:     s.Window,
+		Retain:     n + 1,
+		Threshold:  -1,
+		MaxWindows: n,
+	})
+	srv.Run()
+	var out []*whodunit.Report
+	for _, kv := range srv.Ring().Entries() {
+		if kv.V.Report.Elapsed == s.Window && len(out) < n {
+			out = append(out, kv.V.Report)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+// The serving-corpus regression harness: each serving scenario's first
+// few retired-window Reports are pinned bit-for-bit as a concatenated
+// JSON golden (regenerable with -update), the sequence is asserted
+// deterministic across runs, and the adjacent-window alert gate is
+// checked at the scenario's recommended threshold — steady pairs pass,
+// the serve-shift injected regression alerts.
+package scenarios_test
+
+import (
+	"bytes"
+	"testing"
+
+	"whodunit"
+	"whodunit/internal/scenarios"
+)
+
+const serveGoldenWindows = 5
+
+// renderWindows concatenates the windows' JSON forms — the bit-pinned
+// serving artifact.
+func renderWindows(t *testing.T, reps []*whodunit.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, rep := range reps {
+		if err := rep.JSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestServeWindowsGolden(t *testing.T) {
+	for _, s := range scenarios.ServeAll() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			reps := s.Windows(serveGoldenWindows)
+			if len(reps) != serveGoldenWindows {
+				t.Fatalf("got %d windows, want %d", len(reps), serveGoldenWindows)
+			}
+			for i, rep := range reps {
+				if rep.Window == nil || rep.Window.Seq != int64(i) {
+					t.Fatalf("window %d has metadata %+v", i, rep.Window)
+				}
+				if rep.Elapsed != s.Window {
+					t.Fatalf("window %d elapsed %v, want %v", i, rep.Elapsed, s.Window)
+				}
+				if rep.TotalSamples() == 0 {
+					t.Fatalf("window %d took no samples", i)
+				}
+			}
+			checkBytes(t, s.Name, "windows.json", renderWindows(t, reps))
+		})
+	}
+}
+
+// TestServeWindowsDeterministic runs each serving scenario twice and
+// asserts the retired-window sequences are byte-identical — the fixed
+// point the goldens rely on.
+func TestServeWindowsDeterministic(t *testing.T) {
+	for _, s := range scenarios.ServeAll() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			a := renderWindows(t, s.Windows(3))
+			b := renderWindows(t, s.Windows(3))
+			if !bytes.Equal(a, b) {
+				t.Fatalf("two runs of %s produced different window sequences (%d vs %d bytes)",
+					s.Name, len(a), len(b))
+			}
+		})
+	}
+}
+
+// TestServeThresholdGate asserts the recommended thresholds gate
+// correctly: every adjacent steady pair of serve-web stays under, and
+// serve-shift's mix inversion (t=6s, i.e. between windows 2 and 3)
+// exceeds — while its pre-shift pairs stay quiet.
+func TestServeThresholdGate(t *testing.T) {
+	check := func(t *testing.T, name string, wantAlerts []int) {
+		s, ok := scenarios.ServeByName(name)
+		if !ok {
+			t.Fatalf("scenario %s missing", name)
+		}
+		reps := s.Windows(serveGoldenWindows)
+		alerted := []int{}
+		for i := 1; i < len(reps); i++ {
+			d := whodunit.Diff(reps[i-1], reps[i])
+			if d.WindowA == nil || d.WindowB == nil || d.WindowA.Seq+1 != d.WindowB.Seq {
+				t.Fatalf("diff %d lost window metadata: %+v vs %+v", i, d.WindowA, d.WindowB)
+			}
+			if d.Exceeds(s.Threshold) {
+				alerted = append(alerted, i)
+			}
+		}
+		if len(alerted) != len(wantAlerts) {
+			t.Fatalf("%s alerted at windows %v, want %v", name, alerted, wantAlerts)
+		}
+		for i := range alerted {
+			if alerted[i] != wantAlerts[i] {
+				t.Fatalf("%s alerted at windows %v, want %v", name, alerted, wantAlerts)
+			}
+		}
+	}
+	t.Run("serve-web", func(t *testing.T) { check(t, "serve-web", []int{}) })
+	t.Run("serve-shift", func(t *testing.T) { check(t, "serve-shift", []int{3}) })
+}

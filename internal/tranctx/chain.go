@@ -49,6 +49,32 @@ func (ch Chain) Hash() uint64 {
 	return h
 }
 
+// HashWith returns the hash of the chain that would result from appending
+// last to ch, without materialising it. FNV-1a folds left to right, so the
+// extended hash is one more fold over Hash's result. This is the send-path
+// trick that lets an endpoint probe its chain dictionary before deciding
+// whether a chain allocation is needed at all.
+func (ch Chain) HashWith(last Synopsis) uint64 {
+	h := ch.Hash()
+	h ^= uint64(last)
+	h *= 1099511628211
+	return h
+}
+
+// EqualWith reports whether ch equals prefix followed by last — again
+// without materialising the appended chain.
+func (ch Chain) EqualWith(prefix Chain, last Synopsis) bool {
+	if len(ch) != len(prefix)+1 {
+		return false
+	}
+	for i := range prefix {
+		if ch[i] != prefix[i] {
+			return false
+		}
+	}
+	return ch[len(prefix)] == last
+}
+
 // chainMax bounds decoded chains; real chains have 1 or 2 entries
 // (request / response) but stitching records may concatenate a few more.
 const chainMax = 64

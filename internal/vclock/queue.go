@@ -5,12 +5,21 @@ package vclock
 // the calling thread until an item is available. Items are delivered in
 // FIFO order and waiting threads are served in FIFO order, so behaviour is
 // deterministic.
+// Consumed slots are tracked with head indexes rather than by reslicing
+// from the front: items[1:] permanently gives up a slot of capacity, so
+// a queue that oscillates around empty — the steady state of every
+// worker loop — would reallocate its backing array on nearly every
+// Put/Get cycle. With head indexes the arrays are compacted in place
+// once drained and reach a steady capacity with no per-cycle
+// allocation.
 type Queue struct {
 	Name string
 
 	sim     *Sim
 	items   []any
+	ihead   int // items[:ihead] already served
 	waiters []*Thread
+	whead   int // waiters[:whead] already woken
 	puts    int64
 	gets    int64
 	maxLen  int
@@ -22,7 +31,7 @@ func (s *Sim) NewQueue(name string) *Queue {
 }
 
 // Len reports the number of items currently buffered.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.items) - q.ihead }
 
 // Stats reports the total number of puts and gets and the maximum buffered
 // length observed.
@@ -35,16 +44,27 @@ func (q *Queue) Stats() (puts, gets int64, maxLen int) {
 // from simulated threads.
 func (q *Queue) Put(v any) {
 	q.puts++
-	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	if q.whead < len(q.waiters) {
+		w := q.waiters[q.whead]
+		q.waiters[q.whead] = nil
+		q.whead++
+		if q.whead == len(q.waiters) {
+			q.waiters = q.waiters[:0]
+			q.whead = 0
+		}
 		q.gets++
 		q.sim.wakeAt(q.sim.now, w, v)
 		return
 	}
+	if q.ihead > 0 && len(q.items) == cap(q.items) {
+		n := copy(q.items, q.items[q.ihead:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.ihead = 0
+	}
 	q.items = append(q.items, v)
-	if len(q.items) > q.maxLen {
-		q.maxLen = len(q.items)
+	if n := len(q.items) - q.ihead; n > q.maxLen {
+		q.maxLen = n
 	}
 }
 
@@ -54,11 +74,14 @@ func (q *Queue) Put(v any) {
 // Put hand-off (a parked thread waits for exactly one reason), so the
 // payload — even a legitimate nil — is the delivered item.
 func (t *Thread) Get(q *Queue) any {
-	if len(q.items) > 0 {
-		v := q.items[0]
-		q.items = q.items[1:]
-		q.gets++
+	if v, ok := t.TryGet(q); ok {
 		return v
+	}
+	if q.whead > 0 && len(q.waiters) == cap(q.waiters) {
+		n := copy(q.waiters, q.waiters[q.whead:])
+		clear(q.waiters[n:])
+		q.waiters = q.waiters[:n]
+		q.whead = 0
 	}
 	q.waiters = append(q.waiters, t)
 	return t.park()
@@ -67,11 +90,16 @@ func (t *Thread) Get(q *Queue) any {
 // TryGet removes and returns the oldest item if one is buffered; it never
 // blocks. The second result reports whether an item was returned.
 func (t *Thread) TryGet(q *Queue) (any, bool) {
-	if len(q.items) == 0 {
+	if q.ihead == len(q.items) {
 		return nil, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items[q.ihead]
+	q.items[q.ihead] = nil
+	q.ihead++
+	if q.ihead == len(q.items) {
+		q.items = q.items[:0]
+		q.ihead = 0
+	}
 	q.gets++
 	return v, true
 }

@@ -134,6 +134,28 @@ func (s *Sim) At(at Time, fn func()) {
 // After schedules fn to run d after the current virtual time.
 func (s *Sim) After(d Duration, fn func()) { s.At(s.now.Add(d), fn) }
 
+// Every schedules fn to run in scheduler context every d of virtual time,
+// first at now+d. Successive ticks land at exact multiples — the next
+// tick is computed from the previous tick's nominal time, never from the
+// clock, so the series cannot drift even if fn itself advances wall
+// time. The series self-reschedules for the life of the simulation, so a
+// Sim with an Every never runs out of events: drive it with
+// RunUntil/RunFor, not Run. This is the window-tick primitive of the
+// continuous profiling service.
+func (s *Sim) Every(d Duration, fn func()) {
+	if d <= 0 {
+		panic("vclock: Every needs a positive period")
+	}
+	next := s.now.Add(d)
+	var tick func()
+	tick = func() {
+		fn()
+		next = next.Add(d)
+		s.At(next, tick)
+	}
+	s.At(next, tick)
+}
+
 // Thread is a simulated thread of execution. A Thread may only call its
 // blocking methods (Sleep, Compute, Get, Lock, ...) from inside its own
 // body function.

@@ -232,15 +232,16 @@ var OrderingMix = map[string]float64{
 
 // MixSampler draws interactions from a weighted mix.
 type MixSampler struct {
-	rng     *vclock.RNG
-	names   []string
-	weights []float64
+	rng       *vclock.RNG
+	names     []string
+	weights   []float64
+	thinkMean vclock.Duration
 }
 
 // NewMixSampler builds a sampler over the given mix with its own seeded
 // stream.
 func NewMixSampler(seed uint64, mix map[string]float64) *MixSampler {
-	s := &MixSampler{rng: vclock.NewRNG(seed)}
+	s := &MixSampler{rng: vclock.NewRNG(seed), thinkMean: 7 * vclock.Second}
 	for _, name := range Interactions {
 		if w, ok := mix[name]; ok && w > 0 {
 			s.names = append(s.names, name)
@@ -253,11 +254,21 @@ func NewMixSampler(seed uint64, mix map[string]float64) *MixSampler {
 // Next draws the next interaction name.
 func (s *MixSampler) Next() string { return s.names[s.rng.Pick(s.weights)] }
 
-// ThinkTime draws a TPC-W think time: exponential with mean 7s, capped at
-// ten times the mean per the TPC-W spec.
+// SetThinkMean overrides the TPC-W default 7s think-time mean (the
+// 10x cap scales with it). The default draws are unchanged, so seeded
+// runs that never call this stay bit-identical.
+func (s *MixSampler) SetThinkMean(mean vclock.Duration) {
+	if mean <= 0 {
+		panic("workload: think-time mean must be positive")
+	}
+	s.thinkMean = mean
+}
+
+// ThinkTime draws a TPC-W think time: exponential with mean 7s (see
+// SetThinkMean), capped at ten times the mean per the TPC-W spec.
 func (s *MixSampler) ThinkTime() vclock.Duration {
-	d := s.rng.Exp(7 * vclock.Second)
-	if max := 70 * vclock.Second; d > max {
+	d := s.rng.Exp(s.thinkMean)
+	if max := 10 * s.thinkMean; d > max {
 		d = max
 	}
 	return d

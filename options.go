@@ -77,6 +77,19 @@ func WithClockRate(cyclesPerSecond int64) Option {
 	}
 }
 
+// WithWindow makes the app a windowed (continuous-profiling) run:
+// profiles are aggregated into fixed d-length virtual-time windows, each
+// retired as its own Report (see App.OnWindow). Windowed apps must be
+// run with a stop condition.
+func WithWindow(d Duration) Option {
+	return func(a *App) {
+		if d <= 0 {
+			panic("whodunit: WithWindow needs a positive window length")
+		}
+		a.window = d
+	}
+}
+
 // StageOption configures a single Stage at declaration time.
 type StageOption func(*Stage)
 

@@ -46,6 +46,23 @@ func NewStageReport(p *Profiler, eps ...*Endpoint) StageReport {
 	}
 }
 
+// NewStageReportFrom is NewStageReport for a retired or detached profiler
+// snapshot — the window-retirement path of the continuous profiling
+// service.
+func NewStageReportFrom(s *profiler.Snapshot, eps ...*Endpoint) StageReport {
+	samples, calls, switches, overhead := s.Stats()
+	return StageReport{
+		Stage:        s.Stage,
+		Mode:         s.Mode,
+		Samples:      samples,
+		Calls:        calls,
+		CtxtSwitches: switches,
+		Overhead:     overhead,
+		Shares:       s.Shares(),
+		Dump:         stitch.DumpFrom(s.Stage, s, eps...),
+	}
+}
+
 // stageReportFromDump rebuilds the derivable parts of a StageReport from
 // a raw dump (mode and overheads are not recorded in dumps).
 func stageReportFromDump(d StageDump) StageReport {
@@ -63,13 +80,26 @@ func stageReportFromDump(d StageDump) StageReport {
 	return sr
 }
 
+// WindowMeta identifies the aggregation window a Report covers in a
+// windowed (continuous-profiling) run: its 0-based sequence number and
+// its [Start, End) span on the virtual clock, as durations since the
+// simulation epoch.
+type WindowMeta struct {
+	Seq   int64    `json:"seq"`
+	Start Duration `json:"start_ns"`
+	End   Duration `json:"end_ns"`
+}
+
 // Report is the unified outcome of a Whodunit run: every stage's
 // transactional profile, the crosstalk matrix, detected shared-memory
 // flows, and the stitched end-to-end transaction graph. App.Run returns
 // one; the Text, JSON, DOT and Folded renderers present it.
 type Report struct {
-	App       string          `json:"app"`
-	Elapsed   Duration        `json:"elapsed_ns"`
+	App     string   `json:"app"`
+	Elapsed Duration `json:"elapsed_ns"`
+	// Window is set on reports covering one aggregation window of a
+	// windowed run (nil for whole-run reports).
+	Window    *WindowMeta     `json:"window,omitempty"`
 	Stages    []StageReport   `json:"stages"`
 	Crosstalk []CrosstalkPair `json:"crosstalk,omitempty"`
 	Flows     []FlowEvent     `json:"flows,omitempty"`
@@ -150,6 +180,10 @@ func ReadReport(rd io.Reader) (*Report, error) {
 // the crosstalk matrix, detected flows, and the stitched graph.
 func (r *Report) Text(w io.Writer) {
 	fmt.Fprintf(w, "=== whodunit report: %s ===\n", r.App)
+	if r.Window != nil {
+		fmt.Fprintf(w, "window %d: [%.6fs, %.6fs)\n",
+			r.Window.Seq, r.Window.Start.Seconds(), r.Window.End.Seconds())
+	}
 	if r.Elapsed > 0 {
 		fmt.Fprintf(w, "virtual time elapsed: %.6fs\n", r.Elapsed.Seconds())
 	}

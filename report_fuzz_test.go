@@ -1,0 +1,105 @@
+package whodunit_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"whodunit"
+)
+
+// validReportJSON renders one real retired-window report — the
+// well-formed corpus seed the fuzzers mutate from.
+func validReportJSON(f *testing.F) []byte {
+	f.Helper()
+	srv := whodunit.NewServer(serveApp(7), whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1, MaxWindows: 2,
+	})
+	srv.Run()
+	kv, ok := srv.Ring().Get(0)
+	if !ok {
+		f.Fatal("no window retired")
+	}
+	var buf bytes.Buffer
+	if err := kv.V.Report.JSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadReport asserts ReadReport either errors or returns a report
+// every renderer and accessor can process — malformed, truncated or
+// hostile input must never panic.
+func FuzzReadReport(f *testing.F) {
+	valid := validReportJSON(f)
+	f.Add(valid)
+	for _, cut := range []int{1, len(valid) / 3, len(valid) / 2, len(valid) - 2} {
+		f.Add(valid[:cut])
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"stages": [{"stage": "", "trees": null}]}`))
+	f.Add([]byte(`{"stages": [{"dumps": [{"entries": [{"chain": [0], "tree": {}}]}]}]}`))
+	f.Add([]byte(`{"window": {"seq": -9223372036854775808}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := whodunit.ReadReport(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded report must survive every presentation
+		// path: renderers, totals, and a self-diff.
+		rep.Text(io.Discard)
+		rep.Folded(io.Discard)
+		if err := rep.JSON(io.Discard); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		_ = rep.TotalSamples()
+		d := whodunit.Diff(rep, rep)
+		d.Text(io.Discard)
+		if err := d.JSON(io.Discard); err != nil {
+			t.Fatalf("self-diff encode: %v", err)
+		}
+	})
+}
+
+// FuzzReadDiff is the same contract for ReadDiff: error or a diff whose
+// renderers and predicates all run — never a panic.
+func FuzzReadDiff(f *testing.F) {
+	srv := whodunit.NewServer(serveApp(7), whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1, MaxWindows: 2,
+	})
+	srv.Run()
+	a, oka := srv.Ring().Get(0)
+	b, okb := srv.Ring().Get(1)
+	if !oka || !okb {
+		f.Fatal("windows not retained")
+	}
+	var buf bytes.Buffer
+	if err := whodunit.Diff(a.V.Report, b.V.Report).JSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{1, len(valid) / 3, len(valid) - 2} {
+		f.Add(valid[:cut])
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"stages": [{"stage": "s", "contexts": null}]}`))
+	f.Add([]byte(`{"window_a": {"seq": 1}, "window_b": null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := whodunit.ReadDiff(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		d.Text(io.Discard)
+		if err := d.JSON(io.Discard); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		_ = d.Empty()
+		_ = d.MaxDelta()
+		_ = d.Exceeds(0)
+		m := d.Mirrored()
+		m.Text(io.Discard)
+	})
+}

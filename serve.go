@@ -1,0 +1,505 @@
+package whodunit
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whodunit/internal/vclock"
+	"whodunit/internal/window"
+)
+
+// Continuous profiling service: a Server runs a windowed App indefinitely
+// (or for a bounded number of windows), retains the most recent retired
+// per-window Reports in a ring, auto-diffs adjacent windows against an
+// alert threshold, and exposes the results over HTTP:
+//
+//	GET /report   — a retained window (?window=N), the latest (default),
+//	                or the in-progress one (?window=live); ?format=text|json|folded
+//	GET /windows  — JSON index of retained windows and alert state
+//	GET /stream   — SSE feed of per-window Reports (and alerts) as they retire
+//	GET /diff     — diff two retained windows (?a=N&b=M); ?format=text|json
+//	GET /healthz  — prometheus-style status; 503 while an alert is active
+//
+// The simulation stays single-threaded and deterministic: window
+// retirement happens in scheduler context, and live /report requests are
+// epoch-pinned reads — the handler enqueues a closure that the simulation
+// executes between events (inside its stop predicate), building a
+// detached snapshot Report the handler then serializes. With a fixed
+// seed, the sequence of retired-window Reports is bit-identical across
+// runs; the HTTP layer is the only nondeterministic edge.
+
+// ServeConfig configures a Server.
+type ServeConfig struct {
+	// Window is the aggregation-window length in virtual time. Optional
+	// if the app was built with WithWindow; if both are set they must
+	// agree.
+	Window Duration
+	// Retain is how many retired windows stay queryable (default 16).
+	Retain int
+	// Threshold gates the automatic adjacent-window diff: when the diff
+	// of two consecutive full windows has MaxDelta > Threshold, an alert
+	// fires. Negative disables alerting (the default zero value alerts
+	// on any divergence).
+	Threshold int64
+	// MaxWindows stops the run after that many retired windows
+	// (0 = run until Stop).
+	MaxWindows int
+	// Pace throttles the simulation to Pace virtual seconds per wall
+	// second (1.0 = real time, 0 = free-run). Pacing only affects wall
+	// scheduling, never virtual-time behavior.
+	Pace float64
+}
+
+// WindowEvent is one retired window as published on the ring and the
+// /stream feed: the window's Report, its diff against the previous full
+// window (nil for the first), and the alert verdict.
+type WindowEvent struct {
+	Report   *Report     `json:"report"`
+	Diff     *ReportDiff `json:"diff,omitempty"`
+	MaxDelta int64       `json:"max_delta"`
+	Alert    bool        `json:"alert"`
+}
+
+// Server drives a windowed App as a continuous profiling service. Create
+// with NewServer, start with Run (blocking; typically in a goroutine),
+// serve Handler over HTTP, stop with Stop.
+type Server struct {
+	app *App
+	cfg ServeConfig
+
+	ring  *window.Ring[*WindowEvent]
+	reqCh chan func()
+
+	stopOnce  sync.Once
+	stopped   atomic.Bool
+	stopCh    chan struct{}
+	finished  chan struct{}
+	startWall time.Time
+
+	// Sim-goroutine-only state.
+	prevFull *Report
+
+	alertsTotal atomic.Int64
+	alertActive atomic.Bool
+
+	final *Report
+}
+
+// NewServer wraps app (built with WithWindow, or windowed here via
+// cfg.Window) into a continuous profiling service. The app must not have
+// been run, and its OnWindow callback slot is taken over by the server.
+func NewServer(app *App, cfg ServeConfig) *Server {
+	if cfg.Window > 0 {
+		if app.window > 0 && app.window != cfg.Window {
+			panic("whodunit: ServeConfig.Window disagrees with the app's WithWindow")
+		}
+		app.window = cfg.Window
+	}
+	if app.window <= 0 {
+		panic("whodunit: NewServer needs a window length (WithWindow or ServeConfig.Window)")
+	}
+	if cfg.Retain == 0 {
+		cfg.Retain = 16
+	}
+	if cfg.Retain < 1 {
+		panic("whodunit: ServeConfig.Retain must be at least 1")
+	}
+	if cfg.MaxWindows < 0 {
+		panic("whodunit: ServeConfig.MaxWindows must be >= 0")
+	}
+	if cfg.Pace < 0 {
+		panic("whodunit: ServeConfig.Pace must be >= 0")
+	}
+	cfg.Window = app.window
+	s := &Server{
+		app:      app,
+		cfg:      cfg,
+		ring:     window.NewRing[*WindowEvent](cfg.Retain),
+		reqCh:    make(chan func(), 64),
+		stopCh:   make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	app.OnWindow(s.onWindow)
+	return s
+}
+
+// App returns the served application.
+func (s *Server) App() *App { return s.app }
+
+// Run drives the simulation until Stop is called (or MaxWindows retire),
+// retiring windows as virtual time passes. It blocks; run it in a
+// goroutine when serving HTTP. The returned Report is the whole-run
+// residue after the final window retired (its stages are empty in a
+// windowed run — every sample lands in some window); use the ring and
+// the HTTP API for the per-window results.
+func (s *Server) Run() *Report {
+	s.startWall = time.Now()
+	rep := s.app.RunUntil(func() bool {
+		s.drainRequests()
+		return s.stopped.Load()
+	})
+	s.final = rep
+	close(s.finished)
+	s.ring.Close()
+	return rep
+}
+
+// Stop asks the running simulation to finish: the stop predicate trips
+// at the next event boundary, the in-progress window retires as a final
+// partial window, and Run returns. Idempotent and safe from any
+// goroutine (HTTP handlers, signal handlers).
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		s.stopped.Store(true)
+		close(s.stopCh)
+	})
+}
+
+// Done returns a channel closed when Run has finished.
+func (s *Server) Done() <-chan struct{} { return s.finished }
+
+// Ring exposes the retained-window ring (for tests and custom feeds).
+func (s *Server) Ring() *window.Ring[*WindowEvent] { return s.ring }
+
+// AlertsTotal reports how many adjacent-window alerts have fired.
+func (s *Server) AlertsTotal() int64 { return s.alertsTotal.Load() }
+
+// AlertActive reports whether the most recent adjacent-window diff
+// exceeded the threshold.
+func (s *Server) AlertActive() bool { return s.alertActive.Load() }
+
+// drainRequests executes pending epoch-pinned read closures. Runs in the
+// simulation goroutine between events, so the closures may touch live
+// profiler state without races.
+func (s *Server) drainRequests() {
+	for {
+		select {
+		case fn := <-s.reqCh:
+			fn()
+		default:
+			return
+		}
+	}
+}
+
+// onWindow is the App.OnWindow callback: it wraps each retired window
+// into a WindowEvent, auto-diffs consecutive full windows against the
+// threshold, publishes on the ring, and enforces MaxWindows and Pace.
+// Runs in scheduler context.
+func (s *Server) onWindow(rep *Report) {
+	ev := &WindowEvent{Report: rep}
+	// Only full windows participate in the adjacent auto-diff: the final
+	// partial window legitimately has fewer samples and would always
+	// "regress".
+	full := rep.Elapsed == s.cfg.Window
+	if full && s.prevFull != nil {
+		d := Diff(s.prevFull, rep)
+		ev.Diff = d
+		ev.MaxDelta = d.MaxDelta()
+		if s.cfg.Threshold >= 0 {
+			ev.Alert = d.Exceeds(s.cfg.Threshold)
+			if ev.Alert {
+				s.alertsTotal.Add(1)
+			}
+			s.alertActive.Store(ev.Alert)
+		}
+	}
+	if full {
+		s.prevFull = rep
+	}
+	s.ring.Append(window.Meta{
+		Seq:   rep.Window.Seq,
+		Start: vclock.Time(rep.Window.Start),
+		End:   vclock.Time(rep.Window.End),
+	}, ev)
+	if s.cfg.MaxWindows > 0 && s.ring.Total() >= int64(s.cfg.MaxWindows) {
+		s.Stop()
+	}
+	if s.cfg.Pace > 0 && !s.stopped.Load() {
+		s.paceWait(rep.Window.End)
+	}
+}
+
+// paceWait sleeps (in wall time) until virtual time virtualEnd is "due"
+// under the configured pace, while keeping epoch-pinned reads flowing —
+// a paced server answers /report promptly even between distant windows.
+func (s *Server) paceWait(virtualEnd Duration) {
+	deadline := s.startWall.Add(time.Duration(float64(virtualEnd) / s.cfg.Pace))
+	for {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return
+		}
+		timer := time.NewTimer(d)
+		select {
+		case fn := <-s.reqCh:
+			timer.Stop()
+			fn()
+		case <-s.stopCh:
+			timer.Stop()
+			return
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+// liveReport builds a Report of the in-progress window via an
+// epoch-pinned read: the closure runs in the simulation goroutine at an
+// event boundary and detaches a snapshot. Returns false if the run has
+// already finished.
+func (s *Server) liveReport() (*Report, bool) {
+	ch := make(chan *Report, 1)
+	fn := func() { ch <- s.app.LiveWindowReport() }
+	select {
+	case s.reqCh <- fn:
+	case <-s.finished:
+		return nil, false
+	}
+	select {
+	case rep := <-ch:
+		return rep, true
+	case <-s.finished:
+		// The run may have finished between enqueue and execution; the
+		// closure could still have run on the final drain.
+		select {
+		case rep := <-ch:
+			return rep, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// --- HTTP API -------------------------------------------------------
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/windows", s.handleWindows)
+	mux.HandleFunc("/stream", s.handleStream)
+	mux.HandleFunc("/diff", s.handleDiff)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeReport(w http.ResponseWriter, rep *Report, format string) {
+	switch format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		rep.JSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.Text(w)
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.Folded(w)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want text, json or folded)", format), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	switch win := r.URL.Query().Get("window"); win {
+	case "live":
+		if rep, ok := s.liveReport(); ok {
+			writeReport(w, rep, format)
+			return
+		}
+		// Run finished: fall through to the latest retired window.
+		fallthrough
+	case "":
+		kv, ok := s.ring.Latest()
+		if !ok {
+			http.Error(w, "no window retired yet", http.StatusNotFound)
+			return
+		}
+		writeReport(w, kv.V.Report, format)
+	default:
+		seq, err := strconv.ParseInt(win, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad window %q (want a sequence number or \"live\")", win), http.StatusBadRequest)
+			return
+		}
+		kv, ok := s.ring.Get(seq)
+		if !ok {
+			http.Error(w, fmt.Sprintf("window %d not retained (retired %d, retaining last %d)",
+				seq, s.ring.Total(), s.cfg.Retain), http.StatusNotFound)
+			return
+		}
+		writeReport(w, kv.V.Report, format)
+	}
+}
+
+// windowIndexEntry is one retained window in the /windows index.
+type windowIndexEntry struct {
+	Seq      int64    `json:"seq"`
+	Start    Duration `json:"start_ns"`
+	End      Duration `json:"end_ns"`
+	Elapsed  Duration `json:"elapsed_ns"`
+	Samples  int64    `json:"samples"`
+	MaxDelta int64    `json:"max_delta"`
+	Alert    bool     `json:"alert"`
+}
+
+// windowIndex is the /windows response body.
+type windowIndex struct {
+	App         string             `json:"app"`
+	WindowNS    Duration           `json:"window_ns"`
+	Retired     int64              `json:"retired"`
+	Retain      int                `json:"retain"`
+	Threshold   int64              `json:"threshold"`
+	AlertsTotal int64              `json:"alerts_total"`
+	AlertActive bool               `json:"alert_active"`
+	Windows     []windowIndexEntry `json:"windows"`
+}
+
+func (s *Server) handleWindows(w http.ResponseWriter, r *http.Request) {
+	idx := windowIndex{
+		App:         s.app.Name,
+		WindowNS:    s.cfg.Window,
+		Retired:     s.ring.Total(),
+		Retain:      s.cfg.Retain,
+		Threshold:   s.cfg.Threshold,
+		AlertsTotal: s.alertsTotal.Load(),
+		AlertActive: s.alertActive.Load(),
+	}
+	for _, kv := range s.ring.Entries() {
+		rep := kv.V.Report
+		idx.Windows = append(idx.Windows, windowIndexEntry{
+			Seq:      rep.Window.Seq,
+			Start:    rep.Window.Start,
+			End:      rep.Window.End,
+			Elapsed:  rep.Elapsed,
+			Samples:  rep.TotalSamples(),
+			MaxDelta: kv.V.MaxDelta,
+			Alert:    kv.V.Alert,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(idx)
+}
+
+// handleStream serves the SSE feed: one "window" event per retirement
+// (data: the WindowEvent as compact JSON) and an additional "alert"
+// event when the adjacent-window diff exceeded the threshold. The stream
+// ends when the run finishes or the client disconnects; slow clients
+// skip windows rather than stalling the simulation.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	ch, cancel := s.ring.Subscribe(16)
+	defer cancel()
+	for {
+		select {
+		case kv, open := <-ch:
+			if !open {
+				fmt.Fprint(w, "event: end\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			data, err := json.Marshal(kv.V)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: window\nid: %d\ndata: %s\n\n", kv.Meta.Seq, data)
+			if kv.V.Alert {
+				fmt.Fprintf(w, "event: alert\nid: %d\ndata: {\"seq\": %d, \"max_delta\": %d}\n\n",
+					kv.Meta.Seq, kv.Meta.Seq, kv.V.MaxDelta)
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	get := func(name string) (*Report, bool) {
+		v := q.Get(name)
+		if v == "" {
+			http.Error(w, fmt.Sprintf("missing query parameter %q (a window sequence number)", name), http.StatusBadRequest)
+			return nil, false
+		}
+		seq, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad window %q", v), http.StatusBadRequest)
+			return nil, false
+		}
+		kv, ok := s.ring.Get(seq)
+		if !ok {
+			http.Error(w, fmt.Sprintf("window %d not retained", seq), http.StatusNotFound)
+			return nil, false
+		}
+		return kv.V.Report, true
+	}
+	ra, ok := get("a")
+	if !ok {
+		return
+	}
+	rb, ok := get("b")
+	if !ok {
+		return
+	}
+	d := Diff(ra, rb)
+	switch format := q.Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		d.JSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		d.Text(w)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want text or json)", format), http.StatusBadRequest)
+	}
+}
+
+// handleHealthz reports prometheus-style status lines; the response code
+// is 503 while an adjacent-window alert is active, so the endpoint works
+// directly as a load-balancer health check.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	active := s.alertActive.Load()
+	up := 1
+	select {
+	case <-s.finished:
+		up = 0
+	default:
+	}
+	var virtualSeconds float64
+	if kv, ok := s.ring.Latest(); ok {
+		virtualSeconds = Duration(kv.Meta.End).Seconds()
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if active {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintf(w, "whodunit_up %d\n", up)
+	fmt.Fprintf(w, "whodunit_windows_retired %d\n", s.ring.Total())
+	fmt.Fprintf(w, "whodunit_alerts_total %d\n", s.alertsTotal.Load())
+	fmt.Fprintf(w, "whodunit_alert_active %d\n", boolInt(active))
+	fmt.Fprintf(w, "whodunit_virtual_seconds %.6f\n", virtualSeconds)
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

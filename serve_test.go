@@ -1,0 +1,374 @@
+package whodunit_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"whodunit"
+)
+
+// serveApp builds a small open-loop two-stage app suitable for driving a
+// Server in tests: Poisson request arrivals, a web worker that calls
+// into a db worker, everything on the virtual clock.
+func serveApp(seed uint64) *whodunit.App {
+	app := whodunit.NewApp("serve-test",
+		whodunit.WithMode(whodunit.ModeWhodunit),
+		whodunit.WithCores(2),
+		whodunit.WithSeed(seed))
+	web, db := app.Stage("web"), app.Stage("db")
+	reqQ, dbQ := app.NewQueue("requests"), app.NewQueue("db-requests")
+	respQ := app.NewQueue("db-responses")
+
+	app.Arrivals("requests", 10*whodunit.Millisecond, func(i int64) {
+		reqQ.Put(i)
+	})
+	db.Go("db", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		for {
+			msg := dbQ.Get(th).(whodunit.Msg)
+			db.Endpoint().Recv(pr, msg)
+			func() {
+				defer pr.Exit(pr.Enter("exec_query"))
+				pr.Compute(2 * whodunit.Millisecond)
+				respQ.Put(db.Endpoint().Send(pr, nil))
+			}()
+		}
+	})
+	web.Go("web", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		for {
+			reqQ.Get(th)
+			func() {
+				defer pr.Exit(pr.Enter("serve_page"))
+				pr.Compute(whodunit.Millisecond)
+				dbQ.Put(web.Endpoint().Send(pr, nil))
+				web.Endpoint().Recv(pr, respQ.Get(th).(whodunit.Msg))
+			}()
+		}
+	})
+	return app
+}
+
+// runServer runs a bounded server to completion and returns it.
+func runServer(t *testing.T, cfg whodunit.ServeConfig) *whodunit.Server {
+	t.Helper()
+	srv := whodunit.NewServer(serveApp(7), cfg)
+	srv.Run()
+	return srv
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestServeReportEndpoint(t *testing.T) {
+	srv := runServer(t, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1, MaxWindows: 4,
+	})
+	h := srv.Handler()
+
+	code, body := get(t, h, "/report?window=0")
+	if code != http.StatusOK {
+		t.Fatalf("/report?window=0: %d %s", code, body)
+	}
+	var rep whodunit.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("window 0 not JSON: %v", err)
+	}
+	if rep.Window == nil || rep.Window.Seq != 0 {
+		t.Fatalf("window 0 metadata: %+v", rep.Window)
+	}
+
+	// Default = latest retired window.
+	code, body = get(t, h, "/report")
+	if code != http.StatusOK {
+		t.Fatalf("/report: %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Window.Seq != 3 {
+		t.Fatalf("latest window seq %d, want 3", rep.Window.Seq)
+	}
+
+	// window=live on a finished run falls back to the latest window.
+	code, liveBody := get(t, h, "/report?window=live")
+	if code != http.StatusOK || liveBody != body {
+		t.Fatalf("finished-run live report: %d, equal=%v", code, liveBody == body)
+	}
+
+	for _, format := range []string{"text", "folded"} {
+		code, body = get(t, h, "/report?format="+format)
+		if code != http.StatusOK || body == "" {
+			t.Fatalf("format=%s: %d %q", format, code, body)
+		}
+	}
+	if code, body = get(t, h, "/report?format=xml"); code != http.StatusBadRequest {
+		t.Fatalf("format=xml: %d %s", code, body)
+	}
+	if code, body = get(t, h, "/report?window=nope"); code != http.StatusBadRequest {
+		t.Fatalf("window=nope: %d %s", code, body)
+	}
+	if code, body = get(t, h, "/report?window=99"); code != http.StatusNotFound {
+		t.Fatalf("window=99: %d %s", code, body)
+	}
+}
+
+// TestServeLiveMatchesRetired is the acceptance check for the
+// snapshot-while-running path: a live /report fetched mid-run, at the
+// virtual instant a window retires, is bit-identical to that retired
+// window's /report (modulo the live report having no diff context).
+func TestServeLiveMatchesRetired(t *testing.T) {
+	app := serveApp(7)
+	srv := whodunit.NewServer(app, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1, MaxWindows: 3,
+	})
+	// Capture a live snapshot from scheduler context at the exact end of
+	// window 1 — before retireWindow swaps the trees out. The retired
+	// window-1 report must match it bit for bit: copy-on-retire and the
+	// detached live snapshot must agree on every sample.
+	var live *whodunit.Report
+	app.Sim().At(whodunit.Time(200*whodunit.Millisecond), func() {
+		live = app.LiveWindowReport()
+	})
+	srv.Run()
+
+	kv, ok := srv.Ring().Get(1)
+	if !ok {
+		t.Fatal("window 1 not retained")
+	}
+	var a, b bytes.Buffer
+	if err := live.JSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.V.Report.JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The retired report and the live snapshot differ only in Elapsed
+	// bookkeeping origin; both cover [100ms, 200ms).
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("live snapshot at window boundary differs from retired window:\nlive:    %s\nretired: %s",
+			a.String(), b.String())
+	}
+}
+
+func TestServeWindowsEndpoint(t *testing.T) {
+	srv := runServer(t, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1, MaxWindows: 3, Retain: 2,
+	})
+	code, body := get(t, srv.Handler(), "/windows")
+	if code != http.StatusOK {
+		t.Fatalf("/windows: %d", code)
+	}
+	var idx struct {
+		App       string `json:"app"`
+		Retired   int64  `json:"retired"`
+		Retain    int    `json:"retain"`
+		Threshold int64  `json:"threshold"`
+		Windows   []struct {
+			Seq     int64 `json:"seq"`
+			Samples int64 `json:"samples"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.App != "serve-test" || idx.Retired != 3 || idx.Retain != 2 || idx.Threshold != -1 {
+		t.Fatalf("index header: %+v", idx)
+	}
+	if len(idx.Windows) != 2 || idx.Windows[0].Seq != 1 || idx.Windows[1].Seq != 2 {
+		t.Fatalf("retained windows: %+v (want seqs 1,2 — 0 evicted)", idx.Windows)
+	}
+	for _, w := range idx.Windows {
+		if w.Samples == 0 {
+			t.Fatalf("window %d has no samples", w.Seq)
+		}
+	}
+}
+
+func TestServeDiffEndpoint(t *testing.T) {
+	srv := runServer(t, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1, MaxWindows: 3,
+	})
+	h := srv.Handler()
+
+	code, body := get(t, h, "/diff?a=0&b=1")
+	if code != http.StatusOK {
+		t.Fatalf("/diff: %d %s", code, body)
+	}
+	var d whodunit.ReportDiff
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.WindowA == nil || d.WindowB == nil || d.WindowA.Seq != 0 || d.WindowB.Seq != 1 {
+		t.Fatalf("diff window provenance: %+v %+v", d.WindowA, d.WindowB)
+	}
+
+	code, body = get(t, h, "/diff?a=0&b=1&format=text")
+	if code != http.StatusOK || !strings.Contains(body, "window 0") {
+		t.Fatalf("text diff: %d %q", code, body)
+	}
+	if code, _ = get(t, h, "/diff?a=0"); code != http.StatusBadRequest {
+		t.Fatalf("missing b: %d", code)
+	}
+	if code, _ = get(t, h, "/diff?a=x&b=1"); code != http.StatusBadRequest {
+		t.Fatalf("bad a: %d", code)
+	}
+	if code, _ = get(t, h, "/diff?a=0&b=42"); code != http.StatusNotFound {
+		t.Fatalf("unretained b: %d", code)
+	}
+	if code, _ = get(t, h, "/diff?a=0&b=1&format=folded"); code != http.StatusBadRequest {
+		t.Fatalf("bad format: %d", code)
+	}
+}
+
+func TestServeHealthzAndAlerts(t *testing.T) {
+	// Threshold 0 alerts on any adjacent divergence; Poisson arrivals
+	// guarantee adjacent windows differ.
+	srv := runServer(t, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: 0, MaxWindows: 4,
+	})
+	if srv.AlertsTotal() == 0 || !srv.AlertActive() {
+		t.Fatalf("threshold 0 should alert: total=%d active=%v", srv.AlertsTotal(), srv.AlertActive())
+	}
+	code, body := get(t, srv.Handler(), "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with active alert: %d", code)
+	}
+	for _, line := range []string{"whodunit_up 0", "whodunit_windows_retired 4", "whodunit_alert_active 1"} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("healthz missing %q:\n%s", line, body)
+		}
+	}
+
+	// A generous threshold never alerts and healthz reports 200.
+	srv = runServer(t, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: 1 << 40, MaxWindows: 4,
+	})
+	if srv.AlertsTotal() != 0 || srv.AlertActive() {
+		t.Fatalf("huge threshold alerted: total=%d", srv.AlertsTotal())
+	}
+	if code, _ := get(t, srv.Handler(), "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz without alert: %d", code)
+	}
+}
+
+// TestServeStream subscribes to /stream while the run is in flight and
+// checks the SSE framing: one window event per retirement, alert events
+// when the threshold trips, and a terminating end event.
+func TestServeStream(t *testing.T) {
+	app := serveApp(7)
+	srv := whodunit.NewServer(app, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: 0, MaxWindows: 3,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+
+	go srv.Run()
+
+	var windows, alerts, ends int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		switch line := sc.Text(); {
+		case line == "event: window":
+			windows++
+		case line == "event: alert":
+			alerts++
+		case line == "event: end":
+			ends++
+		case strings.HasPrefix(line, "data: {\"report\""):
+			var ev whodunit.WindowEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("window event payload: %v", err)
+			}
+		}
+		if ends > 0 {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	<-srv.Done()
+	if windows != 3 {
+		t.Fatalf("streamed %d window events, want 3", windows)
+	}
+	// Threshold 0 alerts on windows 1 and 2 (window 0 has no predecessor).
+	if alerts != 2 {
+		t.Fatalf("streamed %d alert events, want 2", alerts)
+	}
+}
+
+// TestServeStopDrainsFinalWindow stops a free-running server mid-window
+// and checks the in-progress window retires as a final partial one.
+func TestServeStopDrainsFinalWindow(t *testing.T) {
+	app := serveApp(7)
+	srv := whodunit.NewServer(app, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1,
+	})
+	// Trip Stop from scheduler context mid-window-2.
+	app.Sim().At(whodunit.Time(250*whodunit.Millisecond), func() { srv.Stop() })
+	srv.Run()
+	<-srv.Done()
+
+	kv, ok := srv.Ring().Latest()
+	if !ok {
+		t.Fatal("no windows retired")
+	}
+	rep := kv.V.Report
+	if rep.Window.Seq != 2 {
+		t.Fatalf("final window seq %d, want 2", rep.Window.Seq)
+	}
+	if rep.Elapsed >= 100*whodunit.Millisecond || rep.Elapsed <= 0 {
+		t.Fatalf("final partial window elapsed %v, want in (0, 100ms)", rep.Elapsed)
+	}
+	if kv.V.Diff != nil {
+		t.Fatalf("partial window must not auto-diff, got %+v", kv.V.Diff)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no window", func() {
+		whodunit.NewServer(serveApp(1), whodunit.ServeConfig{})
+	})
+	mustPanic("window disagreement", func() {
+		app := whodunit.NewApp("x", whodunit.WithWindow(whodunit.Second))
+		whodunit.NewServer(app, whodunit.ServeConfig{Window: 2 * whodunit.Second})
+	})
+	mustPanic("negative retain", func() {
+		whodunit.NewServer(serveApp(1), whodunit.ServeConfig{Window: whodunit.Second, Retain: -1})
+	})
+	mustPanic("negative max windows", func() {
+		whodunit.NewServer(serveApp(1), whodunit.ServeConfig{Window: whodunit.Second, MaxWindows: -1})
+	})
+	mustPanic("negative pace", func() {
+		whodunit.NewServer(serveApp(1), whodunit.ServeConfig{Window: whodunit.Second, Pace: -0.5})
+	})
+}
