@@ -3,6 +3,7 @@ package whodunit
 import (
 	"fmt"
 
+	"whodunit/internal/faults"
 	"whodunit/internal/par"
 	"whodunit/internal/vclock"
 )
@@ -47,6 +48,11 @@ type App struct {
 	flow         *flowState
 	cyclesPerSec int64
 
+	// Fault injection (WithFaults / SetFaults): the plan as configured
+	// and the seeded injector that evaluates it during the run.
+	faultPlan *faults.Plan
+	injector  *faults.Injector
+
 	// Windowed (continuous-profiling) runs: profiles are retired into
 	// per-window Reports every `window` of virtual time (WithWindow).
 	window   Duration
@@ -78,6 +84,9 @@ func NewApp(name string, opts ...Option) *App {
 	// known — so option order never matters.
 	if a.flowWanted {
 		a.initFlow()
+	}
+	if a.faultPlan != nil {
+		a.SetFaults(a.faultPlan)
 	}
 	return a
 }
@@ -162,10 +171,27 @@ func (a *App) RunFor(d Duration) *Report {
 }
 
 func (a *App) run(stop func() bool) *Report {
+	rep, err := a.runSupervised(stop)
+	if err != nil {
+		// Unsupervised callers keep the historical contract: an injected
+		// (or genuine) panic in the simulation aborts the run loudly.
+		panic(err)
+	}
+	return rep
+}
+
+// runSupervised is run with crash capture surfaced instead of raised:
+// if a simulated thread or scheduler callback panics, the simulation
+// halts at that instant, whatever profiles accumulated are still
+// retired, dumped and stitched into the returned (partial) report, and
+// the crash comes back as the error. This is the degraded-operation
+// contract the Server's supervision loop builds on.
+func (a *App) runSupervised(stop func() bool) (*Report, error) {
 	if a.ran {
 		panic(fmt.Sprintf("whodunit: app %q already run", a.Name))
 	}
 	a.ran = true
+	a.armFaults()
 	if a.window > 0 {
 		if stop == nil {
 			panic(fmt.Sprintf("whodunit: app %q has WithWindow but no stop condition; use RunUntil, RunFor or a Server", a.Name))
@@ -174,13 +200,17 @@ func (a *App) run(stop func() bool) *Report {
 		a.sim.Every(a.window, func() { a.retireWindow(a.sim.Now()) })
 	}
 	a.sim.RunUntil(stop)
+	var err error
+	if c := a.sim.Crashed(); c != nil {
+		err = c
+	}
 	if a.window > 0 {
 		// Retire whatever accumulated since the last tick as a final
 		// (possibly partial) window, so shutdown loses no samples.
 		a.retireWindow(a.sim.Now())
 	}
 	a.sim.Shutdown()
-	return a.Report()
+	return a.Report(), err
 }
 
 // Window returns the app's aggregation-window length (0 when the app is
@@ -308,6 +338,11 @@ func (a *App) Report() *Report {
 	}
 	if a.tracker != nil {
 		rep.Flows = a.tracker.Flows()
+	}
+	if a.injector != nil {
+		if s := a.injector.Stats(); !s.Zero() {
+			rep.Faults = &s
+		}
 	}
 	return rep
 }

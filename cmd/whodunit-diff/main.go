@@ -12,14 +12,16 @@
 //	whodunit-diff -threshold 0 a.json b.json   # CI gate: exit 1 on any delta
 //
 // A -run spec is scenario[:seed=N][,mode=off|csprof|whodunit|gprof]
-// (see -list for the scenario corpus). With -threshold N the tool exits
-// 1 when the diff's largest sample/count delta exceeds N; without it
-// the exit status is always 0 and the diff is informational.
+// (see -list for the scenario corpus). Exit status is part of the
+// contract: 0 means the diff is within bounds (or informational), 1
+// means -threshold was set and the largest sample/count delta exceeds
+// it, 2 means a usage or IO error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"whodunit"
@@ -34,47 +36,68 @@ func (r *runSpecs) Set(s string) error {
 	return nil
 }
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "whodunit-diff: "+format+"\n", args...)
-	os.Exit(2)
-}
+// failure aborts run via panic; run recovers it into exit status 2.
+type failure string
 
-func loadReport(path string) *whodunit.Report {
-	f, err := os.Open(path)
-	if err != nil {
-		fail("%v", err)
-	}
-	defer f.Close()
-	rep, err := whodunit.ReadReport(f)
-	if err != nil {
-		fail("%s: %v", path, err)
-	}
-	if rep.App == "" && len(rep.Stages) == 0 {
-		fail("%s: not a report (expected a file written with -json)", path)
-	}
-	return rep
-}
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func main() {
+// run is the whole tool behind a testable seam: it parses args on its
+// own FlagSet, writes to the given streams, and returns the process
+// exit status (0 in-bounds, 1 threshold exceeded, 2 usage/IO error).
+func run(args []string, stdout, stderr io.Writer) (status int) {
+	fail := func(format string, a ...any) {
+		panic(failure(fmt.Sprintf("whodunit-diff: "+format, a...)))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			msg, ok := r.(failure)
+			if !ok {
+				panic(r)
+			}
+			fmt.Fprintln(stderr, string(msg))
+			status = 2
+		}
+	}()
+
+	fs := flag.NewFlagSet("whodunit-diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var runs runSpecs
-	flag.Var(&runs, "run", "scenario run spec (repeat twice): name[:seed=N][,mode=M]")
-	threshold := flag.Int64("threshold", -1, "exit 1 if the largest sample/count delta exceeds this (-1 disables gating)")
-	jsonOut := flag.Bool("json", false, "emit the diff as JSON instead of text")
-	folded := flag.Bool("folded", false, "emit two-column folded stacks (difffolded format) for differential flame graphs")
-	list := flag.Bool("list", false, "list the scenario corpus and exit")
-	flag.Parse()
+	fs.Var(&runs, "run", "scenario run spec (repeat twice): name[:seed=N][,mode=M]")
+	threshold := fs.Int64("threshold", -1, "exit 1 if the largest sample/count delta exceeds this (-1 disables gating)")
+	jsonOut := fs.Bool("json", false, "emit the diff as JSON instead of text")
+	folded := fs.Bool("folded", false, "emit two-column folded stacks (difffolded format) for differential flame graphs")
+	list := fs.Bool("list", false, "list the scenario corpus and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, name := range scenarios.Names() {
 			s, _ := scenarios.ByName(name)
-			fmt.Printf("%-24s %s\n", s.Name, s.About)
+			fmt.Fprintf(stdout, "%-24s %s\n", s.Name, s.About)
 		}
-		return
+		return 0
+	}
+
+	loadReport := func(path string) *whodunit.Report {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		rep, err := whodunit.ReadReport(f)
+		if err != nil {
+			fail("%s: %v", path, err)
+		}
+		if rep.App == "" && len(rep.Stages) == 0 {
+			fail("%s: not a report (expected a file written with -json)", path)
+		}
+		return rep
 	}
 
 	var a, b *whodunit.Report
 	switch {
-	case len(runs) == 2 && flag.NArg() == 0:
+	case len(runs) == 2 && fs.NArg() == 0:
 		reps := make([]*whodunit.Report, 2)
 		for i, spec := range runs {
 			s, err := scenarios.ParseSpec(spec)
@@ -84,28 +107,29 @@ func main() {
 			reps[i] = s.Report()
 		}
 		a, b = reps[0], reps[1]
-	case len(runs) == 0 && flag.NArg() == 2:
-		a, b = loadReport(flag.Arg(0)), loadReport(flag.Arg(1))
+	case len(runs) == 0 && fs.NArg() == 2:
+		a, b = loadReport(fs.Arg(0)), loadReport(fs.Arg(1))
 	default:
-		fmt.Fprintln(os.Stderr, "usage: whodunit-diff [-threshold N] [-json|-folded] a.json b.json")
-		fmt.Fprintln(os.Stderr, "       whodunit-diff [-threshold N] [-json|-folded] -run specA -run specB")
-		fmt.Fprintln(os.Stderr, "       whodunit-diff -list")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: whodunit-diff [-threshold N] [-json|-folded] a.json b.json")
+		fmt.Fprintln(stderr, "       whodunit-diff [-threshold N] [-json|-folded] -run specA -run specB")
+		fmt.Fprintln(stderr, "       whodunit-diff -list")
+		return 2
 	}
 
 	d := whodunit.Diff(a, b)
 	switch {
 	case *folded:
-		whodunit.FoldedDiff(a, b, os.Stdout)
+		whodunit.FoldedDiff(a, b, stdout)
 	case *jsonOut:
-		if err := d.JSON(os.Stdout); err != nil {
+		if err := d.JSON(stdout); err != nil {
 			fail("%v", err)
 		}
 	default:
-		d.Text(os.Stdout)
+		d.Text(stdout)
 	}
 	if *threshold >= 0 && d.Exceeds(*threshold) {
-		fmt.Fprintf(os.Stderr, "whodunit-diff: max delta %d exceeds threshold %d\n", d.MaxDelta(), *threshold)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "whodunit-diff: max delta %d exceeds threshold %d\n", d.MaxDelta(), *threshold)
+		return 1
 	}
+	return 0
 }

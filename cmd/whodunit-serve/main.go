@@ -10,12 +10,17 @@
 //	curl -N localhost:7077/stream                         # SSE feed of retiring windows
 //	curl "localhost:7077/diff?a=3&b=4&format=text"        # diff two retained windows
 //	whodunit-serve -scenario serve-shift -addr "" -windows 6   # headless bounded run
+//	whodunit-serve -scenario serve-crashy -addr "" -windows 6 -pace 0   # supervised fault run
 //
 // Each retired window prints one line to stdout; windows whose
-// adjacent diff exceeds the threshold print an ALERT line. The run
-// stops after -windows windows (0 = run until SIGINT/SIGTERM); on a
-// signal the simulation drains gracefully, retiring the in-progress
-// window before exit.
+// adjacent diff exceeds the threshold print an ALERT line. Supervised
+// scenarios (serve-crashy) rebuild a dying run through the scenario
+// factory — windows retired while recovering are marked DEGRADED and
+// the first full window after a restart prints a recovered line;
+// -max-restarts bounds the rebuild budget and -watchdog aborts a run
+// that stops retiring windows. The run stops after -windows windows
+// (0 = run until SIGINT/SIGTERM); on a signal the simulation drains
+// gracefully, retiring the in-progress window before exit.
 package main
 
 import (
@@ -50,6 +55,8 @@ func main() {
 	maxWindows := flag.Int("windows", 0, "stop after this many retired windows (0 = run until signal)")
 	pace := flag.Float64("pace", 1.0, "virtual seconds simulated per wall second (0 = free-run)")
 	seed := flag.Uint64("seed", 0, "workload seed override (default: the scenario's seed)")
+	maxRestarts := flag.Int("max-restarts", 3, "restart budget for supervised scenarios before giving up")
+	watchdog := flag.Duration("watchdog", 0, "abort a run that retires no window for this much wall time (0 = off; supervised scenarios only)")
 	mode := cmdutil.ModeFlag()
 	flag.Parse()
 
@@ -85,6 +92,15 @@ func main() {
 	if *addr == "" && *maxWindows == 0 {
 		fail("headless (-addr \"\") with -windows 0 would run forever with no way to observe it; set -windows or an -addr")
 	}
+	if *maxRestarts < 1 {
+		fail("-max-restarts must be at least 1 (got %d)", *maxRestarts)
+	}
+	if *watchdog < 0 {
+		fail("-watchdog must be >= 0 (got %v)", *watchdog)
+	}
+	if *watchdog > 0 && s.MakeRun == nil {
+		fail("-watchdog needs a supervised scenario (%s is unsupervised; try serve-crashy)", s.Name)
+	}
 
 	p := s.Defaults
 	p.Mode = *mode
@@ -100,14 +116,25 @@ func main() {
 		thr = *threshold
 	}
 
-	app := s.MakeApp(p)
-	srv := whodunit.NewServer(app, whodunit.ServeConfig{
+	cfg := whodunit.ServeConfig{
 		Window:     window,
 		Retain:     *retain,
 		Threshold:  thr,
 		MaxWindows: *maxWindows,
 		Pace:       *pace,
-	})
+	}
+	var app *whodunit.App
+	if s.MakeRun != nil {
+		// Supervised scenario: the server rebuilds the app through the
+		// factory when a run dies and serves on, degraded, until the
+		// fresh run retires a full window.
+		cfg.MakeApp = func(run int) *whodunit.App { return s.MakeRun(p, run) }
+		cfg.MaxRestarts = *maxRestarts
+		cfg.Watchdog = *watchdog
+	} else {
+		app = s.MakeApp(p)
+	}
+	srv := whodunit.NewServer(app, cfg)
 
 	// Narrate retirements on stdout (the headless CI path greps these).
 	// The subscription closes when the run finishes, so waiting on
@@ -122,12 +149,25 @@ func main() {
 			fmt.Printf("window %d [%.3fs, %.3fs): %d samples",
 				rep.Window.Seq, rep.Window.Start.Seconds(), rep.Window.End.Seconds(), rep.TotalSamples())
 			if kv.V.Diff != nil {
-				fmt.Printf(", max delta %d vs window %d", kv.V.MaxDelta, rep.Window.Seq-1)
+				// Diff against the previous FULL window — across a crash
+				// partial that is not simply seq-1.
+				prev := rep.Window.Seq - 1
+				if kv.V.Diff.WindowA != nil {
+					prev = kv.V.Diff.WindowA.Seq
+				}
+				fmt.Printf(", max delta %d vs window %d", kv.V.MaxDelta, prev)
+			}
+			if kv.V.Degraded {
+				fmt.Printf(", DEGRADED (restart %d)", kv.V.Restarts)
 			}
 			fmt.Println()
 			if kv.V.Alert {
 				fmt.Printf("ALERT window %d: adjacent diff max delta %d exceeds threshold %d\n",
 					rep.Window.Seq, kv.V.MaxDelta, thr)
+			}
+			if kv.V.Recovered {
+				fmt.Printf("recovered: window %d is the first full window after restart %d\n",
+					rep.Window.Seq, kv.V.Restarts)
 			}
 		}
 	}()
@@ -158,7 +198,11 @@ func main() {
 
 	srv.Run()
 	<-printerDone
-	fmt.Printf("run finished: %d windows retired, %d alerts\n", srv.Ring().Total(), srv.AlertsTotal())
+	fmt.Printf("run finished: %d windows retired, %d alerts, %d restarts\n",
+		srv.Ring().Total(), srv.AlertsTotal(), srv.Restarts())
+	if srv.GaveUp() {
+		fmt.Printf("gave up: restart budget (%d) exhausted\n", *maxRestarts)
+	}
 	if httpSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()

@@ -1,0 +1,151 @@
+package whodunit
+
+import (
+	"fmt"
+
+	"whodunit/internal/faults"
+)
+
+// Fault-injection surface: aliases for the internal/faults plan types,
+// so applications declare fault schedules without importing internals.
+type (
+	// FaultPlan is a complete deterministic fault schedule; pass it to
+	// WithFaults or App.SetFaults. See internal/faults for the semantics
+	// of each fault class.
+	FaultPlan = faults.Plan
+	// FaultStats is the ledger of faults that actually fired during a
+	// run; whole-run reports carry it as Report.Faults.
+	FaultStats = faults.Stats
+	// StageCrash kills every thread of a stage at a virtual instant,
+	// optionally respawning its declared thread bodies later.
+	StageCrash = faults.StageCrash
+	// Stall steals CPU from a stage's node — the slow-node fault.
+	Stall = faults.Stall
+	// MessageFault drops, duplicates or delays messages Put on a queue.
+	MessageFault = faults.MessageFault
+	// Fail panics the run at a virtual instant; supervised runs (Server)
+	// turn it into a degraded restart instead of a process abort.
+	Fail = faults.Fail
+)
+
+// SetFaults installs (or, with an empty plan, removes) the app's fault
+// plan after construction — the hook for running a pre-built scenario
+// under a fault schedule. It panics on an invalid plan or once the run
+// has started. WithFaults is the option-form equivalent.
+func (a *App) SetFaults(plan *FaultPlan) {
+	if a.ran {
+		panic("whodunit: SetFaults after run started")
+	}
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	if plan.Empty() {
+		a.injector = nil
+		return
+	}
+	a.injector = faults.NewInjector(plan, a.seed)
+}
+
+// armFaults schedules the plan's timed faults as ordinary simulator
+// events, so an injected failure is ordered against application events
+// exactly the same way on every run. Called once at the top of run(),
+// after every stage is declared.
+func (a *App) armFaults() {
+	if a.injector == nil {
+		return
+	}
+	plan := a.injector.Plan()
+	for _, c := range plan.Crashes {
+		c := c
+		st, ok := a.byName[c.Stage]
+		if !ok {
+			panic(fmt.Sprintf("whodunit: fault plan crashes unknown stage %q", c.Stage))
+		}
+		a.sim.At(c.At, func() { a.crashStage(st, c.RestartAfter) })
+	}
+	for _, s := range plan.Stalls {
+		s := s
+		var cpu *CPU
+		if s.Stage == "" {
+			cpu = a.CPU()
+		} else {
+			st, ok := a.byName[s.Stage]
+			if !ok {
+				panic(fmt.Sprintf("whodunit: fault plan stalls unknown stage %q", s.Stage))
+			}
+			cpu = st.CPU()
+		}
+		a.sim.At(s.At, func() {
+			a.injector.NoteStall()
+			cpu.Preempt(s.For)
+		})
+	}
+	for _, f := range plan.Failures {
+		f := f
+		a.sim.At(f.At, func() {
+			a.injector.NoteFailure()
+			panic(fmt.Sprintf("whodunit: injected failure: %s", f.Msg))
+		})
+	}
+}
+
+// crashStage kills every live thread of st (their deferred functions
+// run, held locks release, queue waits unwind) and, when restartAfter
+// is positive, respawns the stage's declared thread bodies that much
+// later — a supervised tier restart. The stage's profiler survives the
+// crash, so whatever it accumulated still dumps into the (partial)
+// report.
+func (a *App) crashStage(st *Stage, restartAfter Duration) {
+	a.injector.NoteCrash()
+	for _, th := range st.threads {
+		a.sim.Kill(th)
+	}
+	st.threads = st.threads[:0]
+	if restartAfter > 0 {
+		a.sim.After(restartAfter, func() {
+			a.injector.NoteRestart()
+			for _, sp := range st.specs {
+				st.spawn(sp.name, sp.body)
+			}
+		})
+	}
+}
+
+// RetryPolicy bounds a retried client call: up to Attempts tries, each
+// given Timeout of virtual time (the budget callers pass to
+// Queue.GetTimeout), with Backoff doubling between tries.
+type RetryPolicy struct {
+	Attempts int
+	Timeout  Duration
+	Backoff  Duration
+}
+
+// Retry runs attempt until it reports success or the policy's attempts
+// are spent, reporting whether any try succeeded. Every try after the
+// first executes inside a "retry" probe frame, with the (doubling)
+// backoff sleep charged to it — so retries triggered by injected drops
+// or timeouts show up in the stitched CCT as real transaction work,
+// exactly where the paper's per-context attribution would place them.
+// attempt receives the 0-based try number; per-try timeouts are the
+// caller's business (typically Queue.GetTimeout with pol.Timeout).
+func (st *Stage) Retry(pr *Probe, pol RetryPolicy, attempt func(try int) bool) bool {
+	if pol.Attempts < 1 {
+		panic("whodunit: RetryPolicy needs at least one attempt")
+	}
+	if attempt(0) {
+		return true
+	}
+	backoff := pol.Backoff
+	ok := false
+	for try := 1; try < pol.Attempts && !ok; try++ {
+		func() {
+			defer pr.Exit(pr.Enter("retry"))
+			if backoff > 0 {
+				pr.Thread().Sleep(backoff)
+				backoff *= 2
+			}
+			ok = attempt(try)
+		}()
+	}
+	return ok
+}

@@ -1,0 +1,299 @@
+package whodunit_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"whodunit"
+	"whodunit/internal/ipc"
+)
+
+// crashyApp builds a two-tier request/response app whose web worker
+// retries db calls under a timeout: the shape every fault-wiring test
+// below perturbs. The db stage answers each request after a little
+// compute; the web worker drives n requests and gives up on a request
+// after its retry budget.
+func crashyApp(n int, plan *whodunit.FaultPlan, opts ...whodunit.Option) (*whodunit.App, *int) {
+	opts = append(opts, whodunit.WithSeed(7))
+	if plan != nil {
+		opts = append(opts, whodunit.WithFaults(plan))
+	}
+	a := whodunit.NewApp("crashy", opts...)
+	web := a.Stage("web")
+	db := a.Stage("db", whodunit.StageCPU(2))
+	reqQ := a.NewQueue("db-requests")
+	respQ := a.NewQueue("db-responses")
+
+	db.Go("db-worker", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		for {
+			msg := reqQ.Get(th).(ipc.Msg)
+			db.Endpoint().Recv(pr, msg)
+			func() {
+				defer pr.Exit(pr.Enter("db_query"))
+				pr.Compute(2 * whodunit.Millisecond)
+				respQ.Put(db.Endpoint().Send(pr, nil))
+			}()
+		}
+	})
+
+	served := new(int)
+	web.Go("web-worker", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		pol := whodunit.RetryPolicy{Attempts: 4, Timeout: 20 * whodunit.Millisecond, Backoff: whodunit.Millisecond}
+		for i := 0; i < n; i++ {
+			web.BeginTxn(pr, "handle")
+			func() {
+				defer pr.Exit(pr.Enter("handle_request"))
+				pr.Compute(whodunit.Millisecond)
+				ok := web.Retry(pr, pol, func(int) bool {
+					// Marshalling cost per attempt: samples taken here land
+					// under the "retry" frame on retried attempts.
+					pr.Compute(500 * whodunit.Microsecond)
+					reqQ.Put(web.Endpoint().Send(pr, nil))
+					resp, ok := respQ.GetTimeout(th, pol.Timeout)
+					if ok {
+						web.Endpoint().Recv(pr, resp.(ipc.Msg))
+					}
+					return ok
+				})
+				if ok {
+					*served++
+				}
+			}()
+		}
+	})
+	return a, served
+}
+
+func TestFaultFreePlanChangesNothing(t *testing.T) {
+	run := func(plan *whodunit.FaultPlan) string {
+		a, served := crashyApp(10, plan)
+		rep := a.Run()
+		var buf bytes.Buffer
+		rep.Text(&buf)
+		if *served != 10 {
+			t.Fatalf("served %d of 10 without faults", *served)
+		}
+		return buf.String()
+	}
+	if run(nil) != run(&whodunit.FaultPlan{Seed: 99}) {
+		t.Fatal("an empty fault plan perturbed the run")
+	}
+}
+
+func TestMessageDropsRetriedAndVisible(t *testing.T) {
+	plan := &whodunit.FaultPlan{
+		Seed:     1,
+		Messages: []whodunit.MessageFault{{Queue: "db-requests", Drop: 0.3}},
+	}
+	a, served := crashyApp(40, plan)
+	rep := a.Run()
+	if rep.Faults == nil || rep.Faults.Dropped == 0 {
+		t.Fatalf("report carries no drop ledger: %+v", rep.Faults)
+	}
+	if *served == 0 {
+		t.Fatal("every request failed despite a 4-attempt retry budget")
+	}
+	// The retries must show up as real transaction context in the web
+	// stage's CCT: a "retry" frame with samples under it.
+	web := rep.StageNamed("web")
+	foundRetry := false
+	for _, td := range web.Dump.Trees {
+		for _, rec := range td.Records {
+			for _, frame := range rec.Path {
+				if frame == "retry" {
+					foundRetry = true
+				}
+			}
+		}
+	}
+	if !foundRetry {
+		t.Fatal("no retry frame in the web CCT; injected drops left no transaction trace")
+	}
+}
+
+func TestStageCrashAndRestart(t *testing.T) {
+	plan := &whodunit.FaultPlan{
+		Crashes: []whodunit.StageCrash{{
+			Stage:        "db",
+			At:           whodunit.Time(30 * whodunit.Millisecond),
+			RestartAfter: 50 * whodunit.Millisecond,
+		}},
+	}
+	a, served := crashyApp(30, plan)
+	rep := a.Run()
+	if rep.Faults == nil || rep.Faults.Crashes != 1 || rep.Faults.Restarts != 1 {
+		t.Fatalf("faults ledger = %+v, want 1 crash and 1 restart", rep.Faults)
+	}
+	// Requests in flight during the outage time out and retry; once the
+	// db respawns, service resumes, so most requests still complete.
+	if *served < 20 {
+		t.Fatalf("served only %d of 30 across a 50ms restart", *served)
+	}
+	var buf bytes.Buffer
+	rep.Text(&buf)
+	if !strings.Contains(buf.String(), "1 crash, 1 restart") {
+		t.Errorf("report text does not mention the crash:\n%s", buf.String())
+	}
+}
+
+func TestCrashWithoutRestartStaysDown(t *testing.T) {
+	plan := &whodunit.FaultPlan{
+		Crashes: []whodunit.StageCrash{{Stage: "db", At: whodunit.Time(30 * whodunit.Millisecond)}},
+	}
+	a, served := crashyApp(30, plan)
+	rep := a.Run()
+	if rep.Faults.Crashes != 1 || rep.Faults.Restarts != 0 {
+		t.Fatalf("faults ledger = %+v", rep.Faults)
+	}
+	if *served == 0 || *served >= 30 {
+		t.Fatalf("served %d of 30; a permanent db crash should lose the tail but not everything", *served)
+	}
+}
+
+func TestInjectedFailureSupervised(t *testing.T) {
+	plan := &whodunit.FaultPlan{
+		Failures: []whodunit.Fail{{At: whodunit.Time(10 * whodunit.Millisecond), Msg: "boom"}},
+	}
+	// Unsupervised Run must surface the injected failure loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("App.Run swallowed the injected failure")
+			}
+		}()
+		a, _ := crashyApp(30, plan)
+		a.Run()
+	}()
+}
+
+func TestStallSlowsStage(t *testing.T) {
+	base, _ := crashyApp(10, nil)
+	fast := base.Run().Elapsed
+	plan := &whodunit.FaultPlan{
+		Stalls: []whodunit.Stall{{Stage: "db", At: whodunit.Time(5 * whodunit.Millisecond), For: 40 * whodunit.Millisecond}},
+	}
+	a, served := crashyApp(10, plan)
+	rep := a.Run()
+	if rep.Faults == nil || rep.Faults.Stalls != 1 {
+		t.Fatalf("faults ledger = %+v", rep.Faults)
+	}
+	if *served != 10 {
+		t.Fatalf("a stall lost requests: served %d of 10", *served)
+	}
+	if rep.Elapsed <= fast {
+		t.Fatalf("stalled run finished in %v, no slower than fault-free %v", rep.Elapsed, fast)
+	}
+}
+
+func TestFaultedRunDeterministic(t *testing.T) {
+	plan := &whodunit.FaultPlan{
+		Seed: 5,
+		Crashes: []whodunit.StageCrash{{
+			Stage:        "db",
+			At:           whodunit.Time(25 * whodunit.Millisecond),
+			RestartAfter: 30 * whodunit.Millisecond,
+		}},
+		Messages: []whodunit.MessageFault{{Queue: "db-requests", Drop: 0.15}},
+	}
+	run := func() string {
+		a, _ := crashyApp(25, plan)
+		var buf bytes.Buffer
+		rep := a.Run()
+		rep.Text(&buf)
+		if err := rep.JSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("faulted run is not bit-reproducible at a fixed seed")
+	}
+}
+
+func TestSetFaultsAfterConstruction(t *testing.T) {
+	a, served := crashyApp(20, nil)
+	a.SetFaults(&whodunit.FaultPlan{
+		Messages: []whodunit.MessageFault{{Queue: "db-requests", Drop: 0.3}},
+	})
+	rep := a.Run()
+	if rep.Faults == nil || rep.Faults.Dropped == 0 {
+		t.Fatal("SetFaults plan did not take effect")
+	}
+	if *served == 0 {
+		t.Fatal("retries should survive drops")
+	}
+}
+
+// TestDiffAsymmetricStageSets pins that the diff engine tolerates a
+// partial report on either side: a tier present only in one report is
+// reported as such, not crashed on.
+func TestDiffAsymmetricStageSets(t *testing.T) {
+	a, _ := crashyApp(10, nil)
+	full := a.Run()
+	partial := full.DropStage("db")
+	for _, dir := range []struct {
+		name string
+		a, b *whodunit.Report
+		side string
+	}{
+		{"full vs partial", full, partial, "only in A"},
+		{"partial vs full", partial, full, "only in B"},
+	} {
+		d := whodunit.Diff(dir.a, dir.b)
+		if d.Empty() {
+			t.Fatalf("%s: diff empty despite a missing tier", dir.name)
+		}
+		var buf bytes.Buffer
+		d.Text(&buf)
+		if !strings.Contains(buf.String(), "stage db "+dir.side) {
+			t.Fatalf("%s: diff does not report the asymmetric tier:\n%s", dir.name, buf.String())
+		}
+	}
+}
+
+func TestDropStagePartialReport(t *testing.T) {
+	a, _ := crashyApp(10, nil)
+	rep := a.Run()
+	partial := rep.DropStage("db")
+	if len(partial.Missing) != 1 || partial.Missing[0] != "db" {
+		t.Fatalf("Missing = %v", partial.Missing)
+	}
+	if partial.StageNamed("db") != nil {
+		t.Fatal("dropped stage still present")
+	}
+	if rep.StageNamed("db") == nil {
+		t.Fatal("DropStage mutated its receiver")
+	}
+	severed := false
+	for _, e := range partial.Graph.Edges {
+		if e.Kind == "severed" {
+			severed = true
+		}
+	}
+	if !severed {
+		t.Fatal("partial graph has no severed edges for the lost tier")
+	}
+	// The partial report must round-trip through JSON with its missing
+	// annotation intact and restitch to the same partial graph.
+	var buf bytes.Buffer
+	if err := partial.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := whodunit.ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Missing) != 1 {
+		t.Fatalf("Missing lost in round trip: %v", back.Missing)
+	}
+	severed = false
+	for _, e := range back.Graph.Edges {
+		if e.Kind == "severed" {
+			severed = true
+		}
+	}
+	if !severed {
+		t.Fatal("decoded partial report restitched without severed edges")
+	}
+}

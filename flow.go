@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"whodunit/internal/faults"
 	"whodunit/internal/shmflow"
 	"whodunit/internal/vclock"
 	"whodunit/internal/vm"
@@ -231,8 +232,29 @@ func (q *Queue) Raw() *vclock.Queue { return q.inner }
 func (q *Queue) Len() int { return q.inner.Len() }
 
 // Put appends v without emulation or context inference; it never blocks
-// and may be called from scheduler callbacks.
-func (q *Queue) Put(v any) { q.inner.Put(v) }
+// and may be called from scheduler callbacks. Put is the message-fault
+// interception point: under a fault plan (WithFaults) each Put on a
+// matching queue draws a seeded verdict and may be dropped, delivered
+// twice, or delivered after a delay. This covers every message-passing
+// transport in the library — ipc-synopsis traffic between endpoints
+// rides these queues too. The shared-memory face (Push/Pop) is never
+// faulted: its payload lives in emulated memory, and losing the
+// semaphore would desynchronise the vm-side queue rather than model a
+// lost message.
+func (q *Queue) Put(v any) {
+	if in := q.app.injector; in != nil {
+		switch act, d := in.Message(q.Name); act {
+		case faults.Drop:
+			return
+		case faults.Dup:
+			q.inner.Put(v)
+		case faults.Delay:
+			q.app.sim.After(d, func() { q.inner.Put(v) })
+			return
+		}
+	}
+	q.inner.Put(v)
+}
 
 // Get removes and returns the oldest item, blocking th until one is
 // available. Like Put, it performs no context inference. Get panics if
@@ -240,6 +262,19 @@ func (q *Queue) Put(v any) { q.inner.Put(v) }
 // in the vm-side queue, and draining it without the pop critical
 // section would silently desynchronise that memory — use Pop.
 func (q *Queue) Get(th *Thread) any { return q.checkRaw(th.Get(q.inner)) }
+
+// GetTimeout is Get bounded to d of virtual time: it returns (item,
+// true) if one arrives in time, or (nil, false) once d elapses — the
+// client-side timeout primitive for retry-with-backoff handling of
+// dropped or delayed messages (see Stage.Retry). Like Get, it panics
+// on elements added with Push.
+func (q *Queue) GetTimeout(th *Thread, d Duration) (any, bool) {
+	v, ok := th.GetTimeout(q.inner, d)
+	if !ok {
+		return nil, false
+	}
+	return q.checkRaw(v), true
+}
 
 // TryGet removes and returns the oldest item if one is buffered; it
 // never blocks. Like Get, it panics on elements added with Push.

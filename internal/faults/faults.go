@@ -1,0 +1,239 @@
+// Package faults is the deterministic fault-injection plane for the
+// whodunit runtime. A Plan declares what goes wrong and when — stage
+// crashes, message-level drop/duplication/delay, CPU stalls, whole-run
+// failures — entirely in virtual time, and an Injector turns the plan
+// into per-message verdicts drawn from a seeded RNG. Because every
+// verdict is a deterministic function of (plan seed, app seed, draw
+// index) and every scheduled fault is an ordinary vclock heap event,
+// a faulted run replays bit-identically at a fixed seed: same messages
+// dropped, same tier crashing at the same virtual instant, same partial
+// profile out the other end.
+//
+// The package deliberately knows nothing about stages or apps beyond
+// their names; the App runtime owns the wiring (see WithFaults).
+package faults
+
+import (
+	"fmt"
+
+	"whodunit/internal/vclock"
+)
+
+// StageCrash kills every thread of a stage at a virtual instant. If
+// RestartAfter is positive the stage's declared thread bodies are
+// respawned that much later, modelling a supervised process restart;
+// otherwise the stage stays down for the rest of the run.
+type StageCrash struct {
+	Stage        string
+	At           vclock.Time
+	RestartAfter vclock.Duration
+}
+
+// Stall steals CPU from a stage's node for a window of virtual time —
+// the classic slow-node fault. An empty Stage targets the app's shared
+// CPU when stages don't have private ones.
+type Stall struct {
+	Stage string
+	At    vclock.Time
+	For   vclock.Duration
+}
+
+// MessageFault perturbs messages Put on a named queue. An empty Queue
+// matches every queue. Drop, Dup and DelayProb are per-message
+// probabilities and must sum to at most 1; a delayed message is
+// re-enqueued Delay later. One RNG draw decides each message's fate,
+// so verdicts are independent of queue interleaving.
+type MessageFault struct {
+	Queue     string
+	Drop      float64
+	Dup       float64
+	DelayProb float64
+	Delay     vclock.Duration
+}
+
+// Fail injects a panic into the run at a virtual instant, as if a bug
+// fired in a scheduler callback. The vclock crash-capture machinery
+// turns it into a supervised error rather than a process abort.
+type Fail struct {
+	At  vclock.Time
+	Msg string
+}
+
+// Plan is a complete fault schedule. The zero Plan injects nothing.
+type Plan struct {
+	// Seed decorrelates this plan's message verdicts from the app's own
+	// workload randomness; two plans with different seeds drop different
+	// messages even against the same app seed.
+	Seed uint64
+
+	Crashes  []StageCrash
+	Stalls   []Stall
+	Messages []MessageFault
+	Failures []Fail
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		(len(p.Crashes) == 0 && len(p.Stalls) == 0 &&
+			len(p.Messages) == 0 && len(p.Failures) == 0)
+}
+
+// Validate rejects plans that cannot mean anything sensible: negative
+// times or durations, probabilities outside [0,1] or summing past 1,
+// delays without a duration, crashes or stalls without a stage.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, c := range p.Crashes {
+		if c.Stage == "" {
+			return fmt.Errorf("faults: crash %d names no stage", i)
+		}
+		if c.At < 0 || c.RestartAfter < 0 {
+			return fmt.Errorf("faults: crash %d (%s) has a negative time", i, c.Stage)
+		}
+	}
+	for i, st := range p.Stalls {
+		if st.At < 0 || st.For <= 0 {
+			return fmt.Errorf("faults: stall %d (%s) needs a positive duration at a non-negative time", i, st.Stage)
+		}
+	}
+	for i, m := range p.Messages {
+		for _, pr := range []float64{m.Drop, m.Dup, m.DelayProb} {
+			if pr < 0 || pr > 1 {
+				return fmt.Errorf("faults: message fault %d (%q) has a probability outside [0,1]", i, m.Queue)
+			}
+		}
+		if m.Drop+m.Dup+m.DelayProb > 1 {
+			return fmt.Errorf("faults: message fault %d (%q) probabilities sum past 1", i, m.Queue)
+		}
+		if m.DelayProb > 0 && m.Delay <= 0 {
+			return fmt.Errorf("faults: message fault %d (%q) delays with no delay duration", i, m.Queue)
+		}
+		if m.Drop+m.Dup+m.DelayProb == 0 {
+			return fmt.Errorf("faults: message fault %d (%q) injects nothing", i, m.Queue)
+		}
+	}
+	for i, f := range p.Failures {
+		if f.At < 0 {
+			return fmt.Errorf("faults: failure %d is scheduled before time zero", i)
+		}
+	}
+	return nil
+}
+
+// Action is a message verdict.
+type Action uint8
+
+const (
+	// Deliver passes the message through untouched.
+	Deliver Action = iota
+	// Drop discards the message.
+	Drop
+	// Dup delivers the message twice.
+	Dup
+	// Delay delivers the message after the returned duration.
+	Delay
+)
+
+func (a Action) String() string {
+	switch a {
+	case Drop:
+		return "drop"
+	case Dup:
+		return "dup"
+	case Delay:
+		return "delay"
+	default:
+		return "deliver"
+	}
+}
+
+// Stats counts what the injector actually did, for the run report.
+// All fields are omitempty so fault-free reports stay byte-identical.
+type Stats struct {
+	Dropped    int64 `json:"dropped,omitempty"`
+	Duplicated int64 `json:"duplicated,omitempty"`
+	Delayed    int64 `json:"delayed,omitempty"`
+	Crashes    int64 `json:"crashes,omitempty"`
+	Restarts   int64 `json:"restarts,omitempty"`
+	Stalls     int64 `json:"stalls,omitempty"`
+	Failures   int64 `json:"failures,omitempty"`
+}
+
+// Zero reports whether no fault fired.
+func (s Stats) Zero() bool { return s == Stats{} }
+
+// Injector evaluates a Plan's message faults against a private seeded
+// RNG stream and accumulates Stats. The scheduled faults (crashes,
+// stalls, failures) are armed by the runtime, which calls the Note*
+// methods as they fire, so Stats is the one ledger of everything the
+// plan did.
+type Injector struct {
+	plan  *Plan
+	rng   *vclock.RNG
+	stats Stats
+}
+
+// mix finalizes a seed avalanche-style (splitmix64 finalizer) so plan
+// seed 0 against app seed 0 still yields a well-spread stream.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewInjector builds an injector for plan, decorrelating its RNG from
+// the app's own seed-derived streams. plan must already be validated.
+func NewInjector(plan *Plan, appSeed uint64) *Injector {
+	return &Injector{plan: plan, rng: vclock.NewRNG(mix(appSeed ^ mix(plan.Seed)))}
+}
+
+// Plan returns the plan the injector was built from.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// Message draws the verdict for one message on the named queue. The
+// first matching MessageFault rule decides; if none matches, Deliver
+// with no draw, so un-faulted queues cost nothing and do not perturb
+// the stream consumed by faulted ones.
+func (in *Injector) Message(queue string) (Action, vclock.Duration) {
+	for i := range in.plan.Messages {
+		m := &in.plan.Messages[i]
+		if m.Queue != "" && m.Queue != queue {
+			continue
+		}
+		u := in.rng.Float64()
+		switch {
+		case u < m.Drop:
+			in.stats.Dropped++
+			return Drop, 0
+		case u < m.Drop+m.Dup:
+			in.stats.Duplicated++
+			return Dup, 0
+		case u < m.Drop+m.Dup+m.DelayProb:
+			in.stats.Delayed++
+			return Delay, m.Delay
+		}
+		return Deliver, 0
+	}
+	return Deliver, 0
+}
+
+// NoteCrash records a stage crash firing.
+func (in *Injector) NoteCrash() { in.stats.Crashes++ }
+
+// NoteRestart records a crashed stage respawning.
+func (in *Injector) NoteRestart() { in.stats.Restarts++ }
+
+// NoteStall records a CPU stall firing.
+func (in *Injector) NoteStall() { in.stats.Stalls++ }
+
+// NoteFailure records an injected run failure firing.
+func (in *Injector) NoteFailure() { in.stats.Failures++ }
+
+// Stats returns the fault ledger accumulated so far.
+func (in *Injector) Stats() Stats { return in.stats }

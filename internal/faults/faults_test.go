@@ -1,0 +1,142 @@
+package faults
+
+import (
+	"testing"
+
+	"whodunit/internal/vclock"
+)
+
+func TestValidate(t *testing.T) {
+	ok := &Plan{
+		Seed:     7,
+		Crashes:  []StageCrash{{Stage: "db", At: vclock.Time(vclock.Second)}},
+		Stalls:   []Stall{{Stage: "web", At: 0, For: vclock.Millisecond}},
+		Messages: []MessageFault{{Queue: "q", Drop: 0.1, Dup: 0.1, DelayProb: 0.1, Delay: vclock.Millisecond}},
+		Failures: []Fail{{At: vclock.Time(vclock.Second), Msg: "boom"}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if err := (*Plan)(nil).Validate(); err != nil {
+		t.Fatalf("nil plan rejected: %v", err)
+	}
+	bad := []*Plan{
+		{Crashes: []StageCrash{{Stage: ""}}},
+		{Crashes: []StageCrash{{Stage: "db", At: -1}}},
+		{Stalls: []Stall{{Stage: "web", For: 0}}},
+		{Messages: []MessageFault{{Queue: "q", Drop: 1.5}}},
+		{Messages: []MessageFault{{Queue: "q", Drop: 0.6, Dup: 0.6}}},
+		{Messages: []MessageFault{{Queue: "q", DelayProb: 0.5}}},
+		{Messages: []MessageFault{{Queue: "q"}}},
+		{Failures: []Fail{{At: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if !(&Plan{Seed: 3}).Empty() || !(*Plan)(nil).Empty() {
+		t.Fatal("plan with no faults should be Empty")
+	}
+	if (&Plan{Failures: []Fail{{Msg: "x"}}}).Empty() {
+		t.Fatal("plan with a failure reported Empty")
+	}
+}
+
+func TestMessageVerdictsDeterministic(t *testing.T) {
+	plan := &Plan{
+		Seed: 42,
+		Messages: []MessageFault{
+			{Queue: "faulted", Drop: 0.2, Dup: 0.1, DelayProb: 0.1, Delay: vclock.Millisecond},
+		},
+	}
+	run := func() []Action {
+		in := NewInjector(plan, 9)
+		var out []Action
+		for i := 0; i < 500; i++ {
+			a, _ := in.Message("faulted")
+			out = append(out, a)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	counts := map[Action]int{}
+	for _, v := range a {
+		counts[v]++
+	}
+	// With 500 draws at 20/10/10% the faulted counts cannot plausibly be
+	// zero; this guards against a verdict ladder that never fires.
+	for _, act := range []Action{Drop, Dup, Delay} {
+		if counts[act] == 0 {
+			t.Errorf("no %v verdicts in 500 draws", act)
+		}
+	}
+	if counts[Deliver] < 200 {
+		t.Errorf("only %d deliveries in 500 draws at 60%% deliver", counts[Deliver])
+	}
+}
+
+func TestUnmatchedQueueConsumesNoRandomness(t *testing.T) {
+	plan := &Plan{Messages: []MessageFault{{Queue: "faulted", Drop: 0.5}}}
+	a := NewInjector(plan, 1)
+	b := NewInjector(plan, 1)
+	// Interleave traffic on an un-faulted queue in one injector only; the
+	// faulted queue's verdict stream must not shift.
+	for i := 0; i < 100; i++ {
+		if act, _ := a.Message("other"); act != Deliver {
+			t.Fatal("un-faulted queue was faulted")
+		}
+		av, _ := a.Message("faulted")
+		bv, _ := b.Message("faulted")
+		if av != bv {
+			t.Fatalf("draw %d diverged after un-faulted traffic: %v vs %v", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	plan1 := &Plan{Seed: 1, Messages: []MessageFault{{Queue: "", Drop: 0.5}}}
+	plan2 := &Plan{Seed: 2, Messages: []MessageFault{{Queue: "", Drop: 0.5}}}
+	a := NewInjector(plan1, 7)
+	b := NewInjector(plan2, 7)
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		av, _ := a.Message("q")
+		bv, _ := b.Message("q")
+		if av == bv {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different plan seeds produced identical verdict streams")
+	}
+}
+
+func TestStatsLedger(t *testing.T) {
+	plan := &Plan{Messages: []MessageFault{{Queue: "", Drop: 1}}}
+	in := NewInjector(plan, 0)
+	for i := 0; i < 3; i++ {
+		in.Message("q")
+	}
+	in.NoteCrash()
+	in.NoteRestart()
+	in.NoteStall()
+	in.NoteFailure()
+	got := in.Stats()
+	want := Stats{Dropped: 3, Crashes: 1, Restarts: 1, Stalls: 1, Failures: 1}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	if got.Zero() || (Stats{}).Zero() == false {
+		t.Fatal("Zero() misreported")
+	}
+}

@@ -418,6 +418,16 @@ var all = []Scenario{
 		Defaults: Params{Seed: 7, Mode: whodunit.ModeWhodunit}, MakeApp: eventserverApp},
 	{Name: "sedapipeline", About: "four-stage SEDA pipeline (examples/sedapipeline)",
 		Defaults: Params{Seed: 7, Mode: whodunit.ModeWhodunit}, MakeApp: sedapipelineApp},
+
+	// Degraded-mode scenario: the TPC-W run with the mysql tier's dump
+	// lost — the partial stitched report (severed edges into the
+	// "(missing)" sink) is pinned bit-for-bit like any healthy report.
+	{Name: "tpcw-partial", About: "TPC-W, 10 clients, with the mysql tier's dump lost (partial stitched report)",
+		Defaults: Params{Seed: 1, Mode: whodunit.ModeWhodunit},
+		Make: func(p Params) *whodunit.Report {
+			full := tpcwScenario("", "", Params{}, 10, 30*whodunit.Second).Make(p)
+			return full.DropStage("mysql")
+		}},
 }
 
 // All returns the corpus in its stable order.

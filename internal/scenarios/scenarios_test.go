@@ -115,6 +115,65 @@ func TestDiffSelfEmptyCorpus(t *testing.T) {
 	}
 }
 
+// TestCorpusUnderFaultPlan reruns the API-level corpus under a seeded
+// message-delay fault plan and asserts the faulted reports are
+// bit-identical across repeated serial runs AND across the RunApps
+// parallel fan-out — the bit-reproducibility acceptance bar extended to
+// injected faults. Delays (not drops) keep every scenario's bounded
+// worker loops live.
+func TestCorpusUnderFaultPlan(t *testing.T) {
+	plan := &whodunit.FaultPlan{
+		Seed:     3,
+		Messages: []whodunit.MessageFault{{DelayProb: 0.25, Delay: 2 * whodunit.Millisecond}},
+	}
+	var list []scenarios.Scenario
+	for _, s := range scenarios.All() {
+		if s.MakeApp != nil {
+			list = append(list, s)
+		}
+	}
+	faultedApps := func() []*whodunit.App {
+		apps := make([]*whodunit.App, len(list))
+		for i, s := range list {
+			apps[i] = s.MakeApp(s.Defaults)
+			apps[i].SetFaults(plan)
+		}
+		return apps
+	}
+	renderOne := func(rep *whodunit.Report) []byte {
+		var buf bytes.Buffer
+		if err := rep.JSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	runSerial := func() [][]byte {
+		out := make([][]byte, len(list))
+		for i, app := range faultedApps() {
+			out[i] = renderOne(app.Run())
+		}
+		return out
+	}
+	a, b := runSerial(), runSerial()
+	parallel := whodunit.RunApps(faultedApps()...)
+	injected := false
+	for i, s := range list {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("%s: two serial faulted runs differ (%d vs %d bytes)", s.Name, len(a[i]), len(b[i]))
+		}
+		if got := renderOne(parallel[i]); !bytes.Equal(a[i], got) {
+			t.Errorf("%s: RunApps-parallel faulted run differs from serial (%d vs %d bytes)",
+				s.Name, len(a[i]), len(got))
+		}
+		if parallel[i].Faults != nil {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("the fault plan injected nothing across the whole corpus")
+	}
+}
+
 // TestRunAllDeterminism runs the whole corpus serially and through the
 // parallel RunAll fan-out (whodunit.RunApps + the par pool) and asserts
 // every pair of reports is bit-identical and diff-empty — PR 2's

@@ -2,6 +2,7 @@ package scenarios
 
 import (
 	"fmt"
+	"time"
 
 	"whodunit"
 	"whodunit/internal/vclock"
@@ -33,7 +34,13 @@ type ServeScenario struct {
 	// any real behavior shift it models.
 	Threshold int64
 
+	// Exactly one of MakeApp and MakeRun is set. MakeApp builds the app
+	// for an unsupervised server; MakeRun (supervised scenarios) builds
+	// the app for the given 0-based run attempt — the server rebuilds
+	// through it after a crash, so a scenario can inject a failure into
+	// run 0 only and model recovery.
 	MakeApp func(p Params) *whodunit.App
+	MakeRun func(p Params, run int) *whodunit.App
 }
 
 // serveWebApp builds the open-loop two-tier web app: a Poisson arrival
@@ -110,6 +117,100 @@ func serveWebApp(name string, p Params, searchShift whodunit.Duration) *whodunit
 	return app
 }
 
+// serveCrashyApp builds the degraded-operation variant of the web app:
+// the db-request queue drops ~12% of its messages (web workers retry
+// under a timeout, so the drops surface as "retry" frames in the web
+// CCT), and run 0 additionally dies from an injected failure at t=5s —
+// the supervised server rebuilds through MakeRun and recovers.
+func serveCrashyApp(name string, p Params, run int) *whodunit.App {
+	plan := &whodunit.FaultPlan{
+		Seed:     p.Seed,
+		Messages: []whodunit.MessageFault{{Queue: "db-requests", Drop: 0.12}},
+	}
+	if run == 0 {
+		plan.Failures = []whodunit.Fail{{
+			At:  whodunit.Time(5 * whodunit.Second),
+			Msg: "injected tier panic (run 0)",
+		}}
+	}
+	app := whodunit.NewApp(name,
+		whodunit.WithMode(p.Mode),
+		whodunit.WithCores(2),
+		whodunit.WithSeed(p.Seed),
+		whodunit.WithFaults(plan))
+	web, db := app.Stage("web"), app.Stage("db")
+	reqQ, dbQ := app.NewQueue("requests"), app.NewQueue("db-requests")
+
+	pageRNG := vclock.NewRNG(p.Seed ^ 0x9e3779b97f4a7c15)
+	page := func() string {
+		if pageRNG.Float64() < 0.2 {
+			return "search"
+		}
+		return "home"
+	}
+	app.Arrivals("requests", 15*whodunit.Millisecond, func(i int64) {
+		reqQ.Put(page())
+	})
+
+	type dbReq struct {
+		page  string
+		respQ *whodunit.Queue
+	}
+	serveFrame := map[string]string{"home": "serve_home", "search": "serve_search"}
+
+	db.Go("db", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		for {
+			msg := dbQ.Get(th).(whodunit.Msg)
+			db.Endpoint().Recv(pr, msg)
+			req := msg.Data.(dbReq)
+			func() {
+				defer pr.Exit(pr.Enter("exec_query"))
+				if req.page == "search" {
+					defer pr.Exit(pr.Enter("sort_rows"))
+					pr.Compute(30 * whodunit.Millisecond)
+				} else {
+					pr.Compute(3 * whodunit.Millisecond)
+				}
+				req.respQ.Put(db.Endpoint().Send(pr, nil))
+			}()
+		}
+	})
+	// The retry timeout sits far above the worst-case db backlog (4
+	// blocked workers x 30ms searches), so a timeout always means the
+	// request was dropped — never a late response that would desync the
+	// per-worker response queue.
+	pol := whodunit.RetryPolicy{
+		Attempts: 3,
+		Timeout:  200 * whodunit.Millisecond,
+		Backoff:  5 * whodunit.Millisecond,
+	}
+	const webWorkers = 4
+	for w := 0; w < webWorkers; w++ {
+		respQ := app.NewQueue(fmt.Sprintf("responses-%d", w))
+		web.Go(fmt.Sprintf("web-%d", w), func(th *whodunit.Thread, pr *whodunit.Probe) {
+			for {
+				pg := reqQ.Get(th).(string)
+				func() {
+					defer pr.Exit(pr.Enter(serveFrame[pg]))
+					pr.Compute(whodunit.Millisecond)
+					web.Retry(pr, pol, func(int) bool {
+						// Marshalling cost per attempt: retried attempts
+						// sample under the "retry" frame.
+						pr.Compute(200 * whodunit.Microsecond)
+						dbQ.Put(web.Endpoint().Send(pr, dbReq{page: pg, respQ: respQ}))
+						resp, ok := respQ.GetTimeout(th, pol.Timeout)
+						if ok {
+							web.Endpoint().Recv(pr, resp.(whodunit.Msg))
+						}
+						return ok
+					})
+				}()
+			}
+		})
+	}
+	return app
+}
+
 // serveAll is the serving corpus, in golden-regeneration order.
 var serveAll = []ServeScenario{
 	{
@@ -130,6 +231,16 @@ var serveAll = []ServeScenario{
 		Threshold: 400,
 		MakeApp: func(p Params) *whodunit.App {
 			return serveWebApp("serve-shift", p, 6*whodunit.Second)
+		},
+	},
+	{
+		Name:      "serve-crashy",
+		About:     "serve-web under faults: 12% db-request drops (retried), run 0 dies at t=5s and the supervisor recovers",
+		Defaults:  Params{Seed: 11, Mode: whodunit.ModeWhodunit},
+		Window:    2 * whodunit.Second,
+		Threshold: -1,
+		MakeRun: func(p Params, run int) *whodunit.App {
+			return serveCrashyApp("serve-crashy", p, run)
 		},
 	},
 }
@@ -171,19 +282,46 @@ func (s ServeScenario) Windows(n int) []*whodunit.Report {
 
 // WindowsWith is Windows with explicit parameters.
 func (s ServeScenario) WindowsWith(p Params, n int) []*whodunit.Report {
-	app := s.MakeApp(p)
-	srv := whodunit.NewServer(app, whodunit.ServeConfig{
+	var out []*whodunit.Report
+	for _, ev := range s.EventsWith(p, n) {
+		if ev.Report.Elapsed == s.Window && len(out) < n {
+			out = append(out, ev.Report)
+		}
+	}
+	return out
+}
+
+// Events runs the scenario at its defaults until n windows have retired
+// (full and partial alike) and returns every retired WindowEvent in
+// sequence order — the raw feed the degraded-operation goldens pin:
+// unlike Windows it keeps the crash-partial windows and the
+// degraded/recovered annotations. Supervised scenarios (MakeRun) run
+// under a supervised Server; the restart backoff is wall-clock only, so
+// the event sequence stays a pure function of the seed.
+func (s ServeScenario) Events(n int) []*whodunit.WindowEvent {
+	return s.EventsWith(s.Defaults, n)
+}
+
+// EventsWith is Events with explicit parameters.
+func (s ServeScenario) EventsWith(p Params, n int) []*whodunit.WindowEvent {
+	cfg := whodunit.ServeConfig{
 		Window:     s.Window,
 		Retain:     n + 1,
 		Threshold:  -1,
 		MaxWindows: n,
-	})
+	}
+	var app *whodunit.App
+	if s.MakeRun != nil {
+		cfg.MakeApp = func(run int) *whodunit.App { return s.MakeRun(p, run) }
+		cfg.RestartBackoff = time.Millisecond
+	} else {
+		app = s.MakeApp(p)
+	}
+	srv := whodunit.NewServer(app, cfg)
 	srv.Run()
-	var out []*whodunit.Report
+	var out []*whodunit.WindowEvent
 	for _, kv := range srv.Ring().Entries() {
-		if kv.V.Report.Elapsed == s.Window && len(out) < n {
-			out = append(out, kv.V.Report)
-		}
+		out = append(out, kv.V)
 	}
 	return out
 }

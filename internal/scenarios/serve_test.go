@@ -8,6 +8,7 @@ package scenarios_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"whodunit"
@@ -29,11 +30,57 @@ func renderWindows(t *testing.T, reps []*whodunit.Report) []byte {
 	return buf.Bytes()
 }
 
+// renderEvents renders the full event feed — full and partial windows
+// with their degraded/recovered annotations — one header line plus the
+// report JSON per event. This is the pinned artifact of the supervised
+// (MakeRun) scenarios, where the crash-partial window and the recovery
+// point are exactly what the golden must not let drift.
+func renderEvents(t *testing.T, evs []*whodunit.WindowEvent) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, ev := range evs {
+		fmt.Fprintf(&buf, "# window %d elapsed_ns=%d degraded=%v recovered=%v restarts=%d alert=%v\n",
+			ev.Report.Window.Seq, ev.Report.Elapsed, ev.Degraded, ev.Recovered, ev.Restarts, ev.Alert)
+		if err := ev.Report.JSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
 func TestServeWindowsGolden(t *testing.T) {
 	for _, s := range scenarios.ServeAll() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
+			if s.MakeRun != nil {
+				// Supervised scenario: pin the whole event feed instead —
+				// six windows spanning the crash, the partial salvage and
+				// the recovery.
+				evs := s.Events(6)
+				if len(evs) != 6 {
+					t.Fatalf("got %d events, want 6", len(evs))
+				}
+				sawPartial, sawRecovered := false, false
+				for i, ev := range evs {
+					if ev.Report.Window == nil || ev.Report.Window.Seq != int64(i) {
+						t.Fatalf("event %d has window metadata %+v; series not dense across the restart",
+							i, ev.Report.Window)
+					}
+					if ev.Report.Elapsed < s.Window {
+						sawPartial = true
+					}
+					if ev.Recovered {
+						sawRecovered = true
+					}
+				}
+				if !sawPartial || !sawRecovered {
+					t.Fatalf("event feed missing the crash partial (%v) or the recovery (%v)",
+						sawPartial, sawRecovered)
+				}
+				checkBytes(t, s.Name, "events", renderEvents(t, evs))
+				return
+			}
 			reps := s.Windows(serveGoldenWindows)
 			if len(reps) != serveGoldenWindows {
 				t.Fatalf("got %d windows, want %d", len(reps), serveGoldenWindows)
@@ -62,8 +109,16 @@ func TestServeWindowsDeterministic(t *testing.T) {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
-			a := renderWindows(t, s.Windows(3))
-			b := renderWindows(t, s.Windows(3))
+			var a, b []byte
+			if s.MakeRun != nil {
+				// Supervised scenarios must be deterministic through the
+				// crash and restart, wall-clock backoff and all.
+				a = renderEvents(t, s.Events(4))
+				b = renderEvents(t, s.Events(4))
+			} else {
+				a = renderWindows(t, s.Windows(3))
+				b = renderWindows(t, s.Windows(3))
+			}
 			if !bytes.Equal(a, b) {
 				t.Fatalf("two runs of %s produced different window sequences (%d vs %d bytes)",
 					s.Name, len(a), len(b))

@@ -34,6 +34,10 @@ type StageDump struct {
 	Stage string           `json:"stage"`
 	Trees []TreeDump       `json:"trees"`
 	Sends []ipc.SendRecord `json:"sends"`
+	// Lost counts dump records that could not be salvaged when the dump
+	// was read back from a truncated or corrupt stream (ReadDumpStream);
+	// the rest of the dump is the complete prefix that survived.
+	Lost int `json:"lost,omitempty"`
 }
 
 // Source is anything holding a per-context tree dictionary to dump: a
@@ -103,13 +107,34 @@ type Edge struct {
 type Graph struct {
 	Nodes []Node
 	Edges []Edge
+	// Missing names stages declared absent when the graph was built
+	// partially (BuildPartial): a crashed tier whose dump never landed.
+	// Sends that found no receiver are then represented by severed edges
+	// to a synthetic "(missing)" node instead of being dropped.
+	Missing []string
 }
 
 // Build stitches per-stage dumps into the global graph. Trees are matched
 // by synopsis chain: stage B's tree with prefix P connects to the stage A
-// context that sent chain P.
-func Build(dumps []StageDump) *Graph {
+// context that sent chain P. Sends with no matching receiver are simply
+// omitted — in a complete profile those are response sends back to a
+// context the stitcher already connected, not evidence of loss.
+func Build(dumps []StageDump) *Graph { return BuildPartial(dumps, nil) }
+
+// BuildPartial is Build for profiles known to be incomplete: missing
+// names the stages whose dumps are absent (a crashed tier, a dump file
+// lost in collection). When missing is non-empty, each sender context
+// whose sends matched no receiver gets one "severed" edge to a synthetic
+// "(missing)" node, so the partial graph shows where transactions left
+// the observed world instead of silently ending. With an empty missing
+// list it is exactly Build — unmatched response sends in a complete
+// profile are expected and must not be severed.
+func BuildPartial(dumps []StageDump, missing []string) *Graph {
 	g := &Graph{}
+	if len(missing) > 0 {
+		g.Missing = append([]string(nil), missing...)
+		sort.Strings(g.Missing)
+	}
 	// Index nodes by (stage, context key), and receiver candidates by
 	// prefix chain, in one pass. The per-send matching below is then a
 	// single map lookup instead of the previous O(sends × stages × trees)
@@ -134,19 +159,36 @@ func Build(dumps []StageDump) *Graph {
 	}
 	// Request edges: sender context --chain--> receiver tree whose prefix
 	// equals the sent chain (in another stage).
+	severed := make(map[int]bool) // sender nodes with at least one lost send
 	for _, d := range dumps {
 		for _, send := range d.Sends {
 			from, ok := byStageKey[d.Stage+"\x00"+send.FromKey]
 			if !ok {
 				continue
 			}
+			matched := false
 			for _, to := range byPrefix[send.Chain] {
 				if stageOf[to] == d.Stage {
 					continue
 				}
+				matched = true
 				g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: "request"})
 				g.Edges = append(g.Edges, Edge{From: to, To: from, Kind: "response"})
 			}
+			if !matched && len(g.Missing) > 0 {
+				severed[from] = true
+			}
+		}
+	}
+	if len(severed) > 0 {
+		sink := len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{
+			Stage: "(missing)",
+			Label: "lost to: " + strings.Join(g.Missing, ", "),
+			Tree:  cct.New("(missing)"),
+		})
+		for from := range severed {
+			g.Edges = append(g.Edges, Edge{From: from, To: sink, Kind: "severed"})
 		}
 	}
 	sort.Slice(g.Edges, func(i, j int) bool {
@@ -164,6 +206,9 @@ func Build(dumps []StageDump) *Graph {
 
 // Render writes a text form of the graph: nodes with totals and edges.
 func (g *Graph) Render(w io.Writer) {
+	if len(g.Missing) > 0 {
+		fmt.Fprintf(w, "partial graph; missing stages: %s\n", strings.Join(g.Missing, ", "))
+	}
 	grand := int64(0)
 	for _, n := range g.Nodes {
 		grand += n.Total
@@ -191,8 +236,11 @@ func (g *Graph) DOT(w io.Writer) {
 	}
 	for _, e := range g.Edges {
 		style := "solid"
-		if e.Kind == "response" {
+		switch e.Kind {
+		case "response":
 			style = "dashed"
+		case "severed":
+			style = "dotted"
 		}
 		fmt.Fprintf(w, "  n%d -> n%d [style=%s,label=\"%s\"];\n", e.From, e.To, style, e.Kind)
 	}

@@ -131,3 +131,61 @@ func TestDecodeBadJSON(t *testing.T) {
 		t.Fatal("bad JSON should fail")
 	}
 }
+
+func TestBuildPartialSeversLostSends(t *testing.T) {
+	dumps := buildTwoTier(t)
+	// Lose the callee tier entirely, as a crashed stage whose dump never
+	// landed. The caller's sends now match nothing; a partial build must
+	// surface them as severed edges instead of dropping them.
+	partial := BuildPartial(dumps[:1], []string{"callee"})
+	if len(partial.Missing) != 1 || partial.Missing[0] != "callee" {
+		t.Fatalf("Missing = %v, want [callee]", partial.Missing)
+	}
+	var sink = -1
+	for i, n := range partial.Nodes {
+		if n.Stage == "(missing)" {
+			sink = i
+			if !strings.Contains(n.Label, "callee") {
+				t.Errorf("sink label %q does not name the missing stage", n.Label)
+			}
+		}
+	}
+	if sink < 0 {
+		t.Fatal("no (missing) sink node in the partial graph")
+	}
+	severed := 0
+	for _, e := range partial.Edges {
+		if e.Kind == "severed" {
+			severed++
+			if e.To != sink {
+				t.Errorf("severed edge points at node %d, not the sink %d", e.To, sink)
+			}
+		}
+	}
+	if severed == 0 {
+		t.Fatal("no severed edges for the caller's unmatched sends")
+	}
+	// A complete profile must never sever: the same dumps with no
+	// declared-missing stages build exactly as before.
+	full := BuildPartial(dumps, nil)
+	for _, e := range full.Edges {
+		if e.Kind == "severed" {
+			t.Fatal("complete profile grew a severed edge")
+		}
+	}
+	for _, n := range full.Nodes {
+		if n.Stage == "(missing)" {
+			t.Fatal("complete profile grew a (missing) node")
+		}
+	}
+	var buf bytes.Buffer
+	partial.Render(&buf)
+	if !strings.Contains(buf.String(), "missing stages: callee") {
+		t.Errorf("Render does not announce the missing stage:\n%s", buf.String())
+	}
+	buf.Reset()
+	partial.DOT(&buf)
+	if !strings.Contains(buf.String(), "style=dotted") {
+		t.Errorf("DOT does not dot the severed edges:\n%s", buf.String())
+	}
+}

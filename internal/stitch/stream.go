@@ -1,0 +1,98 @@
+package stitch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"whodunit/internal/ipc"
+)
+
+// Streaming dump format: a stage writes its profile as JSON Lines — a
+// header line naming the stage, then one line per tree and per send —
+// so a dump interrupted mid-write (the stage crashed, the disk filled)
+// is still a parseable prefix. ReadDumpStream salvages that prefix and
+// reports how many records were lost, instead of the all-or-nothing
+// failure a truncated monolithic JSON document gives.
+
+// streamLine is one line of the streaming format. Exactly one field is
+// set: Stage on the header line, Tree or Send on record lines.
+type streamLine struct {
+	Stage *string         `json:"stage,omitempty"`
+	Tree  *TreeDump       `json:"tree,omitempty"`
+	Send  *ipc.SendRecord `json:"send,omitempty"`
+}
+
+// EncodeStream writes the dump in the streaming (JSON Lines) format.
+func (d StageDump) EncodeStream(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(streamLine{Stage: &d.Stage}); err != nil {
+		return fmt.Errorf("stitch: encode stream header: %w", err)
+	}
+	for i := range d.Trees {
+		if err := enc.Encode(streamLine{Tree: &d.Trees[i]}); err != nil {
+			return fmt.Errorf("stitch: encode tree record: %w", err)
+		}
+	}
+	for i := range d.Sends {
+		if err := enc.Encode(streamLine{Send: &d.Sends[i]}); err != nil {
+			return fmt.Errorf("stitch: encode send record: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadDumpStream reads a streaming dump back, salvaging what it can:
+// records up to the first truncated or corrupt line are kept, and that
+// line plus everything after it is counted in lost (also recorded on
+// the returned dump as Lost). Only a missing or unreadable header line
+// is an error — with no stage name the records cannot be attributed,
+// so there is nothing to salvage.
+func ReadDumpStream(r io.Reader) (d StageDump, lost int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if serr := sc.Err(); serr != nil {
+			return StageDump{}, 0, fmt.Errorf("stitch: read stream header: %w", serr)
+		}
+		return StageDump{}, 0, fmt.Errorf("stitch: stream dump is empty")
+	}
+	var hdr streamLine
+	if uerr := json.Unmarshal(sc.Bytes(), &hdr); uerr != nil || hdr.Stage == nil {
+		return StageDump{}, 0, fmt.Errorf("stitch: stream dump has no stage header")
+	}
+	d.Stage = *hdr.Stage
+	salvaging := true
+	for sc.Scan() {
+		if !salvaging {
+			lost++
+			continue
+		}
+		var line streamLine
+		if uerr := json.Unmarshal(sc.Bytes(), &line); uerr != nil {
+			salvaging = false
+			lost++
+			continue
+		}
+		switch {
+		case line.Tree != nil:
+			d.Trees = append(d.Trees, *line.Tree)
+		case line.Send != nil:
+			d.Sends = append(d.Sends, *line.Send)
+		default:
+			// A well-formed JSON line that is none of the three record
+			// kinds is corruption all the same.
+			salvaging = false
+			lost++
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		// The reader failed mid-stream (or a line overflowed the buffer):
+		// whatever was decoded so far is the salvageable prefix, and at
+		// least one record is unaccounted for.
+		lost++
+	}
+	d.Lost = lost
+	return d, lost, nil
+}

@@ -1,0 +1,119 @@
+package stitch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"whodunit/internal/cct"
+	"whodunit/internal/ipc"
+)
+
+func sampleDump() StageDump {
+	return StageDump{
+		Stage: "web",
+		Trees: []TreeDump{
+			{Key: "|root", Prefix: "", Label: "root", Total: 10,
+				Records: []cct.FlatRecord{{Path: []string{"main", "handle"}, Self: 10, Calls: 1}}},
+			{Key: "c|q", Prefix: "c", Label: "query", Total: 4,
+				Records: []cct.FlatRecord{{Path: []string{"main", "query"}, Self: 4, Calls: 2}}},
+		},
+		Sends: []ipc.SendRecord{{FromKey: "|root", Chain: "web:1"}},
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	d := sampleDump()
+	var buf bytes.Buffer
+	if err := d.EncodeStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, lost, err := ReadDumpStream(&buf)
+	if err != nil || lost != 0 {
+		t.Fatalf("ReadDumpStream: lost=%d err=%v", lost, err)
+	}
+	if got.Stage != d.Stage || len(got.Trees) != 2 || len(got.Sends) != 1 {
+		t.Fatalf("round trip mangled the dump: %+v", got)
+	}
+	if got.Trees[1].Label != "query" || got.Trees[1].Records[0].Self != 4 {
+		t.Fatalf("tree record mangled: %+v", got.Trees[1])
+	}
+}
+
+func TestStreamSalvagesTruncatedTail(t *testing.T) {
+	d := sampleDump()
+	var buf bytes.Buffer
+	if err := d.EncodeStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the stream mid-way through its final line, as a crash during
+	// dump writing would.
+	whole := buf.Bytes()
+	cut := bytes.LastIndexByte(whole[:len(whole)-1], '\n') + 1 + 5
+	got, lost, err := ReadDumpStream(bytes.NewReader(whole[:cut]))
+	if err != nil {
+		t.Fatalf("truncated stream should salvage, got error %v", err)
+	}
+	if lost != 1 || got.Lost != 1 {
+		t.Fatalf("lost = %d (dump.Lost = %d), want 1", lost, got.Lost)
+	}
+	if len(got.Trees) != 2 || len(got.Sends) != 0 {
+		t.Fatalf("salvaged prefix wrong: %d trees, %d sends", len(got.Trees), len(got.Sends))
+	}
+}
+
+func TestStreamCorruptMiddleStopsSalvage(t *testing.T) {
+	lines := []string{
+		`{"stage":"web"}`,
+		`{"tree":{"key":"|a","label":"a","total":1}}`,
+		`garbage not json`,
+		`{"tree":{"key":"|b","label":"b","total":2}}`,
+	}
+	got, lost, err := ReadDumpStream(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records after the corrupt line are unaccounted for: the complete
+	// prefix is one tree, everything else counts as lost.
+	if len(got.Trees) != 1 || lost != 2 {
+		t.Fatalf("trees=%d lost=%d, want 1 salvaged and 2 lost", len(got.Trees), lost)
+	}
+}
+
+func TestStreamNoHeaderErrors(t *testing.T) {
+	for _, in := range []string{"", "not json\n", `{"tree":{"key":"|a"}}` + "\n"} {
+		if _, _, err := ReadDumpStream(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error, got none", in)
+		}
+	}
+}
+
+func FuzzReadDump(f *testing.F) {
+	var buf bytes.Buffer
+	if err := sampleDump().EncodeStream(&buf); err != nil {
+		f.Fatal(err)
+	}
+	whole := buf.String()
+	f.Add(whole)
+	f.Add(whole[:len(whole)/2])
+	f.Add(whole[:len(whole)-3])
+	f.Add(`{"stage":"x"}` + "\n" + `{"send":{"FromKey":"k","Chain":"c"}}` + "\n")
+	f.Add("{\"stage\":\"x\"}\n{}\n")
+	f.Add("")
+	f.Add("\x00\x01\x02")
+	f.Add(`{"stage":"x"}` + "\n" + strings.Repeat(`{"tree":{"key":"|t","total":1}}`+"\n", 50))
+	f.Fuzz(func(t *testing.T, in string) {
+		// Whatever the bytes, ReadDumpStream must either salvage or error
+		// — never panic — and a non-error result must account for every
+		// record line as either salvaged or lost.
+		d, lost, err := ReadDumpStream(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if lost < 0 || d.Lost != lost {
+			t.Fatalf("lost accounting broken: lost=%d dump.Lost=%d", lost, d.Lost)
+		}
+		// Salvaged dumps must stitch without panicking, Lost and all.
+		BuildPartial([]StageDump{d}, []string{"gone"})
+	})
+}

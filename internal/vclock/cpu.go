@@ -10,6 +10,7 @@ type CPU struct {
 	sim      *Sim
 	nextFree []Time   // per-core time at which the core becomes free
 	busy     Duration // total core-occupancy accumulated
+	stolen   Duration // occupancy injected by Preempt (slow-node faults)
 }
 
 // NewCPU returns a CPU with `cores` cores attached to s.
@@ -54,6 +55,29 @@ func (c *CPU) reserve(d Duration) Time {
 	c.busy += d
 	return end
 }
+
+// Preempt steals d of CPU time on every core starting now: pending and
+// future Compute requests finish at least d later, exactly as if a
+// co-located process had hogged the whole machine — the slow-node fault.
+// The stolen time is tracked separately from Busy, so application
+// utilization figures keep their meaning; read it with Stolen. Callable
+// from scheduler callbacks; it never blocks.
+func (c *CPU) Preempt(d Duration) {
+	if d <= 0 {
+		return
+	}
+	for i := range c.nextFree {
+		start := c.nextFree[i]
+		if start < c.sim.now {
+			start = c.sim.now
+		}
+		c.nextFree[i] = start.Add(d)
+	}
+	c.stolen += d * Duration(len(c.nextFree))
+}
+
+// Stolen reports the total core-occupancy injected by Preempt.
+func (c *CPU) Stolen() Duration { return c.stolen }
 
 // Compute consumes d of CPU time on c: the calling thread blocks until a
 // core has executed its request. Zero and negative durations return

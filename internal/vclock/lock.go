@@ -158,6 +158,12 @@ func (t *Thread) Unlock(l *Lock) {
 func (l *Lock) grantWaiters() {
 	for len(l.waiters) > 0 {
 		w := l.waiters[0]
+		if w.t.dead {
+			// The waiter was killed while queued; drop its request so it
+			// neither blocks later waiters nor becomes a zombie holder.
+			l.waiters = l.waiters[1:]
+			continue
+		}
 		if !l.grantable(w.mode) {
 			return
 		}

@@ -44,13 +44,19 @@ func (q *Queue) Stats() (puts, gets int64, maxLen int) {
 // from simulated threads.
 func (q *Queue) Put(v any) {
 	q.puts++
-	if q.whead < len(q.waiters) {
+	for q.whead < len(q.waiters) {
 		w := q.waiters[q.whead]
 		q.waiters[q.whead] = nil
 		q.whead++
 		if q.whead == len(q.waiters) {
 			q.waiters = q.waiters[:0]
 			q.whead = 0
+		}
+		if w.dead {
+			// The waiter was killed while parked here; the item goes to
+			// the next waiter (or the buffer) instead of vanishing into
+			// a dead thread.
+			continue
 		}
 		q.gets++
 		q.sim.wakeAt(q.sim.now, w, v)
@@ -77,6 +83,52 @@ func (t *Thread) Get(q *Queue) any {
 	if v, ok := t.TryGet(q); ok {
 		return v
 	}
+	t.waitGen++
+	q.enqueueWaiter(t)
+	return t.park()
+}
+
+// timeoutWake is the payload a GetTimeout timer delivers; unexported, so
+// a Put can never legitimately hand it over.
+type timeoutWake struct{}
+
+// GetTimeout is Get bounded to d of virtual time: it returns (item,
+// true) if one arrives in time, or (nil, false) once d elapses with the
+// thread still waiting. The timer is an ordinary heap event, so a
+// timeout is as deterministic as any other wake-up. A non-positive d
+// degrades to TryGet. This is the client-side timeout primitive under
+// retry-with-backoff request handling.
+func (t *Thread) GetTimeout(q *Queue, d Duration) (any, bool) {
+	if v, ok := t.TryGet(q); ok {
+		return v, true
+	}
+	if d <= 0 {
+		return nil, false
+	}
+	s := t.sim
+	// The generation stamp ties the timer to THIS wait: if a Put wins and
+	// the thread is already waiting again (on any queue) when the timer
+	// fires, the stamp has moved on and the timer does nothing. Together
+	// with removeWaiter this preserves the single-wake invariant — a
+	// parked thread is woken by exactly one of {hand-off, timeout}.
+	t.waitGen++
+	gen := t.waitGen
+	q.enqueueWaiter(t)
+	s.At(s.now.Add(d), func() {
+		if t.waitGen == gen && !t.dead && q.removeWaiter(t) {
+			s.wakeAt(s.now, t, timeoutWake{})
+		}
+	})
+	v := t.park()
+	if _, timedOut := v.(timeoutWake); timedOut {
+		return nil, false
+	}
+	return v, true
+}
+
+// enqueueWaiter appends t to the waiter list, compacting consumed slots
+// first (same steady-capacity discipline as the item buffer).
+func (q *Queue) enqueueWaiter(t *Thread) {
 	if q.whead > 0 && len(q.waiters) == cap(q.waiters) {
 		n := copy(q.waiters, q.waiters[q.whead:])
 		clear(q.waiters[n:])
@@ -84,7 +136,25 @@ func (t *Thread) Get(q *Queue) any {
 		q.whead = 0
 	}
 	q.waiters = append(q.waiters, t)
-	return t.park()
+}
+
+// removeWaiter withdraws t from the waiter list, preserving FIFO order
+// of the rest. It reports whether t was still waiting.
+func (q *Queue) removeWaiter(t *Thread) bool {
+	for i := q.whead; i < len(q.waiters); i++ {
+		if q.waiters[i] != t {
+			continue
+		}
+		copy(q.waiters[i:], q.waiters[i+1:])
+		q.waiters[len(q.waiters)-1] = nil
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		if q.whead == len(q.waiters) {
+			q.waiters = q.waiters[:0]
+			q.whead = 0
+		}
+		return true
+	}
+	return false
 }
 
 // TryGet removes and returns the oldest item if one is buffered; it never

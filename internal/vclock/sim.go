@@ -2,6 +2,7 @@ package vclock
 
 import (
 	"fmt"
+	"runtime/debug"
 )
 
 // Sim is a deterministic discrete-event simulator. It owns the virtual
@@ -31,10 +32,33 @@ type Sim struct {
 	running  bool        // inside RunUntil
 	stop     func() bool // RunUntil's stop predicate, nil when absent
 	selfWake any         // payload of a baton-self wake (see dispatchFrom)
+
+	crash   *Crash        // first captured panic; halts dispatch
+	killAck chan struct{} // killed thread -> killer handshake
 }
 
-// poison is sent to a parked thread by Shutdown to unwind it.
+// poison is sent to a parked thread by Shutdown (and by Kill) to unwind
+// it: the panic is recovered inside the thread wrapper, so the thread's
+// deferred functions run.
 type poison struct{}
+
+// Crash records the first panic that escaped a simulated thread's body
+// or a scheduler callback. Dispatch halts at the crash — no further
+// event runs — so the failure point is deterministic: with a fixed seed
+// the same crash happens at the same virtual time with the same events
+// already dispatched, every run.
+type Crash struct {
+	Thread string // crashing thread's name, or "(scheduler)" for a callback
+	At     Time   // virtual time of the crash
+	Value  any    // the panic value
+	Stack  []byte // goroutine stack at the panic site
+}
+
+// Error renders the crash; Crash satisfies error so supervisors can
+// return it.
+func (c *Crash) Error() string {
+	return fmt.Sprintf("vclock: %s crashed at %v: %v", c.Thread, c.At, c.Value)
+}
 
 type event struct {
 	when  Time
@@ -43,6 +67,7 @@ type event struct {
 	fn    func()  // callback to run in dispatcher context
 	v     any     // payload delivered to t (queue item), nil for plain wakes
 	start bool    // t is to be started, not resumed
+	kill  bool    // t is to be unwound (Sim.Kill)
 }
 
 // eventHeap is a hand-rolled 4-ary min-heap ordered by (when, seq).
@@ -115,7 +140,11 @@ func (s *Sim) schedule(at Time, t *Thread) { s.push(event{when: at, t: t}) }
 
 // New returns an empty simulation with the clock at zero.
 func New() *Sim {
-	return &Sim{parked: make(chan struct{}), threads: make(map[int]*Thread)}
+	return &Sim{
+		parked:  make(chan struct{}),
+		killAck: make(chan struct{}),
+		threads: make(map[int]*Thread),
+	}
 }
 
 // Now reports the current virtual time.
@@ -167,6 +196,10 @@ type Thread struct {
 	resume  chan any // scheduler -> thread; payload for queue gets
 	body    func(*Thread)
 	started bool
+	exited  bool
+	dead    bool   // marked by Kill; pending events for it are skipped
+	killed  bool   // unwinding via Kill (run() acks instead of dispatching)
+	waitGen uint64 // bumped per queue wait; guards stale timeout wakes
 
 	// Data is an arbitrary per-thread payload. The profiler attaches its
 	// per-thread probe here so that libraries handed only a *Thread can
@@ -200,6 +233,57 @@ func (s *Sim) GoAt(at Time, name string, body func(*Thread)) *Thread {
 	return t
 }
 
+// Kill schedules t's death at the current virtual time: a kill event
+// enters the heap like any other, so at a fixed seed the thread dies at
+// the same point of the event order every run. When the event
+// dispatches, t is unwound via a recovered panic (its deferred functions
+// run — a killed thread inside Stage.CriticalSection releases its lock),
+// and every event still pending for t is skipped. Kill is the fault
+// plane's stage-crash primitive; it may be called from scheduler
+// callbacks and from other simulated threads. Killing an exited or
+// already-killed thread is a no-op. Like Shutdown, Kill requires the
+// victim's deferred functions not to block on vclock primitives.
+func (s *Sim) Kill(t *Thread) {
+	if t.dead || t.exited {
+		return
+	}
+	t.dead = true
+	s.push(event{when: s.now, t: t, kill: true})
+}
+
+// Dead reports whether t was killed (or marked for death) by Sim.Kill.
+func (t *Thread) Dead() bool { return t.dead }
+
+// Crashed returns the first panic captured from a simulated thread or
+// scheduler callback, or nil. A non-nil crash halts dispatch:
+// Run/RunUntil return normally with the crash recorded, and the caller
+// decides whether to propagate it or degrade gracefully.
+func (s *Sim) Crashed() *Crash { return s.crash }
+
+// recordCrash captures the first escaping panic. It must run inside the
+// recovering deferred function, while the panicking frames are still on
+// the stack, so the recorded stack shows the panic site.
+func (s *Sim) recordCrash(thread string, v any) {
+	if s.crash == nil {
+		s.crash = &Crash{Thread: thread, At: s.now, Value: v, Stack: debug.Stack()}
+	}
+}
+
+// runCallback runs a scheduler callback, capturing an escaping panic as
+// a crash. poison is re-raised: a callback that kills the dispatching
+// thread itself unwinds through here.
+func (s *Sim) runCallback(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(poison); ok {
+				panic(r)
+			}
+			s.recordCrash("(scheduler)", r)
+		}
+	}()
+	fn()
+}
+
 // waitParked blocks the RunUntil caller until the dispatch chain hands
 // the baton back (no more events, or the stop predicate fired).
 func (s *Sim) waitParked() { <-s.parked }
@@ -230,6 +314,9 @@ func (s *Sim) dispatchFrom(self *Thread) baton {
 		return batonDone
 	}
 	for len(s.events) > 0 {
+		if s.crash != nil {
+			return batonDone
+		}
 		if s.stop != nil && s.stop() {
 			return batonDone
 		}
@@ -239,10 +326,37 @@ func (s *Sim) dispatchFrom(self *Thread) baton {
 		}
 		s.now = e.when
 		switch {
+		case e.kill:
+			t := e.t
+			if t.exited {
+				continue
+			}
+			if !t.started {
+				// The goroutine was never created; just forget the thread
+				// (its start event is skipped by the dead check below).
+				t.exited = true
+				s.live--
+				delete(s.threads, t.ID)
+				continue
+			}
+			if t == self {
+				// Self-kill: unwind in place. run() recovers the poison,
+				// does the exit bookkeeping and continues dispatch, so
+				// the baton is preserved.
+				panic(poison{})
+			}
+			// Every live non-dispatching thread is blocked in <-resume
+			// (the baton discipline), so the hand-off cannot block. The
+			// ack keeps the baton here: the dying thread must not
+			// dispatch, the killer continues the loop.
+			t.killed = true
+			t.resumeWith(poison{})
+			<-s.killAck
+			continue
 		case e.fn != nil:
-			e.fn()
+			s.runCallback(e.fn)
 		case e.start:
-			if e.t.started {
+			if e.t.started || e.t.dead {
 				continue
 			}
 			e.t.started = true
@@ -254,6 +368,11 @@ func (s *Sim) dispatchFrom(self *Thread) baton {
 			s.selfWake = e.v
 			return batonSelf
 		case e.t != nil:
+			if e.t.dead || e.t.exited {
+				// Stale wake for a killed thread (its sleep or queue
+				// hand-off was already scheduled); drop it.
+				continue
+			}
 			e.t.resumeWith(e.v)
 			return batonPassed
 		}
@@ -267,9 +386,13 @@ func (t *Thread) run() {
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					if _, ok := r.(poison); !ok {
-						panic(r)
+					if _, ok := r.(poison); ok {
+						return
 					}
+					// An application panic: record it as the run's crash
+					// and let the thread exit cleanly. Dispatch halts at
+					// the crash; RunUntil returns with Crashed() set.
+					t.sim.recordCrash(t.Name, r)
 				}
 			}()
 			t.body(t)
@@ -278,8 +401,15 @@ func (t *Thread) run() {
 	// Exit bookkeeping runs on the exiting thread itself (it holds the
 	// baton), then the baton moves on.
 	s := t.sim
+	t.exited = true
 	s.live--
 	delete(s.threads, t.ID)
+	if t.killed {
+		// The killer holds the baton and is waiting for the ack; do not
+		// dispatch from here.
+		s.killAck <- struct{}{}
+		return
+	}
 	if s.dispatchFrom(nil) == batonDone {
 		s.parked <- struct{}{}
 	}
@@ -333,7 +463,7 @@ func (t *Thread) SleepUntil(at Time) {
 	if at < s.now {
 		at = s.now
 	}
-	if s.running && (len(s.events) == 0 || at < s.events[0].when) && (s.stop == nil || !s.stop()) {
+	if s.running && s.crash == nil && (len(s.events) == 0 || at < s.events[0].when) && (s.stop == nil || !s.stop()) {
 		s.now = at
 		return
 	}

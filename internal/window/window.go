@@ -42,6 +42,7 @@ type Ring[T any] struct {
 	entries []Keyed[T] // oldest first, len <= cap
 	cap     int
 	total   int64 // windows ever appended
+	dropped int64 // subscriber deliveries skipped on full buffers
 	subs    []*subscriber[T]
 	closed  bool
 }
@@ -83,8 +84,18 @@ func (r *Ring[T]) Append(m Meta, v T) {
 		select {
 		case s.ch <- kv:
 		default:
+			r.dropped++
 		}
 	}
+}
+
+// Dropped reports how many subscriber deliveries were skipped because a
+// subscriber's buffer was full — the backpressure ledger: a stalled SSE
+// consumer shows up here instead of stalling window retirement.
+func (r *Ring[T]) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Get returns the retained window with the given sequence number.

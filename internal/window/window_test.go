@@ -100,6 +100,49 @@ func TestSubscribeDropsWhenFull(t *testing.T) {
 	}
 }
 
+// TestDroppedLedgerUnderStalledConsumer pins the backpressure contract:
+// a subscriber that never drains (a stalled SSE client) must not stall
+// Append — every skipped delivery lands in the Dropped ledger instead —
+// and a healthy subscriber on the same ring still sees every window.
+func TestDroppedLedgerUnderStalledConsumer(t *testing.T) {
+	r := NewRing[int](4)
+	stalled, cancelStalled := r.Subscribe(1)
+	defer cancelStalled()
+	healthy, cancelHealthy := r.Subscribe(64)
+	defer cancelHealthy()
+
+	const windows = 20
+	for i := int64(0); i < windows; i++ {
+		r.Append(meta(i), int(i)) // must never block
+	}
+	// The stalled subscriber's 1-slot buffer took window 0; the other 19
+	// deliveries were skipped and counted.
+	if got := r.Dropped(); got != windows-1 {
+		t.Fatalf("Dropped = %d, want %d", got, windows-1)
+	}
+	if kv := <-stalled; kv.Meta.Seq != 0 {
+		t.Fatalf("stalled subscriber's single delivery seq = %d, want 0", kv.Meta.Seq)
+	}
+	// The healthy subscriber saw the full dense series: drops are
+	// per-subscriber verdicts, not a shared fate.
+	for i := int64(0); i < windows; i++ {
+		kv := <-healthy
+		if kv.Meta.Seq != i {
+			t.Fatalf("healthy subscriber delivery %d has seq %d", i, kv.Meta.Seq)
+		}
+	}
+	// A cancelled subscriber stops counting: it is detached, not stalled.
+	cancelStalled()
+	before := r.Dropped()
+	r.Append(meta(windows), windows)
+	if got := r.Dropped(); got != before {
+		t.Fatalf("Dropped grew to %d after cancel (was %d); detached subscribers must not count", got, before)
+	}
+	if r.Total() != windows+1 {
+		t.Fatalf("Total = %d; Append must survive stalled and cancelled subscribers alike", r.Total())
+	}
+}
+
 func TestCloseEndsStreams(t *testing.T) {
 	r := NewRing[int](2)
 	ch, _ := r.Subscribe(1)

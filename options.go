@@ -77,6 +77,23 @@ func WithClockRate(cyclesPerSecond int64) Option {
 	}
 }
 
+// WithFaults installs a deterministic fault plan: stage crashes and
+// restarts, message drop/duplication/delay, CPU stalls and injected
+// failures, all scheduled in virtual time and drawn from a seeded RNG,
+// so a faulted run replays bit-identically. The plan is validated here;
+// an invalid plan panics. Timed faults naming stages are resolved when
+// the run starts (stages are declared after NewApp), so the plan may
+// reference stages not yet declared. See App.SetFaults for installing a
+// plan on an already-built app.
+func WithFaults(plan *FaultPlan) Option {
+	return func(a *App) {
+		if err := plan.Validate(); err != nil {
+			panic(err)
+		}
+		a.faultPlan = plan
+	}
+}
+
 // WithWindow makes the app a windowed (continuous-profiling) run:
 // profiles are aggregated into fixed d-length virtual-time windows, each
 // retired as its own Report (see App.OnWindow). Windowed apps must be

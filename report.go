@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"whodunit/internal/profiler"
@@ -103,6 +104,16 @@ type Report struct {
 	Stages    []StageReport   `json:"stages"`
 	Crosstalk []CrosstalkPair `json:"crosstalk,omitempty"`
 	Flows     []FlowEvent     `json:"flows,omitempty"`
+	// Faults is the ledger of injected faults that actually fired, set
+	// on whole-run reports of faulted apps (WithFaults). Window reports
+	// omit it: the ledger is cumulative, and copying it into every
+	// window would make behaviorally identical windows diff non-empty.
+	Faults *FaultStats `json:"faults,omitempty"`
+	// Missing names stages whose dumps are known to be absent (a crashed
+	// tier that never dumped, a stage dropped with DropStage): the graph
+	// is stitched as a partial one, with severed cross-stage edges
+	// annotated instead of silently discarded.
+	Missing []string `json:"missing,omitempty"`
 
 	// Graph is stitched from the stage dumps; it is rebuilt on decode
 	// rather than serialized.
@@ -133,7 +144,34 @@ func (r *Report) restitch() {
 	for _, sr := range r.Stages {
 		dumps = append(dumps, sr.Dump)
 	}
-	r.Graph = stitch.Build(dumps)
+	// With stages declared missing the graph is stitched partially:
+	// sends into the void become severed edges instead of vanishing.
+	r.Graph = stitch.BuildPartial(dumps, r.Missing)
+}
+
+// DropStage returns a copy of the report with the named stages' dumps
+// removed and recorded as Missing, restitched into a partial graph —
+// the report a collection pass produces when a tier's dump never
+// arrived. Names not present in the report are ignored. The receiver
+// is unchanged.
+func (r *Report) DropStage(names ...string) *Report {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		drop[n] = true
+	}
+	cp := *r
+	cp.Stages = make([]StageReport, 0, len(r.Stages))
+	cp.Missing = append([]string(nil), r.Missing...)
+	for _, sr := range r.Stages {
+		if drop[sr.Stage] {
+			cp.Missing = append(cp.Missing, sr.Stage)
+			continue
+		}
+		cp.Stages = append(cp.Stages, sr)
+	}
+	sort.Strings(cp.Missing)
+	cp.restitch()
+	return &cp
 }
 
 // StageNamed returns the report of the named stage, or nil.
@@ -187,6 +225,12 @@ func (r *Report) Text(w io.Writer) {
 	if r.Elapsed > 0 {
 		fmt.Fprintf(w, "virtual time elapsed: %.6fs\n", r.Elapsed.Seconds())
 	}
+	if r.Faults != nil {
+		fmt.Fprintf(w, "faults injected: %s\n", faultSummary(r.Faults))
+	}
+	if len(r.Missing) > 0 {
+		fmt.Fprintf(w, "missing stage dumps: %s\n", strings.Join(r.Missing, ", "))
+	}
 	for _, sr := range r.Stages {
 		fmt.Fprintf(w, "\nstage %s", sr.Stage)
 		// A dump-derived report does not know the mode; ModeOff next to a
@@ -202,6 +246,9 @@ func (r *Report) Text(w io.Writer) {
 			fmt.Fprintf(w, ", %d instrumented calls", sr.Calls)
 		}
 		fmt.Fprintln(w)
+		if sr.Dump.Lost > 0 {
+			fmt.Fprintf(w, "  (dump truncated: %d records lost)\n", sr.Dump.Lost)
+		}
 		for _, sh := range sr.Shares {
 			if sh.Samples == 0 {
 				continue
@@ -223,6 +270,30 @@ func (r *Report) Text(w io.Writer) {
 		fmt.Fprintf(w, "\nstitched transaction graph:\n")
 		r.Graph.Render(w)
 	}
+}
+
+// faultSummary renders the nonzero counters of a fault ledger on one
+// line, e.g. "3 messages dropped, 1 crash, 1 restart".
+func faultSummary(s *FaultStats) string {
+	var parts []string
+	add := func(n int64, singular, plural string) {
+		if n == 0 {
+			return
+		}
+		word := plural
+		if n == 1 {
+			word = singular
+		}
+		parts = append(parts, fmt.Sprintf("%d %s", n, word))
+	}
+	add(s.Dropped, "message dropped", "messages dropped")
+	add(s.Duplicated, "message duplicated", "messages duplicated")
+	add(s.Delayed, "message delayed", "messages delayed")
+	add(s.Crashes, "crash", "crashes")
+	add(s.Restarts, "restart", "restarts")
+	add(s.Stalls, "stall", "stalls")
+	add(s.Failures, "injected failure", "injected failures")
+	return strings.Join(parts, ", ")
 }
 
 // Folded writes the report in folded-stacks form — one line per call

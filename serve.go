@@ -53,23 +53,55 @@ type ServeConfig struct {
 	// second (1.0 = real time, 0 = free-run). Pacing only affects wall
 	// scheduling, never virtual-time behavior.
 	Pace float64
+
+	// MakeApp, when set, makes the server supervised: run is the 0-based
+	// attempt number, and after a run dies — a panic in a simulated
+	// thread or scheduler callback (e.g. an injected Fail), or a watchdog
+	// abort — the server builds a fresh app with MakeApp(run+1) and keeps
+	// serving, in a degraded state until the new run retires its first
+	// full window. MakeApp(0) supplies the initial app when NewServer is
+	// given a nil one. Without MakeApp a dying run panics out of Run, as
+	// an unsupervised simulation always has.
+	MakeApp func(run int) *App
+	// MaxRestarts bounds how many times a supervised server rebuilds the
+	// app (default 3 when MakeApp is set); once exceeded the server gives
+	// up: Run returns, /healthz goes 503.
+	MaxRestarts int
+	// RestartBackoff is the wall-clock wait before the first restart
+	// (default 100ms when MakeApp is set), doubling on each subsequent
+	// one.
+	RestartBackoff time.Duration
+	// Watchdog, when positive, bounds the wall time between window
+	// retirements: a run that goes that long without retiring one (a
+	// stuck scenario) is aborted and treated like a crash. 0 disables.
+	Watchdog time.Duration
 }
 
 // WindowEvent is one retired window as published on the ring and the
 // /stream feed: the window's Report, its diff against the previous full
-// window (nil for the first), and the alert verdict.
+// window (nil for the first), and the alert verdict. The degraded-state
+// fields are set only on supervised servers that have restarted: they
+// are zero on every healthy window, so fault-free feeds are unchanged.
 type WindowEvent struct {
 	Report   *Report     `json:"report"`
 	Diff     *ReportDiff `json:"diff,omitempty"`
 	MaxDelta int64       `json:"max_delta"`
 	Alert    bool        `json:"alert"`
+	// Degraded marks windows retired while the server was recovering
+	// from a died run (between a restart and the next full window).
+	Degraded bool `json:"degraded,omitempty"`
+	// Recovered marks the first full window after a restart — the
+	// moment the server leaves the degraded state.
+	Recovered bool `json:"recovered,omitempty"`
+	// Restarts is the cumulative restart count at retirement time.
+	Restarts int64 `json:"restarts,omitempty"`
 }
 
 // Server drives a windowed App as a continuous profiling service. Create
 // with NewServer, start with Run (blocking; typically in a goroutine),
 // serve Handler over HTTP, stop with Stop.
 type Server struct {
-	app *App
+	app atomic.Pointer[App] // current app; swapped on supervised restart
 	cfg ServeConfig
 
 	ring  *window.Ring[*WindowEvent]
@@ -83,9 +115,17 @@ type Server struct {
 
 	// Sim-goroutine-only state.
 	prevFull *Report
+	seqBase  int64 // global window seq of the current run's window 0
 
 	alertsTotal atomic.Int64
 	alertActive atomic.Bool
+
+	// Supervision state (MakeApp servers).
+	restarts   atomic.Int64
+	degraded   atomic.Bool
+	gaveUp     atomic.Bool
+	aborted    atomic.Bool  // watchdog tripped the current run
+	lastRetire atomic.Int64 // wall nanos of the last retirement (watchdog)
 
 	final *Report
 }
@@ -93,7 +133,16 @@ type Server struct {
 // NewServer wraps app (built with WithWindow, or windowed here via
 // cfg.Window) into a continuous profiling service. The app must not have
 // been run, and its OnWindow callback slot is taken over by the server.
+// With cfg.MakeApp set, app may be nil (the factory supplies attempt 0)
+// and the server supervises: a run that dies is rebuilt and restarted
+// instead of panicking out of Run.
 func NewServer(app *App, cfg ServeConfig) *Server {
+	if app == nil {
+		if cfg.MakeApp == nil {
+			panic("whodunit: NewServer needs an app or a ServeConfig.MakeApp factory")
+		}
+		app = cfg.MakeApp(0)
+	}
 	if cfg.Window > 0 {
 		if app.window > 0 && app.window != cfg.Window {
 			panic("whodunit: ServeConfig.Window disagrees with the app's WithWindow")
@@ -115,21 +164,51 @@ func NewServer(app *App, cfg ServeConfig) *Server {
 	if cfg.Pace < 0 {
 		panic("whodunit: ServeConfig.Pace must be >= 0")
 	}
+	if cfg.MaxRestarts < 0 {
+		panic("whodunit: ServeConfig.MaxRestarts must be >= 0")
+	}
+	if cfg.RestartBackoff < 0 {
+		panic("whodunit: ServeConfig.RestartBackoff must be >= 0")
+	}
+	if cfg.Watchdog < 0 {
+		panic("whodunit: ServeConfig.Watchdog must be >= 0")
+	}
+	if cfg.MakeApp != nil {
+		if cfg.MaxRestarts == 0 {
+			cfg.MaxRestarts = 3
+		}
+		if cfg.RestartBackoff == 0 {
+			cfg.RestartBackoff = 100 * time.Millisecond
+		}
+	}
 	cfg.Window = app.window
 	s := &Server{
-		app:      app,
 		cfg:      cfg,
 		ring:     window.NewRing[*WindowEvent](cfg.Retain),
 		reqCh:    make(chan func(), 64),
 		stopCh:   make(chan struct{}),
 		finished: make(chan struct{}),
 	}
-	app.OnWindow(s.onWindow)
+	s.adopt(app)
 	return s
 }
 
-// App returns the served application.
-func (s *Server) App() *App { return s.app }
+// adopt wires an app (initial or restart-built) into the server: the
+// window length must match the config, and the app's OnWindow slot is
+// taken over.
+func (s *Server) adopt(app *App) {
+	if app.window <= 0 {
+		app.window = s.cfg.Window
+	} else if app.window != s.cfg.Window {
+		panic("whodunit: MakeApp built an app whose window disagrees with the server's")
+	}
+	app.OnWindow(s.onWindow)
+	s.app.Store(app)
+}
+
+// App returns the served application (the current one, on a supervised
+// server that has restarted).
+func (s *Server) App() *App { return s.app.Load() }
 
 // Run drives the simulation until Stop is called (or MaxWindows retire),
 // retiring windows as virtual time passes. It blocks; run it in a
@@ -137,16 +216,116 @@ func (s *Server) App() *App { return s.app }
 // residue after the final window retired (its stages are empty in a
 // windowed run — every sample lands in some window); use the ring and
 // the HTTP API for the per-window results.
+//
+// On a supervised server (ServeConfig.MakeApp) Run is a supervision
+// loop: a run that dies — an injected or genuine panic in the
+// simulation, or a watchdog abort — retires its partial window, is
+// rebuilt via MakeApp after an exponential wall-clock backoff, and the
+// service continues in a degraded state until the fresh run retires its
+// first full window. Once MaxRestarts is exceeded the server gives up
+// and Run returns. Without MakeApp a dying run panics, as before.
 func (s *Server) Run() *Report {
 	s.startWall = time.Now()
-	rep := s.app.RunUntil(func() bool {
-		s.drainRequests()
-		return s.stopped.Load()
-	})
-	s.final = rep
+	for run := 0; ; run++ {
+		rep, err := s.runOnce(s.app.Load())
+		s.final = rep
+		if err == nil || s.stopped.Load() {
+			break
+		}
+		if s.cfg.MakeApp == nil {
+			close(s.finished)
+			s.ring.Close()
+			panic(err)
+		}
+		if s.restarts.Load() >= int64(s.cfg.MaxRestarts) {
+			s.gaveUp.Store(true)
+			break
+		}
+		n := s.restarts.Add(1)
+		s.degraded.Store(true)
+		if !s.backoffWait(s.cfg.RestartBackoff << (n - 1)) {
+			break // stopped while backing off
+		}
+		s.adopt(s.cfg.MakeApp(run + 1))
+	}
 	close(s.finished)
 	s.ring.Close()
-	return rep
+	return s.final
+}
+
+// runOnce drives one app until it stops, dies, or trips the watchdog,
+// returning its (possibly partial) report. The global window sequence
+// is rebased so the ring sees one dense series across restarts.
+func (s *Server) runOnce(app *App) (*Report, error) {
+	s.seqBase = s.ring.Total()
+	s.aborted.Store(false)
+	s.lastRetire.Store(time.Now().UnixNano())
+	var wdStop chan struct{}
+	if s.cfg.Watchdog > 0 {
+		wdStop = make(chan struct{})
+		go s.watchdog(wdStop)
+	}
+	rep, err := app.runSupervised(func() bool {
+		s.drainRequests()
+		return s.stopped.Load() || s.aborted.Load()
+	})
+	if wdStop != nil {
+		close(wdStop)
+	}
+	if err == nil && s.aborted.Load() && !s.stopped.Load() {
+		err = fmt.Errorf("whodunit: watchdog: no window retired in %v of wall time", s.cfg.Watchdog)
+	}
+	return rep, err
+}
+
+// watchdog aborts the current run if no window retires for the
+// configured wall-time budget — the stuck-scenario guard. The abort
+// trips the stop predicate at the next event boundary; a simulation
+// wedged inside a single native call is beyond its reach.
+func (s *Server) watchdog(stop chan struct{}) {
+	tick := s.cfg.Watchdog / 8
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			last := time.Unix(0, s.lastRetire.Load())
+			if time.Since(last) > s.cfg.Watchdog {
+				s.aborted.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// backoffWait sleeps d of wall time before a restart, staying
+// responsive: epoch-pinned reads drain (against the dead app's final
+// state) and Stop cuts the wait short. Reports whether the server
+// should still restart.
+func (s *Server) backoffWait(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return true
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case fn := <-s.reqCh:
+			timer.Stop()
+			fn()
+		case <-s.stopCh:
+			timer.Stop()
+			return false
+		case <-timer.C:
+			return true
+		}
+	}
 }
 
 // Stop asks the running simulation to finish: the stop predicate trips
@@ -173,6 +352,16 @@ func (s *Server) AlertsTotal() int64 { return s.alertsTotal.Load() }
 // exceeded the threshold.
 func (s *Server) AlertActive() bool { return s.alertActive.Load() }
 
+// Restarts reports how many times the supervision loop rebuilt the app.
+func (s *Server) Restarts() int64 { return s.restarts.Load() }
+
+// Degraded reports whether the server is between a restart and the
+// fresh run's first full window.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// GaveUp reports whether the supervision loop exhausted MaxRestarts.
+func (s *Server) GaveUp() bool { return s.gaveUp.Load() }
+
 // drainRequests executes pending epoch-pinned read closures. Runs in the
 // simulation goroutine between events, so the closures may touch live
 // profiler state without races.
@@ -192,11 +381,27 @@ func (s *Server) drainRequests() {
 // threshold, publishes on the ring, and enforces MaxWindows and Pace.
 // Runs in scheduler context.
 func (s *Server) onWindow(rep *Report) {
-	ev := &WindowEvent{Report: rep}
+	// Rebase the window sequence: each supervised run restarts its app
+	// (and virtual clock) at zero, but the ring and the feed present one
+	// dense series across restarts.
+	if rep.Window != nil {
+		rep.Window.Seq += s.seqBase
+	}
+	s.lastRetire.Store(time.Now().UnixNano())
+	ev := &WindowEvent{Report: rep, Restarts: s.restarts.Load()}
 	// Only full windows participate in the adjacent auto-diff: the final
 	// partial window legitimately has fewer samples and would always
 	// "regress".
 	full := rep.Elapsed == s.cfg.Window
+	if s.degraded.Load() {
+		ev.Degraded = true
+		if full {
+			// The rebuilt run has proven itself with a complete window:
+			// leave the degraded state, and say so on the feed.
+			ev.Recovered = true
+			s.degraded.Store(false)
+		}
+	}
 	if full && s.prevFull != nil {
 		d := Diff(s.prevFull, rep)
 		ev.Diff = d
@@ -255,7 +460,7 @@ func (s *Server) paceWait(virtualEnd Duration) {
 // already finished.
 func (s *Server) liveReport() (*Report, bool) {
 	ch := make(chan *Report, 1)
-	fn := func() { ch <- s.app.LiveWindowReport() }
+	fn := func() { ch <- s.app.Load().LiveWindowReport() }
 	select {
 	case s.reqCh <- fn:
 	case <-s.finished:
@@ -363,7 +568,7 @@ type windowIndex struct {
 
 func (s *Server) handleWindows(w http.ResponseWriter, r *http.Request) {
 	idx := windowIndex{
-		App:         s.app.Name,
+		App:         s.app.Load().Name,
 		WindowNS:    s.cfg.Window,
 		Retired:     s.ring.Total(),
 		Retain:      s.cfg.Retain,
@@ -423,6 +628,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(w, "event: alert\nid: %d\ndata: {\"seq\": %d, \"max_delta\": %d}\n\n",
 					kv.Meta.Seq, kv.Meta.Seq, kv.V.MaxDelta)
 			}
+			if kv.V.Degraded {
+				fmt.Fprintf(w, "event: degraded\nid: %d\ndata: {\"seq\": %d, \"restarts\": %d, \"recovered\": %v}\n\n",
+					kv.Meta.Seq, kv.Meta.Seq, kv.V.Restarts, kv.V.Recovered)
+			}
 			flusher.Flush()
 		case <-r.Context().Done():
 			return
@@ -472,10 +681,15 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports prometheus-style status lines; the response code
-// is 503 while an adjacent-window alert is active, so the endpoint works
-// directly as a load-balancer health check.
+// is 503 while an adjacent-window alert is active — or once a
+// supervised server has given up restarting — so the endpoint works
+// directly as a load-balancer health check. The degraded state
+// (recovering from a restart) is deliberately NOT a 503: the service is
+// still serving, and conflating recovery with an alert would page on
+// every successful self-heal. It is visible as whodunit_degraded.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	active := s.alertActive.Load()
+	gaveUp := s.gaveUp.Load()
 	up := 1
 	select {
 	case <-s.finished:
@@ -487,13 +701,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		virtualSeconds = Duration(kv.Meta.End).Seconds()
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if active {
+	if active || gaveUp {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	fmt.Fprintf(w, "whodunit_up %d\n", up)
 	fmt.Fprintf(w, "whodunit_windows_retired %d\n", s.ring.Total())
 	fmt.Fprintf(w, "whodunit_alerts_total %d\n", s.alertsTotal.Load())
 	fmt.Fprintf(w, "whodunit_alert_active %d\n", boolInt(active))
+	fmt.Fprintf(w, "whodunit_degraded %d\n", boolInt(s.degraded.Load()))
+	fmt.Fprintf(w, "whodunit_restarts_total %d\n", s.restarts.Load())
+	fmt.Fprintf(w, "whodunit_gave_up %d\n", boolInt(gaveUp))
+	fmt.Fprintf(w, "whodunit_stream_dropped_total %d\n", s.ring.Dropped())
 	fmt.Fprintf(w, "whodunit_virtual_seconds %.6f\n", virtualSeconds)
 }
 

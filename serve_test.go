@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"whodunit"
 )
@@ -16,11 +17,13 @@ import (
 // serveApp builds a small open-loop two-stage app suitable for driving a
 // Server in tests: Poisson request arrivals, a web worker that calls
 // into a db worker, everything on the virtual clock.
-func serveApp(seed uint64) *whodunit.App {
-	app := whodunit.NewApp("serve-test",
+func serveApp(seed uint64, opts ...whodunit.Option) *whodunit.App {
+	opts = append([]whodunit.Option{
 		whodunit.WithMode(whodunit.ModeWhodunit),
 		whodunit.WithCores(2),
-		whodunit.WithSeed(seed))
+		whodunit.WithSeed(seed),
+	}, opts...)
+	app := whodunit.NewApp("serve-test", opts...)
 	web, db := app.Stage("web"), app.Stage("db")
 	reqQ, dbQ := app.NewQueue("requests"), app.NewQueue("db-requests")
 	respQ := app.NewQueue("db-responses")
@@ -342,6 +345,242 @@ func TestServeStopDrainsFinalWindow(t *testing.T) {
 	}
 	if kv.V.Diff != nil {
 		t.Fatalf("partial window must not auto-diff, got %+v", kv.V.Diff)
+	}
+}
+
+// failAt builds a fault plan whose single injected failure kills the
+// simulation at the given virtual time.
+func failAt(at whodunit.Duration) *whodunit.FaultPlan {
+	return &whodunit.FaultPlan{
+		Failures: []whodunit.Fail{{At: whodunit.Time(at), Msg: "injected"}},
+	}
+}
+
+// TestServeSupervisedRecovers drives the supervision loop through its
+// happy recovery path: run 0 dies from an injected failure mid-window-2,
+// the factory rebuilds a healthy app, and the feed presents one dense
+// window series across the restart with the degraded/recovered lifecycle
+// annotated on it.
+func TestServeSupervisedRecovers(t *testing.T) {
+	srv := whodunit.NewServer(nil, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1, MaxWindows: 6,
+		RestartBackoff: time.Millisecond,
+		MakeApp: func(run int) *whodunit.App {
+			if run == 0 {
+				return serveApp(7, whodunit.WithFaults(failAt(250*whodunit.Millisecond)))
+			}
+			return serveApp(7)
+		},
+	})
+	srv.Run() // must not panic
+	<-srv.Done()
+
+	if srv.Restarts() != 1 || srv.GaveUp() || srv.Degraded() {
+		t.Fatalf("restarts=%d gaveUp=%v degraded=%v, want 1/false/false",
+			srv.Restarts(), srv.GaveUp(), srv.Degraded())
+	}
+	entries := srv.Ring().Entries()
+	if len(entries) != 6 {
+		t.Fatalf("retired %d windows, want 6", len(entries))
+	}
+	for i, kv := range entries {
+		if kv.Meta.Seq != int64(i) {
+			t.Fatalf("window %d has seq %d; series not dense across the restart", i, kv.Meta.Seq)
+		}
+	}
+	// Windows 0 and 1 are healthy full windows from run 0; window 2 is
+	// run 0's partial residue at the crash instant.
+	for _, kv := range entries[:2] {
+		if kv.V.Degraded || kv.V.Restarts != 0 {
+			t.Fatalf("pre-crash window %d marked degraded: %+v", kv.Meta.Seq, kv.V)
+		}
+	}
+	if e := entries[2].V.Report.Elapsed; e != 50*whodunit.Millisecond {
+		t.Fatalf("crash-partial window elapsed %v, want 50ms", e)
+	}
+	// Window 3 is run 1's first full window: degraded, and the recovery
+	// point.
+	if ev := entries[3].V; !ev.Degraded || !ev.Recovered || ev.Restarts != 1 {
+		t.Fatalf("first post-restart window: %+v, want degraded+recovered with 1 restart", ev)
+	}
+	// Windows 4 and 5 are back to healthy (though the restart count
+	// stays visible).
+	for _, kv := range entries[4:] {
+		if kv.V.Degraded || kv.V.Recovered || kv.V.Restarts != 1 {
+			t.Fatalf("post-recovery window %d: %+v", kv.Meta.Seq, kv.V)
+		}
+	}
+
+	code, body := get(t, srv.Handler(), "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("recovered server healthz: %d", code)
+	}
+	for _, line := range []string{"whodunit_degraded 0", "whodunit_restarts_total 1", "whodunit_gave_up 0"} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("healthz missing %q:\n%s", line, body)
+		}
+	}
+}
+
+// TestServeSupervisedGivesUp exhausts the restart budget: every run dies
+// before completing a window, so after MaxRestarts rebuilds the server
+// stops restarting and reports the terminal state on /healthz as a 503.
+func TestServeSupervisedGivesUp(t *testing.T) {
+	srv := whodunit.NewServer(nil, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1,
+		MaxRestarts: 2, RestartBackoff: time.Millisecond,
+		MakeApp: func(run int) *whodunit.App {
+			return serveApp(7, whodunit.WithFaults(failAt(50*whodunit.Millisecond)))
+		},
+	})
+	srv.Run() // must not panic
+	<-srv.Done()
+
+	if !srv.GaveUp() || srv.Restarts() != 2 {
+		t.Fatalf("gaveUp=%v restarts=%d, want true/2", srv.GaveUp(), srv.Restarts())
+	}
+	// Each of the three runs (initial + 2 restarts) salvaged its partial
+	// window; the series is still dense.
+	entries := srv.Ring().Entries()
+	if len(entries) != 3 {
+		t.Fatalf("retired %d windows, want 3", len(entries))
+	}
+	for i, kv := range entries {
+		if kv.Meta.Seq != int64(i) {
+			t.Fatalf("window %d has seq %d", i, kv.Meta.Seq)
+		}
+	}
+	// The restarted runs never produced a full window, so their partial
+	// windows stay degraded with no recovery.
+	for _, kv := range entries[1:] {
+		if !kv.V.Degraded || kv.V.Recovered {
+			t.Fatalf("window %d after a failed restart: %+v", kv.Meta.Seq, kv.V)
+		}
+	}
+
+	code, body := get(t, srv.Handler(), "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("gave-up healthz: %d", code)
+	}
+	for _, line := range []string{"whodunit_gave_up 1", "whodunit_restarts_total 2"} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("healthz missing %q:\n%s", line, body)
+		}
+	}
+}
+
+// TestServeUnsupervisedStillPanics pins the historical contract: without
+// a MakeApp factory, a dying run panics out of Run rather than being
+// silently swallowed.
+func TestServeUnsupervisedStillPanics(t *testing.T) {
+	srv := whodunit.NewServer(
+		serveApp(7, whodunit.WithFaults(failAt(50*whodunit.Millisecond))),
+		whodunit.ServeConfig{Window: 100 * whodunit.Millisecond, Threshold: -1},
+	)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsupervised Run swallowed an injected failure")
+		}
+		<-srv.Done() // Run closes finished before panicking
+	}()
+	srv.Run()
+}
+
+// stuckApp burns wall time without retiring windows: each virtual
+// millisecond of compute costs 2ms of wall time, so a 1s virtual window
+// needs ~2s of wall time — far beyond any watchdog used in tests.
+func stuckApp(seed uint64) *whodunit.App {
+	app := whodunit.NewApp("serve-test", whodunit.WithSeed(seed))
+	st := app.Stage("w")
+	st.Go("spin", func(th *whodunit.Thread, pr *whodunit.Probe) {
+		for {
+			pr.Compute(whodunit.Millisecond)
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	return app
+}
+
+// TestServeWatchdogAborts wires a wall-clock watchdog against a scenario
+// that never retires a window: the watchdog must abort the run, the
+// supervisor must treat the abort as a crash, and the restart budget
+// must eventually trip.
+func TestServeWatchdogAborts(t *testing.T) {
+	srv := whodunit.NewServer(nil, whodunit.ServeConfig{
+		Window: whodunit.Second, Threshold: -1,
+		MaxRestarts: 1, RestartBackoff: time.Millisecond,
+		Watchdog: 80 * time.Millisecond,
+		MakeApp:  func(run int) *whodunit.App { return stuckApp(uint64(run) + 1) },
+	})
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Run() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog never aborted the stuck run")
+	}
+	if !srv.GaveUp() || srv.Restarts() != 1 {
+		t.Fatalf("gaveUp=%v restarts=%d, want true/1", srv.GaveUp(), srv.Restarts())
+	}
+	// Each aborted run still salvaged its in-progress window.
+	if n := srv.Ring().Len(); n != 2 {
+		t.Fatalf("retired %d windows, want 2 partials", n)
+	}
+}
+
+// TestServeStreamDegradedEvents checks the SSE framing of a supervised
+// recovery: degraded windows carry an extra "degraded" event, and the
+// recovery window says so in its payload.
+func TestServeStreamDegradedEvents(t *testing.T) {
+	srv := whodunit.NewServer(nil, whodunit.ServeConfig{
+		Window: 100 * whodunit.Millisecond, Threshold: -1, MaxWindows: 5,
+		RestartBackoff: time.Millisecond,
+		MakeApp: func(run int) *whodunit.App {
+			if run == 0 {
+				return serveApp(7, whodunit.WithFaults(failAt(150*whodunit.Millisecond)))
+			}
+			return serveApp(7)
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	go srv.Run()
+
+	var windows, degraded, recovered int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: window":
+			windows++
+		case line == "event: degraded":
+			degraded++
+		case strings.HasPrefix(line, "data: {\"seq\""):
+			if strings.Contains(line, "\"recovered\": true") {
+				recovered++
+			}
+		}
+		if line == "event: end" {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	<-srv.Done()
+	// Run 0 retires window 0 full and window 1 partial-at-crash; run 1
+	// retires windows 2..4. Window 2 is degraded+recovered.
+	if windows != 5 || degraded != 1 || recovered != 1 {
+		t.Fatalf("streamed windows=%d degraded=%d recovered=%d, want 5/1/1",
+			windows, degraded, recovered)
 	}
 }
 

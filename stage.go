@@ -29,6 +29,18 @@ type Stage struct {
 	endpoints []*Endpoint
 	loop      *EventLoop
 	seda      map[string]*SEDAStage
+
+	// Thread bookkeeping for fault injection: specs remembers every
+	// declared thread body so a crashed stage can be respawned; threads
+	// tracks the currently live spawns so a StageCrash knows whom to
+	// kill.
+	specs   []threadSpec
+	threads []*Thread
+}
+
+type threadSpec struct {
+	name string
+	body func(th *Thread, pr *Probe)
 }
 
 func newStage(a *App, name string, opts ...StageOption) *Stage {
@@ -69,11 +81,20 @@ func (st *Stage) CPU() *CPU {
 // attached to the thread (Thread.Data) so crosstalk monitoring can
 // resolve the thread's transaction context.
 func (st *Stage) Go(name string, body func(th *Thread, pr *Probe)) *Thread {
-	return st.app.sim.Go(name, func(th *Thread) {
+	st.specs = append(st.specs, threadSpec{name, body})
+	return st.spawn(name, body)
+}
+
+// spawn starts a stage thread without recording a new spec — the shared
+// path of Go and of crash-restart respawns.
+func (st *Stage) spawn(name string, body func(th *Thread, pr *Probe)) *Thread {
+	t := st.app.sim.Go(name, func(th *Thread) {
 		pr := st.prof.NewProbe(th, st.CPU())
 		th.Data = pr
 		body(th, pr)
 	})
+	st.threads = append(st.threads, t)
+	return t
 }
 
 // BeginTxn starts a fresh transaction on pr: the probe switches to the
