@@ -42,7 +42,7 @@ type benchExpSnap struct {
 }
 
 var experimentNames = []string{
-	"validate", "fig8", "fig9", "fig10", "table1", "fig11", "fig12", "table2", "table3", "overheads",
+	"validate", "fig8", "fig9", "fig10", "table1", "fig11", "fig12", "table2", "table3", "overheads", "mesh",
 }
 
 func main() {
@@ -112,6 +112,7 @@ func main() {
 		{Name: "table2", Run: func(w io.Writer) { experiments.Table2Overhead(tp).Render(w) }},
 		{Name: "table3", Run: func(w io.Writer) { experiments.Table3Emulation().Render(w) }},
 		{Name: "overheads", Run: func(w io.Writer) { experiments.ServerOverheads(sc).Render(w) }},
+		{Name: "mesh", Run: func(w io.Writer) { experiments.MeshTraffic(sc).Render(w) }},
 	}
 	jobs := all[:0:0]
 	for _, j := range all {

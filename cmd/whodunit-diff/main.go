@@ -72,9 +72,16 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	}
 
 	if *list {
-		for _, name := range scenarios.Names() {
-			s, _ := scenarios.ByName(name)
-			fmt.Fprintf(stdout, "%-24s %s\n", s.Name, s.About)
+		// The unified registry: batch scenarios run here via -run; the
+		// serving corpus is listed so one -list shows everything, with a
+		// pointer to the tool that runs it.
+		for _, in := range scenarios.Index() {
+			switch in.Kind {
+			case scenarios.KindBatch:
+				fmt.Fprintf(stdout, "%-24s %s\n", in.Name, in.About)
+			case scenarios.KindServing:
+				fmt.Fprintf(stdout, "%-24s [whodunit-serve] %s\n", in.Name, in.About)
+			}
 		}
 		return 0
 	}

@@ -61,9 +61,20 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, s := range scenarios.ServeAll() {
-			fmt.Printf("%-14s window %s, threshold %d — %s\n",
-				s.Name, time.Duration(s.Window), s.Threshold, s.About)
+		// Registry-sourced listing: serving scenarios with their serving
+		// recommendations first, then the batch corpus with a pointer to
+		// the tool that runs it.
+		index := scenarios.Index()
+		for _, in := range index {
+			if in.Kind == scenarios.KindServing {
+				fmt.Printf("%-14s window %s, threshold %d — %s\n",
+					in.Name, time.Duration(in.Window), in.Threshold, in.About)
+			}
+		}
+		for _, in := range index {
+			if in.Kind == scenarios.KindBatch {
+				fmt.Printf("%-14s [whodunit-diff -run] %s\n", in.Name, in.About)
+			}
 		}
 		return
 	}
@@ -72,6 +83,9 @@ func main() {
 	}
 	s, ok := scenarios.ServeByName(*scenario)
 	if !ok {
+		if in, found := scenarios.Lookup(*scenario); found && in.Kind == scenarios.KindBatch {
+			fail("%q is a batch scenario (run it with whodunit-diff -run %s)", *scenario, *scenario)
+		}
 		fail("unknown scenario %q (known: %s)", *scenario, strings.Join(scenarios.ServeNames(), ", "))
 	}
 	if *retain < 1 {
@@ -135,6 +149,12 @@ func main() {
 		app = s.MakeApp(p)
 	}
 	srv := whodunit.NewServer(app, cfg)
+
+	// Lead the narration with the registry's description of what is
+	// being profiled, so a bare log identifies its scenario.
+	if in, found := scenarios.Lookup(s.Name); found {
+		fmt.Printf("scenario %s: %s\n", in.Name, in.About)
+	}
 
 	// Narrate retirements on stdout (the headless CI path greps these).
 	// The subscription closes when the run finishes, so waiting on

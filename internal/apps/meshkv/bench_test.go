@@ -1,0 +1,29 @@
+package meshkv
+
+import (
+	"testing"
+
+	"whodunit/internal/trace"
+)
+
+// BenchmarkMeshRequest measures the steady-state per-request cost of
+// the full mesh pipeline — trace replay, ring routing, proxy hops,
+// cache/DB tiers, and transaction propagation — amortised over a
+// 2000-event replay. The envelope free-list should keep steady-state
+// allocations near zero per request.
+func BenchmarkMeshRequest(b *testing.B) {
+	gcfg := trace.CacheTrace()
+	gcfg.Events = 2000
+	tr := trace.Gen(gcfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(DefaultConfig(tr))
+		if res.Completed != int64(len(tr.Events)) {
+			b.Fatalf("completed %d of %d", res.Completed, len(tr.Events))
+		}
+	}
+	b.StopTimer()
+	reqs := int64(b.N) * int64(len(tr.Events))
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(reqs), "ns/request")
+}

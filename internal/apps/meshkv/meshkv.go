@@ -1,0 +1,310 @@
+// Package meshkv is the microservice-mesh app model: a modern
+// frontend → rpc-proxy → sharded KV/cache → DB topology wired from the
+// internal/mesh layer and driven by internal/trace request traces. It
+// exercises flow propagation across far more hops than the 2007-era
+// paper models — the deep variant stitches ≥6-hop transaction chains —
+// and gives the bench suite a heavy-traffic workload with realistic
+// Zipfian skew.
+//
+// Standard topology (Config.Deep false):
+//
+//	frontend → rpc-proxy(streaming) → kv-0..N (consistent-hash ring) → db
+//
+// Deep topology (Config.Deep true) interposes buffering proxy hops:
+//
+//	frontend → edge-proxy(full-buffering) → rpc-proxy(streaming)
+//	         → cache-proxy(streaming+buffering) → kv-0..N
+//	         → db-proxy(streaming) → db
+//
+// The kv tier is a write-through cache: a get probes the shard's cache
+// and on a miss invokes the db ("fill") and installs the value; a set
+// stores locally and writes through ("store"). Every request completes
+// back at the frontend, whose OnComplete hook recycles the envelope —
+// the steady-state request path allocates nothing.
+package meshkv
+
+import (
+	"fmt"
+
+	"whodunit"
+	"whodunit/internal/mesh"
+	"whodunit/internal/trace"
+)
+
+// Config parameterises a mesh-KV run.
+type Config struct {
+	Name  string // app name in the report
+	Mode  whodunit.Mode
+	Seed  uint64
+	Cores int
+
+	Shards int // kv/cache shards on the consistent-hash ring
+	VNodes int // ring virtual nodes per shard
+	Deep   bool
+
+	FrontendWorkers int
+	ProxyWorkers    int
+	ShardWorkers    int
+	DBWorkers       int
+
+	// Trace drives Run; Serve ignores it and generates on the fly.
+	Trace *trace.Trace
+}
+
+// DefaultConfig is the 4-shard scenario scale.
+func DefaultConfig(tr *trace.Trace) Config {
+	return Config{
+		Name:            "meshkv",
+		Mode:            whodunit.ModeWhodunit,
+		Seed:            1,
+		Cores:           4,
+		Shards:          4,
+		VNodes:          16,
+		FrontendWorkers: 4,
+		ProxyWorkers:    2,
+		ShardWorkers:    2,
+		DBWorkers:       2,
+		Trace:           tr,
+	}
+}
+
+// OpStats aggregates one op family's completions.
+type OpStats struct {
+	Count        int64
+	TotalLatency whodunit.Duration
+}
+
+// MeanLatency is the mean injection-to-completion round trip.
+func (o OpStats) MeanLatency() whodunit.Duration {
+	if o.Count == 0 {
+		return 0
+	}
+	return o.TotalLatency / whodunit.Duration(o.Count)
+}
+
+// Result is the outcome of a finite replay run.
+type Result struct {
+	Config    Config
+	Report    *whodunit.Report
+	Elapsed   whodunit.Duration
+	Injected  int64
+	Completed int64
+	Hits      int64
+	Misses    int64
+	Gets      OpStats
+	Sets      OpStats
+	ShardLoad []int64 // requests served per kv shard
+	ThroughputRPS float64
+}
+
+// HitRate is the cache hit fraction across all gets.
+func (r *Result) HitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// CPU cost model: hand-picked constants in the spirit of the paper
+// models, byte costs rounded up per KB so all charges stay integral.
+const (
+	parseCost   = 180 * whodunit.Microsecond // frontend parse + route
+	respondCost = 90 * whodunit.Microsecond  // frontend response serialization
+	probeCost   = 110 * whodunit.Microsecond // shard index probe
+	hitReadCost = 40 * whodunit.Microsecond  // cache read, plus per-KB
+	installCost = 70 * whodunit.Microsecond  // fill install into the cache
+	storeCost   = 120 * whodunit.Microsecond // cache store
+	dbReadCost  = 1400 * whodunit.Microsecond
+	dbWriteCost = 2100 * whodunit.Microsecond
+	perKBCost   = 2 * whodunit.Microsecond
+)
+
+func kb(n int64) whodunit.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return perKBCost * whodunit.Duration((n+1023)/1024)
+}
+
+// vsize is the canonical value size of a key that was never explicitly
+// set — a pure function of the key, so fills are deterministic.
+func vsize(key string) int64 {
+	return 256 + int64(mesh.KeyHash(key)%3840)
+}
+
+// system is one wired mesh plus its counters.
+type system struct {
+	cfg    Config
+	app    *whodunit.App
+	topo   *mesh.Topology
+	front  *mesh.Service
+	shards []*mesh.Service
+
+	injected  int64
+	completed int64
+	hits      int64
+	misses    int64
+	gets      OpStats
+	sets      OpStats
+	free      []*mesh.Request
+}
+
+// build wires the topology. The counters live on sys; the simulator
+// runs one thread at a time, so shard handlers update them unlocked.
+func build(cfg Config) *system {
+	if cfg.Shards < 1 {
+		panic(fmt.Sprintf("meshkv: Shards must be >= 1 (got %d)", cfg.Shards))
+	}
+	app := whodunit.NewApp(cfg.Name,
+		whodunit.WithMode(cfg.Mode),
+		whodunit.WithCores(cfg.Cores),
+		whodunit.WithSeed(cfg.Seed))
+	topo := mesh.New(app)
+	sys := &system{cfg: cfg, app: app, topo: topo}
+
+	db := topo.Service("db", cfg.DBWorkers, func(c *mesh.Call) {
+		req := c.Req()
+		switch req.Op {
+		case "fill": // read the canonical value for a cache miss
+			c.Compute(dbReadCost + kb(vsize(req.Key)))
+			req.RespSize = vsize(req.Key)
+		case "store": // write-through of a set
+			c.Compute(dbWriteCost + kb(req.Size))
+			req.RespSize = 64
+		}
+	})
+	dbNext := db
+	if cfg.Deep {
+		dbNext = topo.Proxy("db-proxy", mesh.Streaming, cfg.ProxyWorkers, mesh.To(db))
+	}
+
+	sys.shards = make([]*mesh.Service, cfg.Shards)
+	for i := range sys.shards {
+		cache := map[string]int64{}
+		sys.shards[i] = topo.Service(fmt.Sprintf("kv-%d", i), cfg.ShardWorkers, func(c *mesh.Call) {
+			req := c.Req()
+			pr := c.Probe()
+			switch req.Op {
+			case "get":
+				c.Compute(probeCost)
+				if sz, ok := cache[req.Key]; ok {
+					sys.hits++
+					func() {
+						defer pr.Exit(pr.Enter("cache_hit"))
+						c.Compute(hitReadCost + kb(sz))
+					}()
+					req.RespSize = sz
+				} else {
+					sys.misses++
+					func() {
+						defer pr.Exit(pr.Enter("cache_miss"))
+						op, size := req.Op, req.Size
+						req.Op, req.Size = "fill", 96
+						c.Invoke(dbNext)
+						req.Op, req.Size = op, size
+						cache[req.Key] = req.RespSize
+						c.Compute(installCost + kb(req.RespSize))
+					}()
+				}
+			case "set":
+				func() {
+					defer pr.Exit(pr.Enter("cache_store"))
+					c.Compute(storeCost + kb(req.Size))
+				}()
+				cache[req.Key] = req.Size
+				op := req.Op
+				req.Op = "store"
+				c.Invoke(dbNext) // write-through
+				req.Op = op
+				req.RespSize = 64
+			}
+		})
+	}
+
+	ring := mesh.NewRing(cfg.VNodes, sys.shards...)
+	var next *mesh.Service
+	if cfg.Deep {
+		cachep := topo.Proxy("cache-proxy", mesh.StreamingWithBuffering, cfg.ProxyWorkers, ring)
+		rpc := topo.Proxy("rpc-proxy", mesh.Streaming, cfg.ProxyWorkers, mesh.To(cachep))
+		next = topo.Proxy("edge-proxy", mesh.FullBuffering, cfg.ProxyWorkers, mesh.To(rpc))
+	} else {
+		next = topo.Proxy("rpc-proxy", mesh.Streaming, cfg.ProxyWorkers, ring)
+	}
+
+	sys.front = topo.Service("frontend", cfg.FrontendWorkers, func(c *mesh.Call) {
+		req := c.Req()
+		c.Compute(parseCost + kb(req.Size))
+		c.Invoke(next)
+		c.Compute(respondCost + kb(req.RespSize))
+	})
+	sys.front.OnComplete = sys.complete
+	return sys
+}
+
+func (sys *system) complete(req *mesh.Request, now whodunit.Time) {
+	sys.completed++
+	st := &sys.gets
+	if req.Op == "set" {
+		st = &sys.sets
+	}
+	st.Count++
+	st.TotalLatency += now.Sub(req.Start)
+	sys.free = append(sys.free, req)
+}
+
+// inject turns a trace event into a mesh request, recycling completed
+// envelopes (runs in scheduler context via trace.Replay/OpenLoop).
+func (sys *system) inject(ev trace.Event) {
+	var req *mesh.Request
+	if n := len(sys.free); n > 0 {
+		req = sys.free[n-1]
+		sys.free = sys.free[:n-1]
+	} else {
+		req = &mesh.Request{}
+	}
+	req.Op, req.Key, req.Size, req.Stream = ev.Op, ev.Key, ev.Size, ev.Stream
+	req.RespSize = 0
+	sys.injected++
+	sys.front.Inject(req)
+}
+
+// Run replays cfg.Trace through a fresh mesh until every event's
+// request has completed and returns the result, report included.
+func Run(cfg Config) *Result {
+	sys := build(cfg)
+	total := int64(len(cfg.Trace.Events))
+	trace.Replay(sys.app, cfg.Trace, sys.inject)
+	rep := sys.app.RunUntil(func() bool { return sys.completed >= total })
+	return sys.finish(rep)
+}
+
+// Serve builds the open-loop serving variant: the same mesh, driven by
+// an endless trace.OpenLoop arrival stream (cfg.Trace is ignored) —
+// the app behind the serve-mesh serving scenario.
+func Serve(cfg Config, gen trace.GenConfig) *whodunit.App {
+	sys := build(cfg)
+	trace.OpenLoop(sys.app, gen, sys.inject)
+	return sys.app
+}
+
+func (sys *system) finish(rep *whodunit.Report) *Result {
+	res := &Result{
+		Config:    sys.cfg,
+		Report:    rep,
+		Elapsed:   rep.Elapsed,
+		Injected:  sys.injected,
+		Completed: sys.completed,
+		Hits:      sys.hits,
+		Misses:    sys.misses,
+		Gets:      sys.gets,
+		Sets:      sys.sets,
+		ShardLoad: make([]int64, len(sys.shards)),
+	}
+	for i, sh := range sys.shards {
+		res.ShardLoad[i] = sh.Handled()
+	}
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.ThroughputRPS = float64(res.Completed) / s
+	}
+	return res
+}

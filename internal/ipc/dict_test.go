@@ -1,0 +1,157 @@
+package ipc
+
+// White-box tests of the endpoint's chain dictionary: the hash-keyed,
+// equality-checked buckets behind Send's intern table and Recv's
+// longest-proper-prefix response matching. These inject entries into
+// the bucket map directly to drive the collision paths that real
+// workloads essentially never hit.
+
+import (
+	"testing"
+
+	"whodunit/internal/profiler"
+	"whodunit/internal/tranctx"
+	"whodunit/internal/vclock"
+)
+
+// withProbe runs body on a live simulator thread with a fresh probe.
+func withProbe(t *testing.T, body func(pr *profiler.Probe, prof *profiler.Profiler)) {
+	t.Helper()
+	prof := profiler.New("dict", profiler.ModeWhodunit)
+	s := vclock.New()
+	cpu := s.NewCPU("cpu", 1)
+	s.Go("t", func(th *vclock.Thread) {
+		body(prof.NewProbe(th, cpu), prof)
+	})
+	s.Run()
+	s.Shutdown()
+}
+
+// TestLookupSentChecksEquality: a bucket holding a colliding entry (same
+// bucket, different chain) must be resolved by chain equality, never by
+// bucket position.
+func TestLookupSentChecksEquality(t *testing.T) {
+	e := NewEndpoint("dict")
+	want := tranctx.Chain{1, 2}
+	collider := tranctx.Chain{3, 4} // different chain, planted in want's bucket
+	h := want.Hash()
+	e.sent[h] = []sentEntry{
+		{chain: collider, ctxt: profiler.TxnCtxt{Prefix: collider}},
+		{chain: want, ctxt: profiler.TxnCtxt{Prefix: want}},
+	}
+	got, ok := e.lookupSent(want)
+	if !ok {
+		t.Fatal("lookupSent missed a chain present in its bucket")
+	}
+	if !got.Prefix.Equal(want) {
+		t.Fatalf("lookupSent returned the colliding entry's context %v", got.Prefix)
+	}
+	// The collider sits in the wrong bucket for its own hash: looking it
+	// up goes through its real bucket and misses — equality never spans
+	// buckets.
+	if _, ok := e.lookupSent(collider); ok {
+		t.Fatal("lookupSent found a chain filed under a foreign bucket")
+	}
+	if _, ok := e.lookupSent(tranctx.Chain{9, 9}); ok {
+		t.Fatal("lookupSent matched a never-sent chain")
+	}
+}
+
+// TestSendInternsAndLatestWins: re-sending a chain whose entry already
+// sits in a (colliding) bucket returns the stored chain without a new
+// allocation or SendRecord, and overwrites the stored context — the
+// latest send of a chain wins.
+func TestSendInternsAndLatestWins(t *testing.T) {
+	withProbe(t, func(pr *profiler.Probe, prof *profiler.Profiler) {
+		e := NewEndpoint("dict")
+		exit := pr.Enter("path_a")
+		defer func() { pr.Exit(exit) }()
+
+		// Materialise the exact chain Send will build for this context
+		// and plant it behind a colliding entry.
+		at := pr.CallCtxt()
+		stored := append(append(tranctx.Chain{}, at.Prefix...), at.Local.Synopsis())
+		collider := tranctx.Chain{0xdead, 0xbeef}
+		sentinel := profiler.TxnCtxt{Prefix: tranctx.Chain{0x5e117}}
+		e.sent[stored.Hash()] = []sentEntry{
+			{chain: collider, ctxt: profiler.TxnCtxt{Prefix: collider}},
+			{chain: stored, ctxt: sentinel},
+		}
+
+		msg := e.Send(pr, nil)
+		if &msg.Chain[0] != &stored[0] {
+			t.Error("Send materialised a fresh chain instead of interning the stored one")
+		}
+		if len(e.sends) != 0 {
+			t.Errorf("Send recorded %d SendRecords for an already-known chain", len(e.sends))
+		}
+		entry := &e.sent[stored.Hash()][1]
+		if entry.ctxt.Prefix.Equal(sentinel.Prefix) {
+			t.Error("Send did not overwrite the stored context (latest send must win)")
+		}
+		if entry.ctxt.Key() != pr.Txn().Key() {
+			t.Errorf("stored context %q, want the probe's %q", entry.ctxt.Key(), pr.Txn().Key())
+		}
+		// The colliding neighbour is untouched.
+		if got := e.sent[stored.Hash()][0]; !got.ctxt.Prefix.Equal(collider) {
+			t.Error("Send disturbed the colliding bucket neighbour")
+		}
+
+		// A genuinely new chain (fresh call path) appends entry + record.
+		func() {
+			defer pr.Exit(pr.Enter("path_b"))
+			e.Send(pr, nil)
+		}()
+		if len(e.sends) != 1 {
+			t.Errorf("new chain recorded %d SendRecords, want 1", len(e.sends))
+		}
+	})
+}
+
+// TestRecvLongestProperPrefix: a response chain matches the LONGEST
+// proper prefix this endpoint sent; an exact match is not a proper
+// prefix and classifies as a request.
+func TestRecvLongestProperPrefix(t *testing.T) {
+	withProbe(t, func(pr *profiler.Probe, prof *profiler.Profiler) {
+		e := NewEndpoint("dict")
+		root := prof.Table.Root()
+		short := tranctx.Chain{10}
+		long := tranctx.Chain{10, 20}
+		ctxtShort := profiler.TxnCtxt{Prefix: tranctx.Chain{111}, Local: root}
+		ctxtLong := profiler.TxnCtxt{Prefix: tranctx.Chain{222}, Local: root}
+		e.sent[short.Hash()] = append(e.sent[short.Hash()], sentEntry{chain: short, ctxt: ctxtShort})
+		e.sent[long.Hash()] = append(e.sent[long.Hash()], sentEntry{chain: long, ctxt: ctxtLong})
+
+		if kind := e.Recv(pr, Msg{Chain: tranctx.Chain{10, 20, 30}}); kind != Response {
+			t.Fatalf("chain extending a sent chain classified %v, want response", kind)
+		}
+		if !pr.Txn().Prefix.Equal(ctxtLong.Prefix) {
+			t.Fatalf("restored %v, want the longest prefix's context %v", pr.Txn().Prefix, ctxtLong.Prefix)
+		}
+
+		if kind := e.Recv(pr, Msg{Chain: tranctx.Chain{10, 99}}); kind != Response {
+			t.Fatal("chain extending only the short sent chain did not classify as response")
+		}
+		if !pr.Txn().Prefix.Equal(ctxtShort.Prefix) {
+			t.Fatalf("restored %v, want the short prefix's context %v", pr.Txn().Prefix, ctxtShort.Prefix)
+		}
+
+		// Exactly the sent chain: no PROPER prefix matches — a request
+		// that adopts the incoming chain as its context prefix.
+		if kind := e.Recv(pr, Msg{Chain: short}); kind != Request {
+			t.Fatal("exact sent chain classified as a response")
+		}
+		if !pr.Txn().Prefix.Equal(short) {
+			t.Fatalf("request adopted prefix %v, want %v", pr.Txn().Prefix, short)
+		}
+
+		// A chain sharing no sent prefix is a plain request.
+		foreign := tranctx.Chain{77, 88}
+		if kind := e.Recv(pr, Msg{Chain: foreign}); kind != Request {
+			t.Fatal("foreign chain classified as a response")
+		}
+		if !pr.Txn().Prefix.Equal(foreign) {
+			t.Fatalf("request adopted prefix %v, want %v", pr.Txn().Prefix, foreign)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package mesh_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"whodunit"
+	"whodunit/internal/mesh"
+)
+
+// runChain drives n spaced-out requests through a
+// frontend → proxy(mode) → backend chain and returns the mean
+// round-trip latency and the report.
+func runChain(t *testing.T, mode mesh.Mode, n int) (whodunit.Duration, *whodunit.Report) {
+	t.Helper()
+	app := whodunit.NewApp("chain", whodunit.WithMode(whodunit.ModeWhodunit), whodunit.WithSeed(1))
+	topo := mesh.New(app)
+	backend := topo.Service("backend", 1, func(c *mesh.Call) {
+		c.Compute(2 * whodunit.Millisecond)
+		c.Req().RespSize = 8 << 10
+	})
+	// Header cost sized so even the streaming proxy accumulates well
+	// past the 1.5ms sampling interval and shows up in the graph.
+	costs := mesh.ProxyCosts{Header: 600 * whodunit.Microsecond, PerKB: 3 * whodunit.Microsecond}
+	proxy := topo.ProxyWith("proxy", mode, 1, mesh.To(backend), costs)
+	completed, totalLat := 0, whodunit.Duration(0)
+	front := topo.Service("frontend", 1, func(c *mesh.Call) {
+		c.Compute(whodunit.Millisecond)
+		c.Invoke(proxy)
+	})
+	front.OnComplete = func(req *mesh.Request, now whodunit.Time) {
+		completed++
+		totalLat += now.Sub(req.Start)
+	}
+	sim := app.Sim()
+	for i := 0; i < n; i++ {
+		req := &mesh.Request{Op: "get", Key: fmt.Sprintf("k%d", i), Size: 16 << 10}
+		sim.At(whodunit.Time(whodunit.Duration(i)*10*whodunit.Millisecond), func() { front.Inject(req) })
+	}
+	rep := app.RunUntil(func() bool { return completed >= n })
+	if completed != n {
+		t.Fatalf("completed %d of %d requests", completed, n)
+	}
+	return totalLat / whodunit.Duration(n), rep
+}
+
+// TestProxyModesChangeLatency pins the queue-behavior semantics of the
+// three execution modes: streaming forwards without byte costs,
+// streaming-with-buffering adds only its response-leg copy to latency
+// (the request-leg copy overlaps the backend), and full-buffering
+// store-and-forwards both legs — strictly the slowest.
+func TestProxyModesChangeLatency(t *testing.T) {
+	latS, repS := runChain(t, mesh.Streaming, 20)
+	latSWB, _ := runChain(t, mesh.StreamingWithBuffering, 20)
+	latFB, repFB := runChain(t, mesh.FullBuffering, 20)
+	if !(latS < latSWB && latSWB < latFB) {
+		t.Fatalf("latency ordering violated: streaming %v, streaming+buffering %v, full-buffering %v",
+			latS, latSWB, latFB)
+	}
+	// The buffering proxy also charges more CPU on its own stage.
+	proxySamples := func(rep *whodunit.Report) int64 {
+		for _, sr := range rep.Stages {
+			if sr.Stage == "proxy" {
+				return sr.Samples
+			}
+		}
+		t.Fatal("no proxy stage in report")
+		return 0
+	}
+	if s, fb := proxySamples(repS), proxySamples(repFB); fb <= s {
+		t.Fatalf("full-buffering proxy charged %d samples, streaming %d; buffering should cost more CPU", fb, s)
+	}
+	if len(repS.Stages) != 3 || len(repFB.Stages) != 3 {
+		t.Fatalf("expected 3 stages, got %d and %d", len(repS.Stages), len(repFB.Stages))
+	}
+}
+
+// TestMeshDeterministic: two identical mesh runs render bit-identically.
+func TestMeshDeterministic(t *testing.T) {
+	_, repA := runChain(t, mesh.StreamingWithBuffering, 15)
+	_, repB := runChain(t, mesh.StreamingWithBuffering, 15)
+	var a, b bytes.Buffer
+	if err := repA.JSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := repB.JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical mesh runs render differently")
+	}
+}
+
+// TestMeshStitchesCompleteGraph: the chain's transaction graph links
+// all three tiers with no severed edges.
+func TestMeshStitchesCompleteGraph(t *testing.T) {
+	_, rep := runChain(t, mesh.Streaming, 10)
+	if rep.Graph == nil {
+		t.Fatal("no stitched graph")
+	}
+	stages := map[string]bool{}
+	for _, n := range rep.Graph.Nodes {
+		stages[n.Stage] = true
+	}
+	for _, want := range []string{"frontend", "proxy", "backend"} {
+		if !stages[want] {
+			t.Errorf("stage %s missing from the stitched graph", want)
+		}
+	}
+	if len(rep.Graph.Missing) != 0 {
+		t.Errorf("complete mesh stitched with missing stages: %v", rep.Graph.Missing)
+	}
+	if stages["(missing)"] {
+		t.Error("severed edges in a complete mesh graph")
+	}
+}
+
+// TestInvokeRetrySurvivesDrops: a drop-fault plan on the backend's
+// input queue loses requests; InvokeRetry re-sends them under
+// Stage.Retry and every request still completes.
+func TestInvokeRetrySurvivesDrops(t *testing.T) {
+	const n = 40
+	plan := &whodunit.FaultPlan{
+		Seed:     7,
+		Messages: []whodunit.MessageFault{{Queue: "backend-in", Drop: 0.2}},
+	}
+	app := whodunit.NewApp("retrychain",
+		whodunit.WithMode(whodunit.ModeWhodunit),
+		whodunit.WithSeed(1),
+		whodunit.WithFaults(plan))
+	topo := mesh.New(app)
+	backend := topo.Service("backend", 1, func(c *mesh.Call) {
+		c.Compute(whodunit.Millisecond)
+		c.Req().RespSize = 128
+	})
+	pol := whodunit.RetryPolicy{
+		Attempts: 6,
+		Timeout:  100 * whodunit.Millisecond,
+		Backoff:  whodunit.Millisecond,
+	}
+	completed, failed := 0, 0
+	front := topo.Service("frontend", 1, func(c *mesh.Call) {
+		if !c.InvokeRetry(backend, pol) {
+			failed++
+		}
+	})
+	front.OnComplete = func(*mesh.Request, whodunit.Time) { completed++ }
+	sim := app.Sim()
+	for i := 0; i < n; i++ {
+		req := &mesh.Request{Op: "get", Key: fmt.Sprintf("k%d", i), Size: 256}
+		sim.At(whodunit.Time(whodunit.Duration(i)*5*whodunit.Millisecond), func() { front.Inject(req) })
+	}
+	rep := app.RunUntil(func() bool { return completed >= n })
+	if completed != n || failed != 0 {
+		t.Fatalf("completed %d/%d, %d gave up", completed, n, failed)
+	}
+	if rep.Faults == nil {
+		t.Fatal("the fault plan injected nothing")
+	}
+}
+
+// TestTopologyPanics pins the construction-time misuse checks.
+func TestTopologyPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	app := whodunit.NewApp("panics")
+	topo := mesh.New(app)
+	h := func(*mesh.Call) {}
+	topo.Service("a", 1, h)
+	mustPanic("duplicate name", func() { topo.Service("a", 1, h) })
+	mustPanic("zero workers", func() { topo.Service("b", 0, h) })
+	mustPanic("nil handler", func() { topo.Service("c", 1, nil) })
+	mustPanic("nil router", func() { topo.Proxy("d", mesh.Streaming, 1, nil) })
+	mustPanic("empty ring", func() { mesh.NewRing(4) })
+	mustPanic("zero vnodes", func() { mesh.NewRing(0, topo.Services()...) })
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[mesh.Mode]string{
+		mesh.Streaming:              "streaming",
+		mesh.StreamingWithBuffering: "streaming+buffering",
+		mesh.FullBuffering:          "full-buffering",
+		mesh.Mode(9):                "Mode(9)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

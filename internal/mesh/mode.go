@@ -1,0 +1,63 @@
+package mesh
+
+import (
+	"fmt"
+
+	"whodunit"
+)
+
+// Mode is a proxy hop's execution mode — how much of a message the
+// proxy materialises before (and while) forwarding it, after arpc's
+// ExecutionMode element semantics. The mode changes both the CPU a hop
+// charges and when the downstream queue sees the message:
+//
+//   - Streaming: inspect the header, forward immediately. No
+//     byte-proportional CPU, no added queueing delay.
+//   - StreamingWithBuffering: forward immediately (downstream arrival
+//     time matches Streaming) but build a retained copy of the payload
+//     while the downstream already works — the copy costs proxy-worker
+//     occupancy, not request latency.
+//   - FullBuffering: buffer the entire message before forwarding, on
+//     both the request and the response leg — store-and-forward: every
+//     buffered byte is charged ahead of the downstream Put, so deep
+//     chains of full-buffering hops stack latency.
+type Mode int
+
+const (
+	Streaming Mode = iota
+	StreamingWithBuffering
+	FullBuffering
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Streaming:
+		return "streaming"
+	case StreamingWithBuffering:
+		return "streaming+buffering"
+	case FullBuffering:
+		return "full-buffering"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ProxyCosts is a proxy hop's CPU model: a fixed per-message header
+// cost plus a per-KB cost for every buffered or copied payload KB.
+type ProxyCosts struct {
+	Header whodunit.Duration
+	PerKB  whodunit.Duration
+}
+
+// DefaultProxyCosts is the cost model Topology.Proxy uses.
+func DefaultProxyCosts() ProxyCosts {
+	return ProxyCosts{Header: 60 * whodunit.Microsecond, PerKB: 3 * whodunit.Microsecond}
+}
+
+// bytes is the buffering/copy cost of an n-byte payload (rounded up to
+// whole KBs; integer math keeps the charge bit-reproducible).
+func (c ProxyCosts) bytes(n int64) whodunit.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return c.PerKB * whodunit.Duration((n+1023)/1024)
+}

@@ -1,0 +1,79 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KeyHash is the hash the ring places keys and virtual nodes with:
+// 64-bit FNV-1a through a murmur-style avalanche finalizer. Plain
+// FNV-1a clusters keys that differ only in trailing characters
+// ("k0041"/"k0042") onto adjacent circle positions, which collapses the
+// ring onto a few arcs; the finalizer spreads them. Exported so app
+// models can derive deterministic per-key values from the same function
+// their shards route by.
+func KeyHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+type ringPoint struct {
+	hash uint64
+	svc  *Service
+}
+
+// Ring is a consistent-hash router over a sharded tier: each shard owns
+// vnodes points on a 64-bit circle and a key routes to the first point
+// at or clockwise after its hash. Adding or removing one shard remaps
+// only the keys that shard's arcs cover.
+type Ring struct {
+	points []ringPoint
+}
+
+// NewRing builds a ring with vnodes virtual points per shard. Point
+// placement is a pure function of the shard names, so routing is
+// deterministic across runs and processes.
+func NewRing(vnodes int, shards ...*Service) *Ring {
+	if vnodes < 1 {
+		panic(fmt.Sprintf("mesh: ring needs at least one vnode per shard (got %d)", vnodes))
+	}
+	if len(shards) == 0 {
+		panic("mesh: ring needs at least one shard")
+	}
+	r := &Ring{points: make([]ringPoint, 0, vnodes*len(shards))}
+	for _, s := range shards {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: KeyHash(fmt.Sprintf("%s#%d", s.Name, v)), svc: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.svc.Name < b.svc.Name // deterministic on (infeasible) hash ties
+	})
+	return r
+}
+
+// Pick returns the shard owning key.
+func (r *Ring) Pick(key string) *Service {
+	h := KeyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].svc
+}
+
+// Route implements Router.
+func (r *Ring) Route(req *Request) *Service { return r.Pick(req.Key) }

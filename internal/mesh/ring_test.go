@@ -1,0 +1,97 @@
+package mesh_test
+
+import (
+	"fmt"
+	"testing"
+
+	"whodunit"
+	"whodunit/internal/mesh"
+)
+
+// ringShards declares n dummy shard services for ring tests (the
+// handlers never run).
+func ringShards(n int) []*mesh.Service {
+	app := whodunit.NewApp("ringtest")
+	topo := mesh.New(app)
+	shards := make([]*mesh.Service, n)
+	for i := range shards {
+		shards[i] = topo.Service(fmt.Sprintf("kv-%d", i), 1, func(*mesh.Call) {})
+	}
+	return shards
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%05d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAndCovering(t *testing.T) {
+	shards := ringShards(4)
+	a := mesh.NewRing(16, shards...)
+	b := mesh.NewRing(16, shards...)
+	load := map[string]int{}
+	for _, k := range keys(2000) {
+		sa, sb := a.Pick(k), b.Pick(k)
+		if sa != sb {
+			t.Fatalf("two identical rings disagree on %q: %s vs %s", k, sa.Name, sb.Name)
+		}
+		load[sa.Name]++
+	}
+	for _, s := range shards {
+		if load[s.Name] == 0 {
+			t.Errorf("shard %s owns no keys", s.Name)
+		}
+	}
+	// No shard should own a wildly outsized share at 16 vnodes.
+	for name, n := range load {
+		if n > 2000*3/4 {
+			t.Errorf("shard %s owns %d of 2000 keys — ring is degenerate", name, n)
+		}
+	}
+}
+
+// TestRingConsistency pins the consistent-hashing property: removing
+// one shard only remaps the keys that shard owned.
+func TestRingConsistency(t *testing.T) {
+	shards := ringShards(4)
+	full := mesh.NewRing(16, shards...)
+	reduced := mesh.NewRing(16, shards[:3]...)
+	moved := 0
+	for _, k := range keys(2000) {
+		was := full.Pick(k)
+		now := reduced.Pick(k)
+		if was != shards[3] {
+			if now != was {
+				t.Fatalf("key %q moved %s -> %s though its shard was not removed", k, was.Name, now.Name)
+			}
+		} else {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("the removed shard owned no keys; the property was tested vacuously")
+	}
+}
+
+func TestRingRoutesByKey(t *testing.T) {
+	shards := ringShards(2)
+	r := mesh.NewRing(8, shards...)
+	req := &mesh.Request{Op: "get", Key: "some-key"}
+	if got, want := r.Route(req), r.Pick("some-key"); got != want {
+		t.Fatalf("Route picked %s, Pick picked %s", got.Name, want.Name)
+	}
+}
+
+func TestKeyHashPinned(t *testing.T) {
+	// Pin the placement function: changing it would silently remap
+	// every golden scenario's shard routing.
+	if got := mesh.KeyHash(""); got != 0xefd01f60ba992926 {
+		t.Fatalf("KeyHash(\"\") = %#x, want 0xefd01f60ba992926", got)
+	}
+	if got := mesh.KeyHash("a"); got != 0x82a2a958a9bece5b {
+		t.Fatalf("KeyHash(\"a\") = %#x, want 0x82a2a958a9bece5b", got)
+	}
+}

@@ -1,0 +1,62 @@
+package scenarios
+
+import (
+	"whodunit"
+	"whodunit/internal/apps/meshkv"
+	"whodunit/internal/trace"
+)
+
+// Mesh scenarios: the microservice-mesh app model (internal/apps/meshkv)
+// driven by deterministic generated traces (internal/trace). The trace
+// seed and the app seed both derive from the scenario seed, so the whole
+// pipeline — generation, ring routing, cache behavior, scheduling,
+// stitching — is a pure function of Params.
+
+// meshScenario builds one mesh corpus entry. tweak adjusts the generated
+// trace's shape; deep selects the 7-tier proxy-chain topology.
+func meshScenario(name, about string, defaults Params, gcfg trace.GenConfig, deep bool) Scenario {
+	return Scenario{
+		Name: name, About: about, Defaults: defaults,
+		Make: func(p Params) *whodunit.Report {
+			gcfg := gcfg
+			gcfg.Seed = p.Seed
+			cfg := meshkv.DefaultConfig(trace.Gen(gcfg))
+			cfg.Name = name
+			cfg.Mode = p.Mode
+			cfg.Seed = p.Seed
+			cfg.Deep = deep
+			return meshkv.Run(cfg).Report
+		},
+	}
+}
+
+func meshSteadyTrace() trace.GenConfig {
+	g := trace.CacheTrace()
+	g.Events = 1500
+	return g
+}
+
+func meshHotKeyTrace() trace.GenConfig {
+	g := meshSteadyTrace()
+	g.HotKeys = 3
+	g.HotFrac = 0.6
+	return g
+}
+
+func meshDeepTrace() trace.GenConfig {
+	g := trace.MetaKV()
+	g.Events = 1000
+	return g
+}
+
+// serveMeshApp builds the open-loop mesh: the standard 4-shard topology
+// fed by an endless cache-trace arrival stream.
+func serveMeshApp(p Params) *whodunit.App {
+	cfg := meshkv.DefaultConfig(nil)
+	cfg.Name = "serve-mesh"
+	cfg.Mode = p.Mode
+	cfg.Seed = p.Seed
+	gen := trace.CacheTrace()
+	gen.Seed = p.Seed
+	return meshkv.Serve(cfg, gen)
+}

@@ -1,0 +1,81 @@
+package scenarios_test
+
+import (
+	"strings"
+	"testing"
+
+	"whodunit/internal/scenarios"
+)
+
+// TestIndexCoversBothCorpora: the unified registry lists every batch
+// and every serving scenario exactly once, batch first, with the right
+// kind and metadata.
+func TestIndexCoversBothCorpora(t *testing.T) {
+	index := scenarios.Index()
+	if want := len(scenarios.All()) + len(scenarios.ServeAll()); len(index) != want {
+		t.Fatalf("Index has %d entries, corpora have %d", len(index), want)
+	}
+	byName := map[string]scenarios.Info{}
+	for _, in := range index {
+		if _, dup := byName[in.Name]; dup {
+			t.Fatalf("Index lists %q twice", in.Name)
+		}
+		byName[in.Name] = in
+	}
+	for _, s := range scenarios.All() {
+		in, ok := byName[s.Name]
+		if !ok || in.Kind != scenarios.KindBatch {
+			t.Errorf("batch scenario %q missing or miskinded in the index: %+v", s.Name, in)
+		}
+		if in.About != s.About || in.Defaults != s.Defaults {
+			t.Errorf("%q: index metadata %+v drifted from the corpus", s.Name, in)
+		}
+	}
+	for _, s := range scenarios.ServeAll() {
+		in, ok := byName[s.Name]
+		if !ok || in.Kind != scenarios.KindServing {
+			t.Errorf("serving scenario %q missing or miskinded in the index: %+v", s.Name, in)
+		}
+		if in.Window != s.Window || in.Threshold != s.Threshold {
+			t.Errorf("%q: index window/threshold (%v, %d) drifted from the corpus (%v, %d)",
+				s.Name, in.Window, in.Threshold, s.Window, s.Threshold)
+		}
+		if in.Supervised != (s.MakeRun != nil) {
+			t.Errorf("%q: Supervised = %v, MakeRun set = %v", s.Name, in.Supervised, s.MakeRun != nil)
+		}
+	}
+	// Batch entries precede serving entries — the tools rely on the
+	// stable corpus order for their listings.
+	sawServing := false
+	for _, in := range index {
+		if in.Kind == scenarios.KindServing {
+			sawServing = true
+		} else if sawServing {
+			t.Fatalf("batch scenario %q listed after a serving scenario", in.Name)
+		}
+	}
+}
+
+func TestLookupBothKinds(t *testing.T) {
+	if in, ok := scenarios.Lookup("mesh-steady"); !ok || in.Kind != scenarios.KindBatch {
+		t.Errorf("Lookup(mesh-steady) = %+v, %v", in, ok)
+	}
+	if in, ok := scenarios.Lookup("serve-mesh"); !ok || in.Kind != scenarios.KindServing {
+		t.Errorf("Lookup(serve-mesh) = %+v, %v", in, ok)
+	}
+	if _, ok := scenarios.Lookup("no-such-scenario"); ok {
+		t.Error("Lookup invented a scenario")
+	}
+}
+
+// TestParseSpecRedirectsServingNames: naming a serving scenario in a
+// batch run spec explains the right tool instead of "unknown".
+func TestParseSpecRedirectsServingNames(t *testing.T) {
+	_, err := scenarios.ParseSpec("serve-mesh")
+	if err == nil {
+		t.Fatal("ParseSpec accepted a serving scenario")
+	}
+	if !strings.Contains(err.Error(), "whodunit-serve") {
+		t.Fatalf("error does not point at whodunit-serve: %v", err)
+	}
+}

@@ -428,6 +428,15 @@ var all = []Scenario{
 			full := tpcwScenario("", "", Params{}, 10, 30*whodunit.Second).Make(p)
 			return full.DropStage("mysql")
 		}},
+
+	// Microservice-mesh scenarios: trace-replay driven meshkv topologies
+	// (see mesh.go).
+	meshScenario("mesh-steady", "4-shard mesh KV replaying a steady Zipfian cache trace",
+		Params{Seed: 5, Mode: whodunit.ModeWhodunit}, meshSteadyTrace(), false),
+	meshScenario("mesh-hot-key", "4-shard mesh KV with 60% of gets on 3 hot keys (shard imbalance)",
+		Params{Seed: 5, Mode: whodunit.ModeWhodunit}, meshHotKeyTrace(), false),
+	meshScenario("mesh-deep", "deep 7-tier proxy-chain mesh replaying a bursty meta-KV trace (≥6-hop chains)",
+		Params{Seed: 5, Mode: whodunit.ModeWhodunit}, meshDeepTrace(), true),
 }
 
 // All returns the corpus in its stable order.
@@ -468,6 +477,9 @@ func ParseSpec(spec string) (Scenario, error) {
 	name, overrides, _ := strings.Cut(spec, ":")
 	s, ok := ByName(name)
 	if !ok {
+		if in, serving := Lookup(name); serving && in.Kind == KindServing {
+			return Scenario{}, fmt.Errorf("scenarios: %q is a serving scenario (run it with whodunit-serve -scenario %s)", name, name)
+		}
 		return Scenario{}, fmt.Errorf("scenarios: unknown scenario %q (known: %s)", name, strings.Join(Names(), ", "))
 	}
 	if overrides == "" {

@@ -243,6 +243,17 @@ var serveAll = []ServeScenario{
 			return serveCrashyApp("serve-crashy", p, run)
 		},
 	},
+	{
+		Name:  "serve-mesh",
+		About: "open-loop 4-shard mesh KV under a steady Zipfian cache-trace arrival stream",
+
+		Defaults: Params{Seed: 11, Mode: whodunit.ModeWhodunit},
+		Window:   2 * whodunit.Second,
+		// Measured: steady-state window-to-window drift stays under ~40
+		// samples; the cache-warmup taper peaks at ~117 on the db stage.
+		Threshold: 200,
+		MakeApp:   serveMeshApp,
+	},
 }
 
 // ServeAll returns the serving corpus in its stable order.

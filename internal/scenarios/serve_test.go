@@ -159,4 +159,7 @@ func TestServeThresholdGate(t *testing.T) {
 	}
 	t.Run("serve-web", func(t *testing.T) { check(t, "serve-web", []int{}) })
 	t.Run("serve-shift", func(t *testing.T) { check(t, "serve-shift", []int{3}) })
+	// serve-mesh models no shift: the cache-warmup taper must stay under
+	// the recommended threshold.
+	t.Run("serve-mesh", func(t *testing.T) { check(t, "serve-mesh", []int{}) })
 }

@@ -1,0 +1,47 @@
+package trace
+
+import "whodunit"
+
+// Replay schedules every event of tr onto the app's virtual clock,
+// offset from the clock's current position: inject(ev) runs in
+// scheduler context at now+ev.T. Events chain — each callback schedules
+// the next — so the injection sequence interleaves deterministically
+// with the app's own work and the run is bit-reproducible at a fixed
+// seed. Call before App.Run/RunUntil; drive the app with a stop
+// predicate (e.g. all events completed) since mesh worker loops never
+// terminate on their own.
+func Replay(app *whodunit.App, tr *Trace, inject func(ev Event)) {
+	evs := tr.Events
+	if len(evs) == 0 {
+		return
+	}
+	sim := app.Sim()
+	base := sim.Now()
+	var step func(i int)
+	step = func(i int) {
+		inject(evs[i])
+		if i+1 < len(evs) {
+			sim.At(base.Add(evs[i+1].T), func() { step(i + 1) })
+		}
+	}
+	sim.At(base.Add(evs[0].T), func() { step(0) })
+}
+
+// OpenLoop installs an endless arrival process drawing events from
+// cfg's generator on the fly — the serving-scenario counterpart of
+// Replay. The injected sequence is exactly Gen(cfg) continued forever
+// (cfg.Events is ignored), so a bounded open-loop run and a finite
+// replay of the same shape see identical workloads.
+func OpenLoop(app *whodunit.App, cfg GenConfig, inject func(ev Event)) {
+	g := newGen(cfg)
+	sim := app.Sim()
+	base := sim.Now()
+	var step func(ev Event)
+	step = func(ev Event) {
+		inject(ev)
+		next := g.next()
+		sim.At(base.Add(next.T), func() { step(next) })
+	}
+	first := g.next()
+	sim.At(base.Add(first.T), func() { step(first) })
+}

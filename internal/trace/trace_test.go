@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"whodunit"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	cfg := CacheTrace()
+	a, b := Gen(cfg), Gen(cfg)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("two Gen runs at the same seed differ")
+	}
+	cfg.Seed = 2
+	if reflect.DeepEqual(a.Events, Gen(cfg).Events) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenShape(t *testing.T) {
+	cfg := CacheTrace()
+	cfg.Events = 5000
+	tr := Gen(cfg)
+	if len(tr.Events) != cfg.Events || tr.Lost != 0 {
+		t.Fatalf("got %d events, lost %d", len(tr.Events), tr.Lost)
+	}
+	gets, prev := 0, whodunit.Duration(0)
+	keys := map[string]int{}
+	for _, ev := range tr.Events {
+		if !ev.valid(prev) {
+			t.Fatalf("invalid event %+v after t=%d", ev, prev)
+		}
+		prev = ev.T
+		if ev.Op == "get" {
+			gets++
+			if ev.Size != cfg.GetSize {
+				t.Fatalf("get size %d, want %d", ev.Size, cfg.GetSize)
+			}
+		} else if ev.Size < cfg.MinSize || ev.Size > cfg.MaxSize {
+			t.Fatalf("set size %d outside [%d, %d]", ev.Size, cfg.MinSize, cfg.MaxSize)
+		}
+		keys[ev.Key]++
+	}
+	frac := float64(gets) / float64(cfg.Events)
+	if frac < cfg.ReadFrac-0.05 || frac > cfg.ReadFrac+0.05 {
+		t.Fatalf("read fraction %.3f far from configured %.2f", frac, cfg.ReadFrac)
+	}
+	// Zipf skew: the most popular key should dwarf the uniform share.
+	max := 0
+	for _, n := range keys {
+		if n > max {
+			max = n
+		}
+	}
+	if uniform := cfg.Events / cfg.Keys; max < 4*uniform {
+		t.Fatalf("top key has %d events; expected heavy skew over uniform share %d", max, uniform)
+	}
+}
+
+func TestGenHotKeys(t *testing.T) {
+	cfg := CacheTrace()
+	cfg.Events = 4000
+	cfg.HotKeys = 3
+	cfg.HotFrac = 0.6
+	tr := Gen(cfg)
+	hot := 0
+	for _, ev := range tr.Events {
+		if ev.Key == "k0000" || ev.Key == "k0001" || ev.Key == "k0002" {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(cfg.Events); frac < 0.55 {
+		t.Fatalf("hot keys drew %.3f of events, want >= 0.55", frac)
+	}
+}
+
+func TestGenBursts(t *testing.T) {
+	cfg := MetaKV()
+	cfg.Events = 6000
+	tr := Gen(cfg)
+	inBurst, outBurst := 0, 0
+	for _, ev := range tr.Events {
+		if ev.T%cfg.BurstEvery < cfg.BurstLen {
+			inBurst++
+		} else {
+			outBurst++
+		}
+	}
+	// Burst windows cover 20% of time; with a 4x rate they should hold
+	// roughly 4*0.2/(4*0.2+0.8) = 50% of events.
+	if frac := float64(inBurst) / float64(inBurst+outBurst); frac < 0.35 {
+		t.Fatalf("burst windows hold only %.3f of events; bursts not happening", frac)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := MetaKV()
+	cfg.Events = 300
+	tr := Gen(cfg)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lost != 0 {
+		t.Fatalf("round trip lost %d events", got.Lost)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Fatal("round-tripped events differ")
+	}
+}
+
+func TestReadSalvagesTruncation(t *testing.T) {
+	cfg := CacheTrace()
+	cfg.Events = 100
+	tr := Gen(cfg)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the stream mid-way through a line: the salvaged prefix holds
+	// every complete valid record, the header count accounts the rest.
+	full := buf.Bytes()
+	cut := full[:len(full)*2/3]
+	got, err := Read(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) == 0 || len(got.Events) >= 100 {
+		t.Fatalf("salvaged %d of 100 events from a 2/3 truncation", len(got.Events))
+	}
+	if got.Lost != 100-len(got.Events) {
+		t.Fatalf("lost %d, want %d", got.Lost, 100-len(got.Events))
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events[:len(got.Events)]) {
+		t.Fatal("salvaged prefix is not a prefix of the original")
+	}
+}
+
+func TestReadStopsAtCorruptLine(t *testing.T) {
+	lines := []string{
+		`{"format":"whodunit-trace/v1","events":4}`,
+		`{"t":10,"stream":0,"op":"get","key":"a","size":1}`,
+		`{"t":5,"stream":0,"op":"get","key":"b","size":1}`, // time goes backwards
+		`{"t":20,"stream":0,"op":"get","key":"c","size":1}`,
+	}
+	got, err := Read(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 1 || got.Lost != 3 {
+		t.Fatalf("kept %d lost %d; want 1 kept (the rest after the corrupt line is lost: 3)", len(got.Events), got.Lost)
+	}
+}
+
+func TestReadHeaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"garbage":      "not json at all",
+		"wrong format": `{"format":"something-else/v9"}`,
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s input: want an error, got none", name)
+		}
+	}
+}
+
+// TestReplayBitReproducible drives the same trace through two identical
+// apps and pins the reports bit-for-bit — the replay acceptance bar.
+func TestReplayBitReproducible(t *testing.T) {
+	cfg := CacheTrace()
+	cfg.Events = 200
+	tr := Gen(cfg)
+	run := func() []byte {
+		app := whodunit.NewApp("replay", whodunit.WithMode(whodunit.ModeWhodunit), whodunit.WithSeed(9))
+		st := app.Stage("sink")
+		q := app.NewQueue("in")
+		done := 0
+		st.Go("worker", func(th *whodunit.Thread, pr *whodunit.Probe) {
+			for {
+				ev := q.Get(th).(Event)
+				st.BeginTxn(pr, "ingest_"+ev.Op)
+				pr.Compute(whodunit.Duration(50000 + ev.Size))
+				done++
+			}
+		})
+		Replay(app, tr, func(ev Event) { q.Put(ev) })
+		rep := app.RunUntil(func() bool { return done >= len(tr.Events) })
+		var buf bytes.Buffer
+		if err := rep.JSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("two replays of the same trace diverge")
+	}
+}
+
+// TestOpenLoopMatchesGen: the open-loop stream is Gen's sequence
+// continued — the first n injected events equal Gen(cfg).Events[:n].
+func TestOpenLoopMatchesGen(t *testing.T) {
+	cfg := MetaKV()
+	cfg.Events = 150
+	want := Gen(cfg).Events
+
+	app := whodunit.NewApp("openloop", whodunit.WithSeed(1))
+	var got []Event
+	OpenLoop(app, cfg, func(ev Event) { got = append(got, ev) })
+	app.RunUntil(func() bool { return len(got) >= len(want) })
+	if !reflect.DeepEqual(got[:len(want)], want) {
+		t.Fatal("open-loop stream diverges from Gen at the same config")
+	}
+}
+
+func TestGenConfigValidation(t *testing.T) {
+	bad := []func(*GenConfig){
+		func(c *GenConfig) { c.Keys = 0 },
+		func(c *GenConfig) { c.Streams = 0 },
+		func(c *GenConfig) { c.MeanGap = 0 },
+	}
+	for i, mutate := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad config did not panic", i)
+				}
+			}()
+			cfg := CacheTrace()
+			mutate(&cfg)
+			Gen(cfg)
+		}()
+	}
+}
