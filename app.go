@@ -30,13 +30,25 @@ type RNG = vclock.RNG
 type App struct {
 	Name string
 
-	sim      *Sim
+	sim      *Sim // time domain 0, the "home" domain
+	group    *vclock.Group
 	cpu      *CPU // shared CPU, created lazily
 	cores    int
 	mode     Mode
 	interval Duration
 	seed     uint64
 	rng      *RNG
+
+	// Sharded simulated time (WithShards): shards is the effective time-
+	// domain count after the serial-collapse rules, pipes the declared
+	// cross-domain channels (resolved into vclock links when the run
+	// starts), placedOffZero whether any stage, thread or queue has been
+	// placed on a domain other than 0.
+	shards        int
+	shardsWanted  int
+	shardsSet     bool
+	pipes         []*Pipe
+	placedOffZero bool
 
 	stages  []*Stage
 	byName  map[string]*Stage
@@ -63,13 +75,20 @@ type App struct {
 	ran bool
 }
 
+// DefaultShards, when nonzero, applies WithShards(DefaultShards) to
+// every app built without an explicit WithShards — the hook the
+// corpus-wide sharded determinism sweep uses to rerun every existing
+// scenario under sharding without touching the scenario builders (the
+// same pattern as par.MaxWorkers for the sweep pool). Like every shard
+// request it is subject to the serial-collapse rules; see WithShards.
+var DefaultShards int
+
 // NewApp returns an app with a fresh simulator, configured by opts. The
 // defaults are ModeWhodunit profiling, a 2-core shared CPU, the standard
 // sampling interval, and no crosstalk or flow machinery.
 func NewApp(name string, opts ...Option) *App {
 	a := &App{
 		Name:         name,
-		sim:          NewSim(),
 		cores:        2,
 		mode:         ModeWhodunit,
 		byName:       make(map[string]*Stage),
@@ -78,6 +97,28 @@ func NewApp(name string, opts ...Option) *App {
 	for _, opt := range opts {
 		opt(a)
 	}
+	// Resolve the time-domain count, now that every option is known.
+	// Crosstalk monitoring, flow detection, windowed aggregation and
+	// fault plans all read or mutate state across the whole app from one
+	// scheduler's context, so any of them collapses the run to a single
+	// domain — the documented serial fallback, not an error, so a
+	// scenario can be rerun under DefaultShards unchanged.
+	n := 1
+	switch {
+	case a.shardsSet:
+		n = a.shardsWanted
+		if n == 0 {
+			n = par.Limit()
+		}
+	case DefaultShards > 0:
+		n = DefaultShards
+	}
+	if a.monitor != nil || a.flowWanted || a.window > 0 || a.faultPlan != nil {
+		n = 1
+	}
+	a.shards = n
+	a.group = vclock.NewGroup(n)
+	a.sim = a.group.Domain(0)
 	a.rng = vclock.NewRNG(a.seed)
 	// Options are pure configuration; the cross-cutting machinery is
 	// built here, once the mode, clock rate and flow settings are all
@@ -91,9 +132,103 @@ func NewApp(name string, opts ...Option) *App {
 	return a
 }
 
-// Sim returns the app's simulator, for direct access to scheduling
-// primitives (At, After, RunFor, ...).
+// Sim returns the app's simulator — time domain 0 of a sharded app —
+// for direct access to scheduling primitives (At, After, RunFor, ...).
 func (a *App) Sim() *Sim { return a.sim }
+
+// Shards reports the app's effective time-domain count: the WithShards
+// request after the serial-collapse rules (see WithShards). Application
+// models size their round-robin partitioning from it, so a collapsed
+// app transparently places everything on domain 0.
+func (a *App) Shards() int { return a.shards }
+
+// ShardSim returns the simulator of time domain k%Shards(). The modulo
+// makes placement written against a sharded layout valid verbatim on a
+// collapsed app: every index maps to domain 0.
+func (a *App) ShardSim(k int) *Sim {
+	if k < 0 {
+		panic("whodunit: negative shard index")
+	}
+	s := a.group.Domain(k % a.shards)
+	// The flag gates pre-run configuration (zero-latency pipe fallback,
+	// SetFaults); don't touch it from inside the run, where threads of
+	// several domains may resolve their own sims concurrently.
+	if s != a.sim && !a.ran {
+		a.placedOffZero = true
+	}
+	return s
+}
+
+// GoShard starts a raw simulated thread on time domain k%Shards() — how
+// load generators partition clients round-robin across shards. Threads
+// on different domains may only communicate through Pipes; everything a
+// thread touches (queues, CPUs, stages) must live on its own domain.
+func (a *App) GoShard(k int, name string, body func(*Thread)) *Thread {
+	return a.ShardSim(k).Go(name, body)
+}
+
+// Pipe declares a unidirectional cross-domain channel: Send(v) from
+// shard `from`'s execution delivers v onto dst after `latency` of
+// virtual time. Pipes are the only legal communication edge between
+// time domains; their minimum latency is the group's lookahead (the
+// epoch width), so model a real transport hop — network latency, client
+// think time — rather than an infinitesimal delay. Declaration order
+// matters: it is part of the deterministic barrier-merge key, so
+// declare pipes in a fixed order (and before the run starts).
+//
+// A non-positive latency provides no lookahead; it is accepted as the
+// safe serial fallback — the app collapses to one time domain — but
+// only while nothing has been placed off shard 0 yet.
+func (a *App) Pipe(from int, dst *Queue, latency Duration) *Pipe {
+	if a.ran {
+		panic("whodunit: Pipe after run started")
+	}
+	if from < 0 {
+		panic("whodunit: negative shard index")
+	}
+	if latency <= 0 {
+		if a.placedOffZero {
+			panic(fmt.Sprintf("whodunit: app %q: zero-latency pipe onto %q with work already placed off shard 0 (no lookahead to shard by); give every pipe positive latency or declare zero-latency pipes first", a.Name, dst.Name))
+		}
+		a.shards = 1
+	}
+	p := &Pipe{app: a, from: from, dst: dst, latency: latency}
+	a.pipes = append(a.pipes, p)
+	return p
+}
+
+// Pipe is a declared cross-domain channel; see App.Pipe. Until the run
+// starts it is only a declaration — Send panics before then.
+type Pipe struct {
+	app     *App
+	from    int
+	dst     *Queue
+	latency Duration
+	link    *vclock.Link
+}
+
+// Send delivers v onto the pipe's destination queue after the pipe's
+// latency. It may only be called from the source shard's execution (its
+// threads or scheduler callbacks), once the run has started.
+func (p *Pipe) Send(v any) {
+	if p.link == nil {
+		panic(fmt.Sprintf("whodunit: Pipe.Send onto %q before the app run started", p.dst.Name))
+	}
+	p.link.Send(v)
+}
+
+// Latency reports the pipe's configured delivery delay.
+func (p *Pipe) Latency() Duration { return p.latency }
+
+// armPipes resolves pipe declarations into vclock links once the run
+// starts, after every zero-latency collapse has settled — so source
+// indexes fold with the same modulo as every other placement.
+func (a *App) armPipes() {
+	for _, p := range a.pipes {
+		src := a.group.Domain(p.from % a.shards)
+		p.link = a.group.Connect(src, p.dst.inner, p.latency)
+	}
+}
 
 // RNG returns the app's seeded random number generator (see WithSeed).
 func (a *App) RNG() *RNG { return a.rng }
@@ -164,10 +299,12 @@ func (a *App) Run() *Report { return a.run(nil) }
 // events (e.g. "all requests served").
 func (a *App) RunUntil(stop func() bool) *Report { return a.run(stop) }
 
-// RunFor is Run bounded to d of virtual time.
+// RunFor is Run bounded to d of virtual time. On a sharded app the
+// bound is checked against the group clock at epoch barriers, so the
+// run stops at the first barrier past the bound.
 func (a *App) RunFor(d Duration) *Report {
-	end := a.sim.Now().Add(d)
-	return a.run(func() bool { return a.sim.Now() >= end })
+	end := a.group.Now().Add(d)
+	return a.run(func() bool { return a.group.Now() >= end })
 }
 
 func (a *App) run(stop func() bool) *Report {
@@ -191,6 +328,7 @@ func (a *App) runSupervised(stop func() bool) (*Report, error) {
 		panic(fmt.Sprintf("whodunit: app %q already run", a.Name))
 	}
 	a.ran = true
+	a.armPipes()
 	a.armFaults()
 	if a.window > 0 {
 		if stop == nil {
@@ -199,9 +337,9 @@ func (a *App) runSupervised(stop func() bool) (*Report, error) {
 		a.winStart = a.sim.Now()
 		a.sim.Every(a.window, func() { a.retireWindow(a.sim.Now()) })
 	}
-	a.sim.RunUntil(stop)
+	a.group.RunUntil(stop)
 	var err error
-	if c := a.sim.Crashed(); c != nil {
+	if c := a.group.Crashed(); c != nil {
 		err = c
 	}
 	if a.window > 0 {
@@ -209,7 +347,7 @@ func (a *App) runSupervised(stop func() bool) (*Report, error) {
 		// (possibly partial) window, so shutdown loses no samples.
 		a.retireWindow(a.sim.Now())
 	}
-	a.sim.Shutdown()
+	a.group.Shutdown()
 	return a.Report(), err
 }
 
@@ -332,7 +470,7 @@ func (a *App) Report() *Report {
 		srs = append(srs, NewStageReport(st.prof, st.endpoints...))
 	}
 	rep := NewReport(a.Name, srs...)
-	rep.Elapsed = Duration(a.sim.Now())
+	rep.Elapsed = Duration(a.group.Now())
 	if a.monitor != nil {
 		rep.Crosstalk = a.monitor.Pairs()
 	}

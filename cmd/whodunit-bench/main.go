@@ -3,7 +3,8 @@
 // pass (the same scale the test suite uses) or without flags for the
 // full paper-scale sweep. -mode switches the case-study figures
 // (fig8/fig9/fig10) to a different profiling mode for baseline
-// comparisons.
+// comparisons. -cpuprofile/-memprofile capture pprof profiles of the
+// bench run itself, for hunting the harness's own hot spots.
 //
 // Experiments (and the client-count sweeps inside them) run across
 // GOMAXPROCS workers; every simulation draws from explicitly seeded RNG
@@ -17,6 +18,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,6 +34,7 @@ type benchSnapshot struct {
 	Quick        bool           `json:"quick"`
 	Workers      int            `json:"workers"` // 0 = GOMAXPROCS
 	GOMAXPROCS   int            `json:"gomaxprocs"`
+	HostCPUs     int            `json:"host_cpus"`
 	Experiments  []benchExpSnap `json:"experiments"`
 	TotalSeconds float64        `json:"total_seconds"`
 }
@@ -42,24 +45,28 @@ type benchExpSnap struct {
 }
 
 var experimentNames = []string{
-	"validate", "fig8", "fig9", "fig10", "table1", "fig11", "fig12", "table2", "table3", "overheads", "mesh",
+	"validate", "fig8", "fig9", "fig10", "table1", "fig11", "fig12", "table2", "table3", "overheads", "mesh", "megascale",
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	only := flag.String("only", "", "run a single experiment: "+strings.Join(experimentNames, "|"))
 	workers := flag.Int("workers", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial)")
 	benchjson := flag.String("benchjson", "", "write per-experiment wall-clock metrics to this JSON file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (captured after the run) to this file")
 	mode := cmdutil.ModeFlag()
 	flag.Parse()
 
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "whodunit-bench: unexpected arguments %q (configuration is flag-only)\n", flag.Args())
-		os.Exit(2)
+		return 2
 	}
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "whodunit-bench: -workers must be >= 0 (got %d)\n", *workers)
-		os.Exit(2)
+		return 2
 	}
 	if *only != "" {
 		known := false
@@ -72,7 +79,7 @@ func main() {
 		if !known {
 			fmt.Fprintf(os.Stderr, "whodunit-bench: unknown experiment %q (want %s)\n",
 				*only, strings.Join(experimentNames, "|"))
-			os.Exit(2)
+			return 2
 		}
 		// -mode only affects the case-study figures; an explicit -mode
 		// combined with -only for any other experiment is a conflict (the
@@ -88,16 +95,32 @@ func main() {
 			})
 			if modeSet {
 				fmt.Fprintf(os.Stderr, "whodunit-bench: -mode has no effect on experiment %q (only fig8, fig9 and fig10 honor it)\n", *only)
-				os.Exit(2)
+				return 2
 			}
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whodunit-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "whodunit-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	sc := experiments.FullScale
 	tp := experiments.FullTPCW
+	mg := experiments.FullMega
 	if *quick {
 		sc = experiments.QuickScale
 		tp = experiments.QuickTPCW
+		mg = experiments.QuickMega
 	}
 	experiments.SetWorkers(*workers)
 
@@ -113,6 +136,7 @@ func main() {
 		{Name: "table3", Run: func(w io.Writer) { experiments.Table3Emulation().Render(w) }},
 		{Name: "overheads", Run: func(w io.Writer) { experiments.ServerOverheads(sc).Render(w) }},
 		{Name: "mesh", Run: func(w io.Writer) { experiments.MeshTraffic(sc).Render(w) }},
+		{Name: "megascale", Run: func(w io.Writer) { experiments.MegaScale(mg).Render(w) }},
 	}
 	jobs := all[:0:0]
 	for _, j := range all {
@@ -135,7 +159,7 @@ func main() {
 	start := time.Now()
 	if err := experiments.RunAll(os.Stdout, jobs); err != nil {
 		fmt.Fprintf(os.Stderr, "whodunit-bench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if *benchjson != "" {
 		snap := benchSnapshot{
@@ -143,6 +167,7 @@ func main() {
 			Quick:        *quick,
 			Workers:      *workers,
 			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			HostCPUs:     runtime.NumCPU(),
 			TotalSeconds: time.Since(start).Seconds(),
 		}
 		for i, j := range jobs {
@@ -154,7 +179,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "whodunit-bench: benchjson: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whodunit-bench: memprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "whodunit-bench: memprofile: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }

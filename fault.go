@@ -43,6 +43,13 @@ func (a *App) SetFaults(plan *FaultPlan) {
 		a.injector = nil
 		return
 	}
+	if a.placedOffZero {
+		panic("whodunit: SetFaults on a sharded app with work placed off shard 0 (fault plans run serially; see WithShards)")
+	}
+	// Fault injection evaluates timed faults and message verdicts from
+	// domain 0's scheduler; collapse to a single time domain so every
+	// target lives there (the same rule WithFaults applies at NewApp).
+	a.shards = 1
 	a.injector = faults.NewInjector(plan, a.seed)
 }
 

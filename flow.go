@@ -215,12 +215,20 @@ const (
 // lazily on first Push, so queues used only as raw transport cost
 // nothing beyond the simulator queue they wrap.
 func (a *App) NewQueue(name string) *Queue {
+	return a.NewQueueOn(0, name)
+}
+
+// NewQueueOn is NewQueue with the underlying simulator queue placed on
+// time domain shard%Shards() (see WithShards): a queue belongs to one
+// domain, and only that domain's threads may Get from it. Putting from
+// another domain goes through an App.Pipe targeting the queue.
+func (a *App) NewQueueOn(shard int, name string) *Queue {
 	return &Queue{
 		Name:      name,
 		PushFrame: "ap_queue_push",
 		PopFrame:  "ap_queue_pop",
 		app:       a,
-		inner:     a.sim.NewQueue(name),
+		inner:     a.ShardSim(shard).NewQueue(name),
 	}
 }
 

@@ -1,0 +1,56 @@
+package meshkv
+
+import (
+	"bytes"
+	"testing"
+
+	"whodunit"
+	"whodunit/internal/trace"
+)
+
+func megaTestConfig(replicas int, sharded bool) MegaConfig {
+	g := trace.CacheTrace()
+	g.Events = 600
+	g.Seed = 11
+	cfg := DefaultMegaConfig(trace.Gen(g))
+	cfg.Replicas = replicas
+	cfg.Sharded = sharded
+	return cfg
+}
+
+// TestMeshMegaSerialShardedIdentity: the replicated mesh produces
+// bit-identical reports and counters on one time domain and on one
+// domain per pod.
+func TestMeshMegaSerialShardedIdentity(t *testing.T) {
+	for _, replicas := range []int{1, 4} {
+		serial := MegaRun(megaTestConfig(replicas, false))
+		sharded := MegaRun(megaTestConfig(replicas, true))
+		if serial.Completed == 0 || serial.Completed != serial.Injected {
+			t.Fatalf("replicas=%d: completed %d of %d injected", replicas, serial.Completed, serial.Injected)
+		}
+		if serial.Completed != sharded.Completed || serial.Hits != sharded.Hits ||
+			serial.Misses != sharded.Misses || serial.Gets != sharded.Gets ||
+			serial.Sets != sharded.Sets || serial.Elapsed != sharded.Elapsed {
+			t.Errorf("replicas=%d: counters differ:\nserial  %+v\nsharded %+v", replicas, serial, sharded)
+		}
+		for r := range serial.ReplicaLoad {
+			if serial.ReplicaLoad[r] != sharded.ReplicaLoad[r] {
+				t.Errorf("replicas=%d: ReplicaLoad[%d] %d vs %d",
+					replicas, r, serial.ReplicaLoad[r], sharded.ReplicaLoad[r])
+			}
+		}
+		var a, b bytes.Buffer
+		if err := serial.Report.JSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Report.JSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("replicas=%d: report JSON differs between serial and sharded", replicas)
+		}
+		if d := whodunit.Diff(serial.Report, sharded.Report); !d.Empty() {
+			t.Errorf("replicas=%d: diff not empty (max delta %d)", replicas, d.MaxDelta())
+		}
+	}
+}

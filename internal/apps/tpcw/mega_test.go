@@ -1,0 +1,59 @@
+package tpcw
+
+import (
+	"bytes"
+	"testing"
+
+	"whodunit"
+)
+
+func megaTestConfig(clients, replicas int, sharded bool) MegaConfig {
+	cfg := DefaultMegaConfig(clients)
+	cfg.Replicas = replicas
+	cfg.Sharded = sharded
+	cfg.Duration = 4 * whodunit.Second
+	cfg.ThinkMean = 250 * whodunit.Millisecond
+	cfg.TomcatWorkers = 4
+	cfg.SquidWorkers = 2
+	cfg.DBWorkers = 3
+	return cfg
+}
+
+// TestMegaSerialShardedIdentity pins the acceptance invariant on the
+// real app model: the replicated TPC-W deployment produces bit-identical
+// reports and client metrics whether it runs on one time domain or on
+// one domain per pod.
+func TestMegaSerialShardedIdentity(t *testing.T) {
+	for _, replicas := range []int{1, 3} {
+		serial := MegaRun(megaTestConfig(24, replicas, false))
+		sharded := MegaRun(megaTestConfig(24, replicas, true))
+		if serial.Completed == 0 {
+			t.Fatalf("replicas=%d: no completed interactions", replicas)
+		}
+		if serial.Completed != sharded.Completed {
+			t.Errorf("replicas=%d: Completed %d vs %d", replicas, serial.Completed, sharded.Completed)
+		}
+		if serial.Elapsed != sharded.Elapsed {
+			t.Errorf("replicas=%d: Elapsed %v vs %v", replicas, serial.Elapsed, sharded.Elapsed)
+		}
+		for name, st := range serial.PerType {
+			o := sharded.PerType[name]
+			if st.Count != o.Count || st.TotalResp != o.TotalResp {
+				t.Errorf("replicas=%d: PerType[%s] %+v vs %+v", replicas, name, st, o)
+			}
+		}
+		if d := whodunit.Diff(serial.Report, sharded.Report); !d.Empty() {
+			t.Errorf("replicas=%d: report diff not empty (max delta %d)", replicas, d.MaxDelta())
+		}
+		var a, b bytes.Buffer
+		if err := serial.Report.JSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Report.JSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("replicas=%d: report JSON differs between serial and sharded", replicas)
+		}
+	}
+}

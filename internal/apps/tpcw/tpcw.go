@@ -227,29 +227,7 @@ func build(cfg Config) *system {
 	// Database schema and data.
 	db := minidb.New(s, "mysql", mysqlSt.CPU())
 	db.SetLockObserver(app.Crosstalk())
-	rng := vclock.NewRNG(cfg.Seed ^ 0x5eed)
-	item := db.CreateTable("item", cfg.ItemEngine)
-	for i := 0; i < 10000; i++ {
-		item.LoadRow(minidb.Row{ID: int64(i), Attrs: []minidb.Attr{
-			{Name: "subject", Val: int64(i % 24)}, {Name: "cost", Val: int64(10 + i%90)},
-			{Name: "sales", Val: int64(rng.Intn(100000))},
-		}})
-	}
-	orderLine := db.CreateTable("order_line", minidb.EngineMyISAM)
-	for i := 0; i < 7776; i++ {
-		orderLine.LoadRow(minidb.Row{ID: int64(i), Attrs: []minidb.Attr{
-			{Name: "item", Val: int64(rng.Intn(10000))}, {Name: "qty", Val: int64(1 + rng.Intn(5))},
-		}})
-	}
-	customer := db.CreateTable("customer", minidb.EngineMyISAM)
-	for i := 0; i < 2880; i++ {
-		customer.LoadRow(minidb.Row{ID: int64(i), Attrs: []minidb.Attr{{Name: "discount", Val: int64(i % 50)}}})
-	}
-	orders := db.CreateTable("orders", minidb.EngineInnoDB)
-	author := db.CreateTable("author", minidb.EngineMyISAM)
-	for i := 0; i < 2500; i++ {
-		author.LoadRow(minidb.Row{ID: int64(i)})
-	}
+	item, orderLine, customer, orders, author := loadTables(db, cfg.ItemEngine, cfg.Seed)
 
 	// Queues between tiers.
 	squidQ := app.NewQueue("squid-in")
@@ -458,6 +436,36 @@ func (sys *system) finish() *Result {
 		}
 	}
 	return res
+}
+
+// loadTables creates and populates the TPC-W schema on db, shared by the
+// single-pod model and the mega-scale replicated model so that both load
+// bit-identical data for a given seed.
+func loadTables(db *minidb.DB, itemEngine minidb.Engine, seed uint64) (item, orderLine, customer, orders, author *minidb.Table) {
+	rng := vclock.NewRNG(seed ^ 0x5eed)
+	item = db.CreateTable("item", itemEngine)
+	for i := 0; i < 10000; i++ {
+		item.LoadRow(minidb.Row{ID: int64(i), Attrs: []minidb.Attr{
+			{Name: "subject", Val: int64(i % 24)}, {Name: "cost", Val: int64(10 + i%90)},
+			{Name: "sales", Val: int64(rng.Intn(100000))},
+		}})
+	}
+	orderLine = db.CreateTable("order_line", minidb.EngineMyISAM)
+	for i := 0; i < 7776; i++ {
+		orderLine.LoadRow(minidb.Row{ID: int64(i), Attrs: []minidb.Attr{
+			{Name: "item", Val: int64(rng.Intn(10000))}, {Name: "qty", Val: int64(1 + rng.Intn(5))},
+		}})
+	}
+	customer = db.CreateTable("customer", minidb.EngineMyISAM)
+	for i := 0; i < 2880; i++ {
+		customer.LoadRow(minidb.Row{ID: int64(i), Attrs: []minidb.Attr{{Name: "discount", Val: int64(i % 50)}}})
+	}
+	orders = db.CreateTable("orders", minidb.EngineInnoDB)
+	author = db.CreateTable("author", minidb.EngineMyISAM)
+	for i := 0; i < 2500; i++ {
+		author.LoadRow(minidb.Row{ID: int64(i)})
+	}
+	return item, orderLine, customer, orders, author
 }
 
 // execQuery performs the per-interaction database work. Row volumes are

@@ -1,0 +1,15 @@
+package experiments
+
+import "testing"
+
+func TestMegaScaleQuickSmoke(t *testing.T) {
+	r := MegaScale(QuickMega)
+	for _, row := range r.Rows {
+		if !row.Identical {
+			t.Errorf("%s at %d clients: serial and sharded reports differ", row.App, row.Clients)
+		}
+		if row.Completed == 0 {
+			t.Errorf("%s: nothing completed", row.App)
+		}
+	}
+}

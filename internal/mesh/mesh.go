@@ -114,11 +114,12 @@ func (t *Topology) Service(name string, workers int, h Handler, opts ...whodunit
 	if h == nil {
 		panic(fmt.Sprintf("mesh: service %q has no handler", name))
 	}
+	st := t.app.Stage(name, opts...)
 	s := &Service{
 		Name:         name,
 		topo:         t,
-		st:           t.app.Stage(name, opts...),
-		in:           t.app.NewQueue(name + "-in"),
+		st:           st,
+		in:           t.app.NewQueueOn(st.Shard(), name+"-in"),
 		handler:      h,
 		handleFrames: map[string]string{},
 		entryPaths:   map[string][]string{},
@@ -126,7 +127,7 @@ func (t *Topology) Service(name string, workers int, h Handler, opts ...whodunit
 	t.services = append(t.services, s)
 	t.byName[name] = s
 	for w := 0; w < workers; w++ {
-		replyQ := t.app.NewQueue(fmt.Sprintf("%s-reply-%d", name, w))
+		replyQ := t.app.NewQueueOn(st.Shard(), fmt.Sprintf("%s-reply-%d", name, w))
 		s.st.Go(fmt.Sprintf("%s-%d", name, w), func(th *whodunit.Thread, pr *whodunit.Probe) {
 			c := &Call{svc: s, th: th, pr: pr, replyQ: replyQ}
 			for {
@@ -153,6 +154,36 @@ func (s *Service) Inject(req *Request) {
 	req.replyQ = nil
 	req.Start = s.topo.app.Sim().Now()
 	s.in.Put(req)
+}
+
+// Ingress is a cross-domain injection channel into an entry service of
+// a sharded app (see whodunit.WithShards): Inject from shard 0's
+// scheduler context ships the envelope over an App.Pipe, arriving at
+// the service's input queue `latency` later. Request.Start is the
+// arrival time — the transport hop is modeled, not measured — so
+// latency statistics are identical between serial and sharded runs.
+// Create every Ingress before the app run starts.
+type Ingress struct {
+	svc     *Service
+	pipe    *whodunit.Pipe
+	latency whodunit.Duration
+}
+
+// Ingress returns an injection channel into s with the given transport
+// latency (which must be positive: it is lookahead the epoch scheduler
+// shards time by).
+func (s *Service) Ingress(latency whodunit.Duration) *Ingress {
+	return &Ingress{svc: s, pipe: s.topo.app.Pipe(0, s.in, latency), latency: latency}
+}
+
+// Inject ships an entry request over the ingress pipe. Call it from
+// shard 0's execution (scheduler callbacks, e.g. a trace replay).
+func (in *Ingress) Inject(req *Request) {
+	req.entry = true
+	req.msg = whodunit.Msg{}
+	req.replyQ = nil
+	req.Start = in.svc.topo.app.Sim().Now().Add(in.latency)
+	in.pipe.Send(req)
 }
 
 // serve runs one request through the handler and relays the response
@@ -182,7 +213,9 @@ func (s *Service) serve(c *Call, req *Request) {
 		return
 	}
 	if s.OnComplete != nil {
-		s.OnComplete(req, s.topo.app.Sim().Now())
+		// The worker thread's clock, not App.Sim's: on a sharded app
+		// this service may live on another time domain.
+		s.OnComplete(req, c.th.Now())
 	}
 }
 
@@ -228,8 +261,8 @@ func (c *Call) Thread() *whodunit.Thread { return c.th }
 // Service returns the service this call runs in.
 func (c *Call) Service() *Service { return c.svc }
 
-// Now returns the current virtual time.
-func (c *Call) Now() whodunit.Time { return c.svc.topo.app.Sim().Now() }
+// Now returns the current virtual time (of the worker's time domain).
+func (c *Call) Now() whodunit.Time { return c.th.Now() }
 
 // Compute charges d of CPU to the current context.
 func (c *Call) Compute(d whodunit.Duration) {

@@ -437,6 +437,13 @@ var all = []Scenario{
 		Params{Seed: 5, Mode: whodunit.ModeWhodunit}, meshHotKeyTrace(), false),
 	meshScenario("mesh-deep", "deep 7-tier proxy-chain mesh replaying a bursty meta-KV trace (≥6-hop chains)",
 		Params{Seed: 5, Mode: whodunit.ModeWhodunit}, meshDeepTrace(), true),
+
+	// Mega-scale replicated deployments, each as a sharded/serial pair
+	// with byte-identical goldens (see mega.go).
+	tpcwMegaScenario("tpcw-mega", "replicated TPC-W, 3 pods on their own time domains + shared MySQL (WithShards)", true),
+	tpcwMegaScenario("tpcw-mega-serial", "replicated TPC-W, identical topology on one time domain (sharding baseline)", false),
+	meshMegaScenario("mesh-mega", "replicated mesh KV, 4 pods on their own time domains, key-hash load balancing (WithShards)", true),
+	meshMegaScenario("mesh-mega-serial", "replicated mesh KV, identical topology on one time domain (sharding baseline)", false),
 }
 
 // All returns the corpus in its stable order.

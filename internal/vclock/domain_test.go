@@ -1,0 +1,191 @@
+package vclock
+
+import (
+	"fmt"
+	"testing"
+)
+
+// traceEntry is one observed delivery: which consumer saw what, when.
+type traceEntry struct {
+	who string
+	at  Time
+	v   any
+}
+
+// pingPong builds the same two-party program on a group of n domains
+// and returns the observation trace: a client issues `rounds` requests
+// with 3ms think time over a 1ms link; a server answers each after
+// 500µs of handling over another 1ms link. With n=1 both parties share
+// a domain (all links same-domain, still epoch-buffered); with n=2 the
+// server is on domain 0 and the client on domain 1.
+func pingPong(n, rounds int) []traceEntry {
+	g := NewGroup(n)
+	srvSim := g.Domain(0)
+	cliSim := g.Domain((n - 1) % n)
+	srvQ := srvSim.NewQueue("srv")
+	cliQ := cliSim.NewQueue("cli")
+	toSrv := g.Connect(cliSim, srvQ, Millisecond)
+	toCli := g.Connect(srvSim, cliQ, Millisecond)
+	var trace []traceEntry
+	srvSim.Go("server", func(th *Thread) {
+		for {
+			v := th.Get(srvQ)
+			trace = append(trace, traceEntry{"server", th.Now(), v})
+			th.Sleep(500 * Microsecond)
+			toCli.Send(v)
+		}
+	})
+	cliSim.Go("client", func(th *Thread) {
+		for i := 0; i < rounds; i++ {
+			toSrv.Send(i)
+			v := th.Get(cliQ)
+			trace = append(trace, traceEntry{"client", th.Now(), v})
+			th.Sleep(3 * Millisecond)
+		}
+	})
+	g.Run()
+	g.Shutdown()
+	return trace
+}
+
+// TestGroupSerialShardedIdentity pins the tentpole invariant at the
+// vclock layer: the observation trace of the same program is identical
+// whether its parties share one time domain or are split across two.
+func TestGroupSerialShardedIdentity(t *testing.T) {
+	serial := pingPong(1, 20)
+	sharded := pingPong(2, 20)
+	if len(serial) != len(sharded) {
+		t.Fatalf("trace lengths differ: serial %d, sharded %d", len(serial), len(sharded))
+	}
+	if len(serial) != 40 {
+		t.Fatalf("expected 40 observations, got %d", len(serial))
+	}
+	for i := range serial {
+		if serial[i] != sharded[i] {
+			t.Fatalf("trace[%d] differs: serial %+v, sharded %+v", i, serial[i], sharded[i])
+		}
+	}
+}
+
+func TestGroupLookahead(t *testing.T) {
+	g := NewGroup(2)
+	q0 := g.Domain(0).NewQueue("q0")
+	q1 := g.Domain(1).NewQueue("q1")
+	g.Connect(g.Domain(0), q1, 3*Millisecond)
+	g.Connect(g.Domain(1), q0, Millisecond)
+	g.Connect(g.Domain(0), q0, 0) // direct: excluded from lookahead
+	if got := g.Lookahead(); got != Millisecond {
+		t.Fatalf("Lookahead = %v, want %v", got, Millisecond)
+	}
+}
+
+func TestConnectZeroLatencyCrossDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Connect accepted a zero-latency cross-domain link")
+		}
+	}()
+	g := NewGroup(2)
+	q1 := g.Domain(1).NewQueue("q1")
+	g.Connect(g.Domain(0), q1, 0)
+}
+
+// TestGroupDirectLink: a zero-latency same-domain link delivers
+// immediately, without waiting for any barrier.
+func TestGroupDirectLink(t *testing.T) {
+	g := NewGroup(1)
+	s := g.Domain(0)
+	q := s.NewQueue("q")
+	l := g.Connect(s, q, 0)
+	var at Time
+	s.Go("consumer", func(th *Thread) { th.Get(q); at = th.Now() })
+	s.Go("producer", func(th *Thread) {
+		th.Sleep(2 * Millisecond)
+		l.Send("x")
+	})
+	g.Run()
+	g.Shutdown()
+	if at != Time(2*Millisecond) {
+		t.Fatalf("delivery at %v, want %v", at, Time(2*Millisecond))
+	}
+}
+
+// TestGroupCrash: a panic in a non-home domain halts the group run and
+// surfaces through Group.Crashed.
+func TestGroupCrash(t *testing.T) {
+	g := NewGroup(2)
+	q1 := g.Domain(1).NewQueue("q1")
+	g.Connect(g.Domain(0), q1, Millisecond) // epoch mode
+	g.Domain(1).Go("boom", func(th *Thread) {
+		th.Sleep(5 * Millisecond)
+		panic("injected")
+	})
+	g.Domain(0).Go("spin", func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			th.Sleep(Millisecond)
+		}
+	})
+	g.Run()
+	c := g.Crashed()
+	if c == nil || c.Thread != "boom" || c.At != Time(5*Millisecond) {
+		t.Fatalf("Crashed = %+v, want boom at 5ms", c)
+	}
+	g.Shutdown()
+}
+
+func TestGroupNowIsMaxDomainClock(t *testing.T) {
+	g := NewGroup(2)
+	g.Domain(0).Go("a", func(th *Thread) { th.Sleep(Millisecond) })
+	g.Domain(1).Go("b", func(th *Thread) { th.Sleep(7 * Millisecond) })
+	g.Run()
+	g.Shutdown()
+	if got := g.Now(); got != Time(7*Millisecond) {
+		t.Fatalf("Now = %v, want 7ms", got)
+	}
+}
+
+// TestRunBefore: events strictly before the horizon run; an event at
+// exactly the horizon stays pending (the off-by-one RunFor would make).
+func TestRunBefore(t *testing.T) {
+	s := New()
+	var ran []string
+	s.At(Time(Millisecond), func() { ran = append(ran, "before") })
+	s.At(Time(2*Millisecond), func() { ran = append(ran, "at") })
+	s.RunBefore(Time(2 * Millisecond))
+	if fmt.Sprint(ran) != "[before]" {
+		t.Fatalf("ran %v, want [before] only", ran)
+	}
+	if len(s.events) != 1 || s.events[0].when != Time(2*Millisecond) {
+		t.Fatalf("event at the horizon should stay pending")
+	}
+	s.Run()
+	if fmt.Sprint(ran) != "[before at]" {
+		t.Fatalf("ran %v after full run", ran)
+	}
+}
+
+// TestGroupRunUntilStopAtBarrier: the stop predicate is honored at
+// epoch barriers, leaving later work pending.
+func TestGroupRunUntilStopAtBarrier(t *testing.T) {
+	g := NewGroup(2)
+	q0 := g.Domain(0).NewQueue("q0")
+	l := g.Connect(g.Domain(1), q0, Millisecond)
+	count := 0
+	g.Domain(0).Go("consumer", func(th *Thread) {
+		for {
+			th.Get(q0)
+			count++
+		}
+	})
+	g.Domain(1).Go("producer", func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			l.Send(i)
+			th.Sleep(Millisecond)
+		}
+	})
+	g.RunUntil(func() bool { return count >= 10 })
+	if count < 10 || count >= 100 {
+		t.Fatalf("count = %d, want stopped in [10,100)", count)
+	}
+	g.Shutdown()
+}

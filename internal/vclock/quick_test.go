@@ -72,6 +72,183 @@ func TestQuickQueueFIFO(t *testing.T) {
 	}
 }
 
+// TestQuickEpochMergeDomainInvariance: for any producer schedule and
+// any link latencies, the consumer's observed delivery order is
+// identical for every domain assignment of the producers — the
+// epoch-barrier merge key is a function of the program, not the layout.
+func TestQuickEpochMergeDomainInvariance(t *testing.T) {
+	f := func(offsets []uint16, latSel [4]uint8) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		if len(offsets) > 24 {
+			offsets = offsets[:24]
+		}
+		const nprod = 4
+		run := func(domains int) []traceEntry {
+			g := NewGroup(domains)
+			q := g.Domain(0).NewQueue("sink")
+			links := make([]*Link, nprod)
+			for p := 0; p < nprod; p++ {
+				lat := Duration(1+int(latSel[p])%5) * Millisecond
+				links[p] = g.Connect(g.Domain(p%domains), q, lat)
+			}
+			var trace []traceEntry
+			total := 0
+			for p := 0; p < nprod; p++ {
+				p := p
+				var mine []uint16
+				for i, off := range offsets {
+					if i%nprod == p {
+						mine = append(mine, off)
+					}
+				}
+				total += len(mine)
+				g.Domain(p%domains).Go("producer", func(th *Thread) {
+					for i, off := range mine {
+						th.SleepUntil(Time(Duration(off) * 50 * Microsecond))
+						links[p].Send(p*1000 + i)
+					}
+				})
+			}
+			got := 0
+			g.Domain(0).Go("consumer", func(th *Thread) {
+				for got < total {
+					v := th.Get(q)
+					trace = append(trace, traceEntry{"c", th.Now(), v})
+					got++
+				}
+			})
+			g.Run()
+			g.Shutdown()
+			return trace
+		}
+		a := run(1)
+		for _, domains := range []int{2, 3, 4} {
+			b := run(domains)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickKillAcrossBarrier: a Sim.Kill of a producer whose messages
+// cross domain barriers lands at the same point of the delivery order
+// for every layout — faults stay bit-reproducible under sharding.
+func TestQuickKillAcrossBarrier(t *testing.T) {
+	f := func(killAt uint16, n uint8) bool {
+		rounds := int(n%20) + 5
+		run := func(domains int) []traceEntry {
+			g := NewGroup(domains)
+			q := g.Domain(0).NewQueue("sink")
+			prodSim := g.Domain(domains - 1)
+			l := g.Connect(prodSim, q, Millisecond)
+			victim := prodSim.Go("victim", func(th *Thread) {
+				for i := 0; i < rounds; i++ {
+					l.Send(i)
+					th.Sleep(700 * Microsecond)
+				}
+			})
+			prodSim.At(Time(Duration(killAt%20000)*Microsecond), func() {
+				prodSim.Kill(victim)
+			})
+			var trace []traceEntry
+			g.Domain(0).Go("consumer", func(th *Thread) {
+				for {
+					v := th.Get(q)
+					trace = append(trace, traceEntry{"c", th.Now(), v})
+				}
+			})
+			g.Run()
+			g.Shutdown()
+			return trace
+		}
+		a, b := run(1), run(2)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTimeoutAcrossBarrier: GetTimeout races between a timer and a
+// cross-domain delivery resolve identically for every layout — the
+// timer is a domestic heap event and the delivery lands at a
+// layout-independent (time, link, seq) slot.
+func TestQuickTimeoutAcrossBarrier(t *testing.T) {
+	f := func(sendGaps []uint16, timeoutSel uint8) bool {
+		if len(sendGaps) == 0 {
+			return true
+		}
+		if len(sendGaps) > 16 {
+			sendGaps = sendGaps[:16]
+		}
+		timeout := Duration(1+int(timeoutSel)%8) * Millisecond
+		type obs struct {
+			at Time
+			ok bool
+			v  any
+		}
+		run := func(domains int) []obs {
+			g := NewGroup(domains)
+			q := g.Domain(0).NewQueue("sink")
+			prodSim := g.Domain(domains - 1)
+			l := g.Connect(prodSim, q, Millisecond)
+			prodSim.Go("producer", func(th *Thread) {
+				for i, gap := range sendGaps {
+					th.Sleep(Duration(gap%5000) * Microsecond)
+					l.Send(i)
+				}
+			})
+			var trace []obs
+			g.Domain(0).Go("consumer", func(th *Thread) {
+				got := 0
+				for got < len(sendGaps) {
+					v, ok := th.GetTimeout(q, timeout)
+					trace = append(trace, obs{th.Now(), ok, v})
+					if ok {
+						got++
+					}
+				}
+			})
+			g.Run()
+			g.Shutdown()
+			return trace
+		}
+		a, b := run(1), run(2)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickLockMutualExclusionInvariant: random mixes of shared and
 // exclusive holders never overlap illegally.
 func TestQuickLockInvariant(t *testing.T) {

@@ -64,7 +64,8 @@ type event struct {
 	when  Time
 	seq   uint64
 	t     *Thread // thread to wake (or start), or
-	fn    func()  // callback to run in dispatcher context
+	fn    func()  // callback to run in dispatcher context, or
+	q     *Queue  // queue to deliver v to in dispatcher context
 	v     any     // payload delivered to t (queue item), nil for plain wakes
 	start bool    // t is to be started, not resumed
 	kill  bool    // t is to be unwound (Sim.Kill)
@@ -284,6 +285,32 @@ func (s *Sim) runCallback(fn func()) {
 	fn()
 }
 
+// deliver schedules v to be put on q at virtual time `at`, in dispatcher
+// context. The queue rides in the event itself — like wake payloads, a
+// closure here would put one heap allocation on every cross-domain
+// hand-off.
+func (s *Sim) deliver(at Time, q *Queue, v any) {
+	if at < s.now {
+		at = s.now
+	}
+	s.push(event{when: at, q: q, v: v})
+}
+
+// deliverNow runs a scheduled queue delivery, capturing an escaping
+// panic as a crash (mirroring runCallback, without the per-event
+// closure).
+func (s *Sim) deliverNow(q *Queue, v any) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(poison); ok {
+				panic(r)
+			}
+			s.recordCrash("(scheduler)", r)
+		}
+	}()
+	q.Put(v)
+}
+
 // waitParked blocks the RunUntil caller until the dispatch chain hands
 // the baton back (no more events, or the stop predicate fired).
 func (s *Sim) waitParked() { <-s.parked }
@@ -355,6 +382,8 @@ func (s *Sim) dispatchFrom(self *Thread) baton {
 			continue
 		case e.fn != nil:
 			s.runCallback(e.fn)
+		case e.q != nil:
+			s.deliverNow(e.q, e.v)
 		case e.start:
 			if e.t.started || e.t.dead {
 				continue
@@ -486,6 +515,18 @@ func (s *Sim) Run() { s.RunUntil(nil) }
 // remain pending) or until no events remain.
 func (s *Sim) RunFor(end Time) {
 	s.RunUntil(func() bool { return s.now >= end })
+}
+
+// RunBefore drives the simulation until every pending event lies at or
+// after `horizon` (or no events remain). This is the epoch-window
+// primitive of Group: unlike RunFor — whose stop predicate only trips
+// after an event at or past the bound has already run — RunBefore peeks
+// at the heap, so an event at exactly `horizon` stays pending for the
+// next epoch. The stop predicate composes with the SleepUntil fast
+// path: a sleeper targeting a time at or past the horizon always takes
+// the slow path and parks.
+func (s *Sim) RunBefore(horizon Time) {
+	s.RunUntil(func() bool { return len(s.events) == 0 || s.events[0].when >= horizon })
 }
 
 // RunUntil drives the simulation until stop returns true (checked between

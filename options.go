@@ -77,6 +77,33 @@ func WithClockRate(cyclesPerSecond int64) Option {
 	}
 }
 
+// WithShards splits the app's simulated time into n epoch-synchronized
+// time domains, so one big run parallelizes across pool workers
+// (internal/par) instead of only sweeps doing so. n = 0 means one shard
+// per pool worker (par.Limit, i.e. GOMAXPROCS unless capped). Work is
+// placed onto domains with StageShard, App.GoShard and App.NewQueueOn,
+// and domains communicate exclusively through positive-latency
+// App.Pipes; the minimum pipe latency is the lookahead that sets the
+// epoch width. Reports are bit-identical for every shard count — serial
+// and sharded runs of the same model diff empty.
+//
+// WithShards is a transparent no-op (the app collapses to one domain,
+// and the shard-indexed placement APIs all map to domain 0) when the
+// app has no positive-latency pipes, or when it uses machinery that
+// reads cross-stage state from one scheduler's context: crosstalk
+// monitoring (WithCrosstalk), flow detection (WithFlowDetection),
+// windowed aggregation (WithWindow), or a fault plan
+// (WithFaults/SetFaults).
+func WithShards(n int) Option {
+	return func(a *App) {
+		if n < 0 {
+			panic("whodunit: WithShards needs a non-negative shard count")
+		}
+		a.shardsWanted = n
+		a.shardsSet = true
+	}
+}
+
 // WithFaults installs a deterministic fault plan: stage crashes and
 // restarts, message drop/duplication/delay, CPU stalls and injected
 // failures, all scheduled in virtual time and drawn from a seeded RNG,
@@ -123,5 +150,19 @@ func StageCPU(cores int) StageOption {
 			panic("whodunit: StageCPU needs at least one core")
 		}
 		st.privateCores = cores
+	}
+}
+
+// StageShard pins the stage (its threads, private CPU and profiler) to
+// time domain k%Shards() — the affinity knob of a sharded app (see
+// WithShards). A stage off shard 0 must have a private CPU (StageCPU):
+// the app's shared CPU lives on domain 0 and cannot be charged from
+// another domain.
+func StageShard(k int) StageOption {
+	return func(st *Stage) {
+		if k < 0 {
+			panic("whodunit: StageShard needs a non-negative shard index")
+		}
+		st.shard = k
 	}
 }

@@ -1,6 +1,7 @@
 package whodunit
 
 import (
+	"fmt"
 	"io"
 
 	"whodunit/internal/event"
@@ -24,6 +25,7 @@ type Stage struct {
 	prof         *Profiler
 	cpu          *CPU // private CPU, nil means the app's shared one
 	privateCores int
+	shard        int // time domain (StageShard), folded mod App.Shards()
 
 	defaultEP *Endpoint
 	endpoints []*Endpoint
@@ -48,15 +50,26 @@ func newStage(a *App, name string, opts ...StageOption) *Stage {
 	for _, opt := range opts {
 		opt(st)
 	}
+	st.shard %= a.shards
+	if st.shard != 0 && st.privateCores == 0 {
+		panic(fmt.Sprintf("whodunit: stage %q is pinned to shard %d but would share the app CPU, which lives on shard 0; give it StageCPU", name, st.shard))
+	}
 	st.prof = profiler.New(name, st.mode)
 	if a.interval > 0 {
 		st.prof.Interval = a.interval
 	}
 	if st.privateCores > 0 {
-		st.cpu = a.sim.NewCPU(name+"-cpu", st.privateCores)
+		st.cpu = st.sim().NewCPU(name+"-cpu", st.privateCores)
 	}
 	return st
 }
+
+// Shard reports the time domain the stage is pinned to (0 unless
+// StageShard was given on a sharded app).
+func (st *Stage) Shard() int { return st.shard }
+
+// sim returns the simulator of the stage's time domain.
+func (st *Stage) sim() *Sim { return st.app.ShardSim(st.shard) }
 
 // App returns the owning app.
 func (st *Stage) App() *App { return st.app }
@@ -88,7 +101,7 @@ func (st *Stage) Go(name string, body func(th *Thread, pr *Probe)) *Thread {
 // spawn starts a stage thread without recording a new spec — the shared
 // path of Go and of crash-restart respawns.
 func (st *Stage) spawn(name string, body func(th *Thread, pr *Probe)) *Thread {
-	t := st.app.sim.Go(name, func(th *Thread) {
+	t := st.sim().Go(name, func(th *Thread) {
 		pr := st.prof.NewProbe(th, st.CPU())
 		th.Data = pr
 		body(th, pr)
