@@ -167,6 +167,15 @@ func (a *App) GoShard(k int, name string, body func(*Thread)) *Thread {
 	return a.ShardSim(k).Go(name, body)
 }
 
+// GoCoroShard is GoShard for run-to-completion bodies: the thread's
+// program is the resumable frame f, executed by the domain's dispatcher
+// with zero goroutine switches per blocking operation (see Sim.GoCoro).
+// This is the shape for very large client populations — a coroutine
+// client costs a small struct, not a goroutine stack and channel.
+func (a *App) GoCoroShard(k int, name string, f Frame) *Thread {
+	return a.ShardSim(k).GoCoro(name, f)
+}
+
 // Pipe declares a unidirectional cross-domain channel: Send(v) from
 // shard `from`'s execution delivers v onto dst after `latency` of
 // virtual time. Pipes are the only legal communication edge between

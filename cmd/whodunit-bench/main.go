@@ -30,13 +30,23 @@ import (
 // per experiment, for tracking the harness's performance trajectory
 // across changes (BENCH_*.json files in the repo root).
 type benchSnapshot struct {
-	Schema       string         `json:"schema"`
-	Quick        bool           `json:"quick"`
-	Workers      int            `json:"workers"` // 0 = GOMAXPROCS
-	GOMAXPROCS   int            `json:"gomaxprocs"`
-	HostCPUs     int            `json:"host_cpus"`
-	Experiments  []benchExpSnap `json:"experiments"`
-	TotalSeconds float64        `json:"total_seconds"`
+	Schema       string           `json:"schema"`
+	Quick        bool             `json:"quick"`
+	Workers      int              `json:"workers"` // 0 = GOMAXPROCS
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	HostCPUs     int              `json:"host_cpus"`
+	Experiments  []benchExpSnap   `json:"experiments"`
+	Switch       *benchSwitchSnap `json:"switch,omitempty"`
+	TotalSeconds float64          `json:"total_seconds"`
+}
+
+// benchSwitchSnap is the switchcost experiment's headline, carried in
+// the snapshot so the scheduler's hand-off cost is tracked across
+// changes alongside wall-clock times.
+type benchSwitchSnap struct {
+	CoroNsPerSwitch      float64 `json:"coro_ns_per_switch"`
+	GoroutineNsPerSwitch float64 `json:"goroutine_ns_per_switch"`
+	Ratio                float64 `json:"ratio"`
 }
 
 type benchExpSnap struct {
@@ -45,7 +55,7 @@ type benchExpSnap struct {
 }
 
 var experimentNames = []string{
-	"validate", "fig8", "fig9", "fig10", "table1", "fig11", "fig12", "table2", "table3", "overheads", "mesh", "megascale",
+	"validate", "fig8", "fig9", "fig10", "table1", "fig11", "fig12", "table2", "table3", "overheads", "mesh", "megascale", "switchcost",
 }
 
 func main() { os.Exit(run()) }
@@ -117,12 +127,18 @@ func run() int {
 	sc := experiments.FullScale
 	tp := experiments.FullTPCW
 	mg := experiments.FullMega
+	switchRounds := 2_000_000
 	if *quick {
 		sc = experiments.QuickScale
 		tp = experiments.QuickTPCW
 		mg = experiments.QuickMega
+		switchRounds = 300_000
 	}
 	experiments.SetWorkers(*workers)
+
+	// Written by the switchcost job's worker, read only after RunAll's
+	// pool has joined (same discipline as the seconds slice).
+	var switchResult *experiments.SwitchCostResult
 
 	all := []experiments.Job{
 		{Name: "validate", Run: func(w io.Writer) { experiments.FlowValidation().Render(w) }},
@@ -137,6 +153,11 @@ func run() int {
 		{Name: "overheads", Run: func(w io.Writer) { experiments.ServerOverheads(sc).Render(w) }},
 		{Name: "mesh", Run: func(w io.Writer) { experiments.MeshTraffic(sc).Render(w) }},
 		{Name: "megascale", Run: func(w io.Writer) { experiments.MegaScale(mg).Render(w) }},
+		{Name: "switchcost", Run: func(w io.Writer) {
+			r := experiments.SwitchCost(switchRounds)
+			switchResult = &r
+			r.Render(w)
+		}},
 	}
 	jobs := all[:0:0]
 	for _, j := range all {
@@ -172,6 +193,13 @@ func run() int {
 		}
 		for i, j := range jobs {
 			snap.Experiments = append(snap.Experiments, benchExpSnap{Name: j.Name, Seconds: seconds[i]})
+		}
+		if switchResult != nil {
+			snap.Switch = &benchSwitchSnap{
+				CoroNsPerSwitch:      switchResult.Rows[0].NsPerSwitch,
+				GoroutineNsPerSwitch: switchResult.Rows[1].NsPerSwitch,
+				Ratio:                switchResult.Ratio,
+			}
 		}
 		buf, err := json.MarshalIndent(snap, "", "  ")
 		if err == nil {

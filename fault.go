@@ -112,6 +112,10 @@ func (a *App) crashStage(st *Stage, restartAfter Duration) {
 		a.sim.After(restartAfter, func() {
 			a.injector.NoteRestart()
 			for _, sp := range st.specs {
+				if sp.coro != nil {
+					st.spawnCoro(sp.name, sp.coro)
+					continue
+				}
 				st.spawn(sp.name, sp.body)
 			}
 		})

@@ -294,6 +294,35 @@ func (q *Queue) TryGet(th *Thread) (any, bool) {
 	return q.checkRaw(v), true
 }
 
+// GetStep is Get for run-to-completion threads (Stage.GoCoro): it
+// blocks the coroutine on the queue and tail-transfers the dequeued
+// element to k, applying the same Push/Pop pairing guard as Get. The
+// wrapper frame costs one small allocation per call; steady-state loops
+// that must not allocate can block with c.Get(q.Raw(), k) and apply
+// q.Check at the top of k instead.
+func (q *Queue) GetStep(c *Coro, k Frame) Step {
+	return c.Get(q.inner, func(c *Coro, v any) Step { return k(c, q.checkRaw(v)) })
+}
+
+// GetTimeoutStep is GetTimeout for run-to-completion threads: k receives
+// the dequeued element, or nil with c.TimedOut() reporting true once d
+// of virtual time elapses first. Like GetStep it allocates one wrapper
+// frame per call.
+func (q *Queue) GetTimeoutStep(c *Coro, d Duration, k Frame) Step {
+	return c.GetTimeout(q.inner, d, func(c *Coro, v any) Step {
+		if c.TimedOut() {
+			return k(c, nil)
+		}
+		return k(c, q.checkRaw(v))
+	})
+}
+
+// Check applies Get's Push/Pop pairing guard to v — for coroutine
+// continuations that dequeued v straight off the raw queue
+// (c.Get(q.Raw(), k)) to skip GetStep's wrapper allocation. It returns
+// v unchanged.
+func (q *Queue) Check(v any) any { return q.checkRaw(v) }
+
 func (q *Queue) checkRaw(v any) any {
 	if _, ok := v.(pushedElem); ok {
 		panic(fmt.Sprintf("whodunit: queue %q: element added with Push must be dequeued with Pop", q.Name))

@@ -236,63 +236,36 @@ func MegaRun(cfg MegaConfig) *MegaResult {
 			})
 		}
 
+		// The squid workers are run-to-completion coroutines (the
+		// Stage.GoCoro showcase): the hot path — dequeue, forward to
+		// Tomcat, await the response, reply upstream — runs as direct
+		// continuation calls on the domain goroutine, with CPU demand
+		// charged through Probe.ComputeStep. The frames perform exactly
+		// the operations of the old goroutine body, in the same order,
+		// so the profile and goldens are bit-identical.
 		for w := 0; w < cfg.SquidWorkers; w++ {
-			squidSt.Go(fmt.Sprintf("squid-%d", w), func(th *whodunit.Thread, pr *whodunit.Probe) {
-				replyQ := app.NewQueueOn(shard, th.Name+"-reply")
-				for {
-					req := squidQ.Get(th).(*megaRequest)
-					squidEP.Recv(pr, req.msg)
-					upstream := req.replyQ
-					func() {
-						defer pr.Exit(pr.Enter("forward_dynamic"))
-						pr.Compute(300 * whodunit.Microsecond)
-						req.msg = squidEP.Send(pr, nil)
-						req.replyQ = replyQ
-						tomcatQ.Put(req)
-						resp := replyQ.Get(th).(*megaRequest)
-						squidEP.Recv(pr, resp.msg)
-						pr.Compute(200 * whodunit.Microsecond)
-					}()
-					req.msg = squidEP.Send(pr, nil)
-					req.replyQ = nil
-					upstream.Put(req)
-				}
-			})
+			sw := &megaSquid{app: app, shard: shard, squidQ: squidQ, tomcatQ: tomcatQ, ep: squidEP}
+			sw.recvF, sw.fwdF, sw.respF, sw.doneF = sw.recv, sw.fwd, sw.resp, sw.done
+			squidSt.GoCoro(fmt.Sprintf("squid-%d", w), sw.begin)
 		}
 
 		// The pod's share of the clients: global index c keeps the RNG
 		// streams layout-independent; c % Replicas is the load balancer.
+		// Like the single-pod clients, each one is a run-to-completion
+		// coroutine — this is what makes the million-client closed loop
+		// affordable: a client costs one small struct instead of a
+		// goroutine stack, and each round trip costs continuation calls
+		// instead of channel hand-offs.
 		for c := r; c < cfg.Clients; c += cfg.Replicas {
-			c := c
 			mix := workload.NewMixSampler(cfg.Seed+uint64(c)*7919, mixWeights)
 			mix.SetThinkMean(think)
 			crng := vclock.NewRNG(cfg.Seed + uint64(c)*104729)
-			app.GoShard(shard, fmt.Sprintf("client-%d", c), func(th *whodunit.Thread) {
-				replyQ := app.NewQueueOn(shard, th.Name+"-reply")
-				env := &megaRequest{}
-				th.Sleep(whodunit.Duration(crng.Intn(int(think))))
-				for th.Now() < end {
-					name := mix.Next()
-					env.msg = whodunit.Msg{}
-					env.web = webReq{
-						interaction: name,
-						subject:     int64(crng.Intn(24)),
-						itemID:      int64(crng.Intn(10000)),
-					}
-					env.replyQ = replyQ
-					start := th.Now()
-					squidQ.Put(env)
-					replyQ.Get(th)
-					if th.Now() >= end {
-						break
-					}
-					st := pod.perType[name]
-					st.Count++
-					st.TotalResp += th.Now().Sub(start)
-					pod.completed++
-					th.Sleep(mix.ThinkTime())
-				}
-			})
+			cl := &megaClient{
+				app: app, shard: shard, squidQ: squidQ, mix: mix, crng: crng,
+				end: end, think: think, pod: pod,
+			}
+			cl.issueF, cl.replyF = cl.issue, cl.reply
+			app.GoCoroShard(shard, fmt.Sprintf("client-%d", c), cl.begin)
 		}
 	}
 
@@ -321,4 +294,124 @@ func MegaRun(cfg MegaConfig) *MegaResult {
 		res.ThroughputPerMin = float64(res.Completed) / res.Elapsed.Seconds() * 60
 	}
 	return res
+}
+
+// megaClient is the replicated deployment's closed-loop client as a
+// run-to-completion state machine — the mega-scale twin of client, with
+// the pod-private stats struct in place of Result and a shard-pinned
+// reply queue. Frames: begin (reply queue, envelope, desynchronise) →
+// issue → reply → issue → ...
+type megaClient struct {
+	app    *whodunit.App
+	shard  int
+	squidQ *whodunit.Queue
+	replyQ *whodunit.Queue
+	env    *megaRequest
+	mix    *workload.MixSampler
+	crng   *whodunit.RNG
+	end    whodunit.Time
+	think  whodunit.Duration
+	pod    *podStats
+
+	name  string        // interaction in flight
+	start whodunit.Time // round-trip start
+
+	issueF, replyF whodunit.Frame
+}
+
+func (cl *megaClient) begin(c *whodunit.Coro, _ any) whodunit.Step {
+	cl.replyQ = cl.app.NewQueueOn(cl.shard, c.Thread().Name+"-reply")
+	cl.env = &megaRequest{}
+	return c.Sleep(whodunit.Duration(cl.crng.Intn(int(cl.think))), cl.issueF)
+}
+
+func (cl *megaClient) issue(c *whodunit.Coro, _ any) whodunit.Step {
+	if c.Now() >= cl.end {
+		return c.End()
+	}
+	cl.name = cl.mix.Next()
+	cl.env.msg = whodunit.Msg{}
+	cl.env.web = webReq{
+		interaction: cl.name,
+		subject:     int64(cl.crng.Intn(24)),
+		itemID:      int64(cl.crng.Intn(10000)),
+	}
+	cl.env.replyQ = cl.replyQ
+	cl.start = c.Now()
+	cl.squidQ.Put(cl.env)
+	return c.Get(cl.replyQ.Raw(), cl.replyF)
+}
+
+func (cl *megaClient) reply(c *whodunit.Coro, v any) whodunit.Step {
+	cl.replyQ.Check(v)
+	if c.Now() >= cl.end {
+		return c.End()
+	}
+	st := cl.pod.perType[cl.name]
+	st.Count++
+	st.TotalResp += c.Now().Sub(cl.start)
+	cl.pod.completed++
+	return c.Sleep(cl.mix.ThinkTime(), cl.issueF)
+}
+
+// megaSquid is one Squid front-tier worker as a run-to-completion state
+// machine: recv (dequeue a request, open the forward_dynamic frame,
+// charge the forward cost) → fwd (send to Tomcat, await its reply) →
+// resp (charge the response cost) → done (close the frame, reply
+// upstream, go back to the input queue). The probe frame opened in recv
+// stays open across the Tomcat round trip, exactly like the deferred
+// Exit of the old goroutine body.
+type megaSquid struct {
+	app     *whodunit.App
+	shard   int
+	squidQ  *whodunit.Queue
+	tomcatQ *whodunit.Queue
+	ep      *whodunit.Endpoint
+	pr      *whodunit.Probe
+	replyQ  *whodunit.Queue
+
+	req      *megaRequest
+	upstream *whodunit.Queue
+	tok      int // forward_dynamic frame token
+
+	recvF, fwdF, respF, doneF whodunit.Frame
+}
+
+func (sw *megaSquid) begin(th *whodunit.Thread, pr *whodunit.Probe) whodunit.Frame {
+	sw.pr = pr
+	sw.replyQ = sw.app.NewQueueOn(sw.shard, th.Name+"-reply")
+	return sw.idle
+}
+
+func (sw *megaSquid) idle(c *whodunit.Coro, _ any) whodunit.Step {
+	return c.Get(sw.squidQ.Raw(), sw.recvF)
+}
+
+func (sw *megaSquid) recv(c *whodunit.Coro, v any) whodunit.Step {
+	sw.req = sw.squidQ.Check(v).(*megaRequest)
+	sw.ep.Recv(sw.pr, sw.req.msg)
+	sw.upstream = sw.req.replyQ
+	sw.tok = sw.pr.Enter("forward_dynamic")
+	return sw.pr.ComputeStep(c, 300*whodunit.Microsecond, sw.fwdF)
+}
+
+func (sw *megaSquid) fwd(c *whodunit.Coro, _ any) whodunit.Step {
+	sw.req.msg = sw.ep.Send(sw.pr, nil)
+	sw.req.replyQ = sw.replyQ
+	sw.tomcatQ.Put(sw.req)
+	return c.Get(sw.replyQ.Raw(), sw.respF)
+}
+
+func (sw *megaSquid) resp(c *whodunit.Coro, v any) whodunit.Step {
+	resp := sw.replyQ.Check(v).(*megaRequest)
+	sw.ep.Recv(sw.pr, resp.msg)
+	return sw.pr.ComputeStep(c, 200*whodunit.Microsecond, sw.doneF)
+}
+
+func (sw *megaSquid) done(c *whodunit.Coro, _ any) whodunit.Step {
+	sw.pr.Exit(sw.tok)
+	sw.req.msg = sw.ep.Send(sw.pr, nil)
+	sw.req.replyQ = nil
+	sw.upstream.Put(sw.req)
+	return c.Get(sw.squidQ.Raw(), sw.recvF)
 }

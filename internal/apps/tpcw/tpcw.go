@@ -361,45 +361,90 @@ func build(cfg Config) *system {
 
 	// Clients: closed loop with think times. The clients are the load
 	// generator, not part of the profiled application, so they run as
-	// raw simulator threads outside any stage (and carry no probes).
+	// raw simulator threads outside any stage (and carry no probes) —
+	// and as run-to-completion coroutines, so a client costs a small
+	// struct rather than a goroutine stack, and each of its blocking
+	// operations costs a continuation call rather than a channel
+	// hand-off. The program performs exactly the operations of the old
+	// goroutine loop, in the same order, so the output is bit-identical.
 	end := whodunit.Time(cfg.Duration)
 	for c := 0; c < cfg.Clients; c++ {
 		mix := workload.NewMixSampler(cfg.Seed+uint64(c)*7919, mixWeights)
 		mix.SetThinkMean(think)
 		crng := vclock.NewRNG(cfg.Seed + uint64(c)*104729)
-		s.Go(fmt.Sprintf("client-%d", c), func(th *whodunit.Thread) {
-			replyQ := app.NewQueue(th.Name + "-reply")
-			// The client's one envelope, reused for every request (see
-			// request). It comes back on replyQ at the end of each round
-			// trip, so reusing it here never races with a tier.
-			env := &request{}
-			// Desynchronised start.
-			th.Sleep(whodunit.Duration(crng.Intn(int(think))))
-			for th.Now() < end {
-				name := mix.Next()
-				env.msg = whodunit.Msg{}
-				env.web = webReq{
-					interaction: name,
-					subject:     int64(crng.Intn(24)),
-					itemID:      int64(crng.Intn(10000)),
-				}
-				env.replyQ = replyQ
-				start := th.Now()
-				squidQ.Put(env)
-				replyQ.Get(th)
-				if th.Now() >= end {
-					break
-				}
-				st := res.PerType[name]
-				st.Count++
-				st.TotalResp += th.Now().Sub(start)
-				res.Completed++
-				th.Sleep(mix.ThinkTime())
-			}
-		})
+		cl := &client{
+			app: app, squidQ: squidQ, mix: mix, crng: crng,
+			end: end, think: think, res: res,
+		}
+		// Continuations are bound once here, so the steady-state loop
+		// allocates nothing.
+		cl.issueF, cl.replyF = cl.issue, cl.reply
+		s.GoCoro(fmt.Sprintf("client-%d", c), cl.begin)
 	}
 
 	return &system{app: app, res: res, end: end, chainName: chainName}
+}
+
+// client is the run-to-completion state machine of one closed-loop
+// client: begin (create the reply queue and envelope, desynchronise) →
+// issue (draw an interaction, put the envelope to Squid, await the
+// reply) → reply (account the round trip, think) → issue → ... Every
+// mutable of the old goroutine body is a field; the frame continuations
+// are bound once at construction.
+type client struct {
+	app    *whodunit.App
+	squidQ *whodunit.Queue
+	replyQ *whodunit.Queue
+	env    *request
+	mix    *workload.MixSampler
+	crng   *whodunit.RNG
+	end    whodunit.Time
+	think  whodunit.Duration
+	res    *Result
+
+	name  string        // interaction in flight
+	start whodunit.Time // round-trip start
+
+	issueF, replyF whodunit.Frame
+}
+
+func (cl *client) begin(c *whodunit.Coro, _ any) whodunit.Step {
+	cl.replyQ = cl.app.NewQueue(c.Thread().Name + "-reply")
+	// The client's one envelope, reused for every request (see
+	// request). It comes back on replyQ at the end of each round trip,
+	// so reusing it here never races with a tier.
+	cl.env = &request{}
+	// Desynchronised start.
+	return c.Sleep(whodunit.Duration(cl.crng.Intn(int(cl.think))), cl.issueF)
+}
+
+func (cl *client) issue(c *whodunit.Coro, _ any) whodunit.Step {
+	if c.Now() >= cl.end {
+		return c.End()
+	}
+	cl.name = cl.mix.Next()
+	cl.env.msg = whodunit.Msg{}
+	cl.env.web = webReq{
+		interaction: cl.name,
+		subject:     int64(cl.crng.Intn(24)),
+		itemID:      int64(cl.crng.Intn(10000)),
+	}
+	cl.env.replyQ = cl.replyQ
+	cl.start = c.Now()
+	cl.squidQ.Put(cl.env)
+	return c.Get(cl.replyQ.Raw(), cl.replyF)
+}
+
+func (cl *client) reply(c *whodunit.Coro, v any) whodunit.Step {
+	cl.replyQ.Check(v)
+	if c.Now() >= cl.end {
+		return c.End()
+	}
+	st := cl.res.PerType[cl.name]
+	st.Count++
+	st.TotalResp += c.Now().Sub(cl.start)
+	cl.res.Completed++
+	return c.Sleep(cl.mix.ThinkTime(), cl.issueF)
 }
 
 // finish drives the built system to its configured end, shuts it down

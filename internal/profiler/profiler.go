@@ -640,6 +640,24 @@ func (pr *Probe) ComputeN(d vclock.Duration, calls int) {
 // within it. The calling thread blocks until the CPU has served the
 // demand.
 func (pr *Probe) Compute(d vclock.Duration) {
+	if total := pr.account(d); total > 0 {
+		pr.th.Compute(pr.cpu, total)
+	}
+}
+
+// ComputeStep is Compute for run-to-completion threads: the identical
+// sampling and overhead accounting, with the CPU occupancy expressed as
+// a coroutine step instead of a blocking call — k continues once the
+// probe's CPU has served the demand.
+func (pr *Probe) ComputeStep(c *vclock.Coro, d vclock.Duration, k vclock.Frame) vclock.Step {
+	return c.Compute(pr.cpu, pr.account(d), k)
+}
+
+// account performs the non-blocking half of Compute: sample-taking by
+// phase accumulation plus deferred-overhead settlement. It returns the
+// total CPU demand to charge — the application's plus the profiler's
+// own.
+func (pr *Probe) account(d vclock.Duration) vclock.Duration {
 	if d < 0 {
 		d = 0
 	}
@@ -661,7 +679,5 @@ func (pr *Probe) Compute(d vclock.Duration) {
 		pr.prof.overheadAcc += pr.pending
 		pr.pending = 0
 	}
-	if total > 0 {
-		pr.th.Compute(pr.cpu, total)
-	}
+	return total
 }

@@ -1,0 +1,350 @@
+package vclock
+
+// This file is the run-to-completion scheduler: simulated threads whose
+// bodies are resumable state machines instead of goroutines. A Frame is
+// one straight-line segment of such a body; it runs non-blocking code
+// and ends by taking exactly one step — continue into another frame,
+// block on a scheduling primitive naming the frame to resume in, or
+// finish. The dispatcher pops the event heap and invokes continuations
+// directly, so a blocking operation costs a method call instead of a
+// goroutine hand-off: no channel operations, no scheduler round trip,
+// no parked stack.
+//
+// Bit-identity with the goroutine engine is by construction: every Coro
+// operation performs the same bookkeeping — the same heap pushes, the
+// same waiter-list mutations, the same inline-sleep fast path, in the
+// same order — as its blocking Thread counterpart. Only the control
+// transfer differs, and the event order is a function of the heap
+// contents alone, so a program expressed as frames produces the same
+// event order on either engine. The quick-check property tests and the
+// scenario corpus sweep pin this.
+
+// Step is the opaque receipt a Frame returns. Frames cannot construct a
+// meaningful Step themselves — they obtain one by calling exactly one
+// stepping operation (Get, Sleep, Lock, Call, Return, ...); the
+// trampoline panics if a frame returns without stepping, which turns
+// "forgot to block or continue" bugs into immediate failures instead of
+// silently wedged threads.
+type Step struct{ _ byte }
+
+// Frame is one resumable segment of a run-to-completion thread body. It
+// receives the coroutine and the value delivered by the wake that
+// resumed it (the queue item for Get, nil for sleeps and locks), runs
+// arbitrary non-blocking code, and must finish by taking exactly one
+// step.
+type Frame func(c *Coro, v any) Step
+
+// BlockOn is Resume's verdict: whether the coroutine parked on a
+// scheduling primitive or ran to completion.
+type BlockOn uint8
+
+const (
+	// CoroParked: the program blocked; the next wake event delivered to
+	// its thread resumes it.
+	CoroParked BlockOn = iota
+	// CoroDone: the program finished; Resume's second result is the
+	// value passed to the final Return.
+	CoroDone
+)
+
+// blockKind records which primitive the coroutine blocked on, so Resume
+// can run the operation's post-wake bookkeeping before re-entering user
+// frames.
+type blockKind uint8
+
+const (
+	blockNone       blockKind = iota
+	blockWake                 // plain wake: queue get, sleep, yield, compute
+	blockLock                 // lock acquisition: wait accounting + observer pending
+	blockGetTimeout           // timed get: the wake payload may be the timeout sentinel
+)
+
+// Coro is the execution state of one run-to-completion thread: the
+// pending continuation, a return stack for Call/Return composition, and
+// the bookkeeping its blocking operations leave for Resume. All fields
+// are owned by the dispatcher (whoever holds the baton), so no locking
+// is needed — the same single-active-goroutine discipline as the rest
+// of the simulator.
+type Coro struct {
+	t     *Thread
+	next  Frame
+	stack []Frame // return continuations pushed by Call
+	passv any     // value handed to the next frame when not blocking
+
+	blocked blockKind
+	stepped bool // set by the one permitted step per frame
+	done    bool
+	ret     any
+
+	timedOut bool
+
+	// Post-wake bookkeeping for a contended Lock (mirrors the tail of
+	// Thread.Lock, which runs after park returns).
+	lock         *Lock
+	lockMode     LockMode
+	lockSince    Time
+	lockBlockers []*Thread
+
+	cleanups []func() // Defer stack, run on finish, kill and shutdown
+}
+
+func newCoro(t *Thread, f Frame) *Coro {
+	c := &Coro{t: t, next: f}
+	t.coro = c
+	return c
+}
+
+// Thread returns the simulated thread this coroutine runs as.
+func (c *Coro) Thread() *Thread { return c.t }
+
+// Now reports the current virtual time.
+func (c *Coro) Now() Time { return c.t.sim.now }
+
+// op validates the one-step-per-frame discipline and mints the receipt.
+func (c *Coro) op() Step {
+	if c.stepped {
+		panic("vclock: coroutine frame in thread " + c.t.Name + " took two steps; a frame must take exactly one")
+	}
+	c.stepped = true
+	return Step{}
+}
+
+// Goto continues immediately with f (which receives nil): a tail
+// transfer between frames.
+func (c *Coro) Goto(f Frame) Step {
+	c.next = f
+	return c.op()
+}
+
+// Call invokes f now and arranges for ret to receive the value f's
+// chain eventually passes to Return — subroutine composition for
+// frame-based programs.
+func (c *Coro) Call(f, ret Frame) Step {
+	c.stack = append(c.stack, ret)
+	c.next = f
+	return c.op()
+}
+
+// Return pops the innermost Call continuation and continues there with
+// v. On an empty stack the program is finished and v becomes the
+// coroutine's final value.
+func (c *Coro) Return(v any) Step {
+	if n := len(c.stack); n > 0 {
+		c.next = c.stack[n-1]
+		c.stack[n-1] = nil
+		c.stack = c.stack[:n-1]
+		c.passv = v
+		return c.op()
+	}
+	c.done = true
+	c.ret = v
+	return c.op()
+}
+
+// End finishes the program (Return with a nil value).
+func (c *Coro) End() Step { return c.Return(nil) }
+
+// Defer registers fn to run — last registered first — when the program
+// finishes, is killed, or is unwound by Shutdown: the coroutine
+// equivalent of a goroutine body's deferred functions. Like those, fn
+// must not block on simulator primitives.
+func (c *Coro) Defer(fn func()) { c.cleanups = append(c.cleanups, fn) }
+
+// runCleanups runs the Defer stack. A panicking cleanup is recorded as
+// the run's crash (first crash wins) and the remaining cleanups still
+// run, so one failing teardown cannot leak the others' resources.
+func (c *Coro) runCleanups() {
+	for i := len(c.cleanups) - 1; i >= 0; i-- {
+		fn := c.cleanups[i]
+		c.cleanups[i] = nil
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.t.sim.recordCrash(c.t.Name, r)
+				}
+			}()
+			fn()
+		}()
+	}
+	c.cleanups = c.cleanups[:0]
+}
+
+// Get is Queue.Get for coroutines: if an item is buffered, k continues
+// immediately with it; otherwise the thread joins the waiter list and k
+// runs when a Put hands an item over. Bookkeeping is identical to the
+// blocking Get — same TryGet, same waitGen bump, same waiter append.
+func (c *Coro) Get(q *Queue, k Frame) Step {
+	t := c.t
+	if v, ok := t.TryGet(q); ok {
+		c.next, c.passv = k, v
+		return c.op()
+	}
+	t.waitGen++
+	q.enqueueWaiter(t)
+	c.next = k
+	c.blocked = blockWake
+	return c.op()
+}
+
+// GetTimeout is Thread.GetTimeout for coroutines: k continues with the
+// item, or with nil once d elapses first — distinguish with TimedOut,
+// which is valid inside k. A non-positive d degrades to TryGet, exactly
+// like the blocking API.
+func (c *Coro) GetTimeout(q *Queue, d Duration, k Frame) Step {
+	t := c.t
+	c.timedOut = false
+	if v, ok := t.TryGet(q); ok {
+		c.next, c.passv = k, v
+		return c.op()
+	}
+	if d <= 0 {
+		c.timedOut = true
+		c.next, c.passv = k, nil
+		return c.op()
+	}
+	s := t.sim
+	t.waitGen++
+	gen := t.waitGen
+	q.enqueueWaiter(t)
+	s.At(s.now.Add(d), func() {
+		if t.waitGen == gen && !t.dead && q.removeWaiter(t) {
+			s.wakeAt(s.now, t, timeoutWake{})
+		}
+	})
+	c.next = k
+	c.blocked = blockGetTimeout
+	return c.op()
+}
+
+// TimedOut reports whether the GetTimeout that last resumed this
+// coroutine expired without an item. It is meaningful inside the
+// continuation frame passed to GetTimeout, until the next GetTimeout.
+func (c *Coro) TimedOut() bool { return c.timedOut }
+
+// SleepUntil parks the coroutine until virtual time `at`, then runs k.
+// The inline fast path is byte-for-byte the one in Thread.SleepUntil:
+// when the wake would be the strictly earliest pending event, the clock
+// advances in place and k continues without touching the heap.
+func (c *Coro) SleepUntil(at Time, k Frame) Step {
+	t := c.t
+	s := t.sim
+	if at < s.now {
+		at = s.now
+	}
+	if s.running && s.crash == nil && (len(s.events) == 0 || at < s.events[0].when) && (s.stop == nil || !s.stop()) {
+		s.now = at
+		c.next = k
+		return c.op()
+	}
+	s.schedule(at, t)
+	c.next = k
+	c.blocked = blockWake
+	return c.op()
+}
+
+// Sleep parks the coroutine for d of virtual time, then runs k.
+func (c *Coro) Sleep(d Duration, k Frame) Step { return c.SleepUntil(c.t.sim.now.Add(d), k) }
+
+// Yield lets every other runnable thread scheduled at the current
+// instant run before k continues — Thread.Yield for coroutines.
+func (c *Coro) Yield(k Frame) Step { return c.SleepUntil(c.t.sim.now, k) }
+
+// Compute consumes d of CPU time on cpu, then runs k — Thread.Compute
+// for coroutines, with the identical reserve-then-sleep shape.
+func (c *Coro) Compute(cpu *CPU, d Duration, k Frame) Step {
+	if d <= 0 {
+		c.next = k
+		return c.op()
+	}
+	return c.SleepUntil(cpu.reserve(d), k)
+}
+
+// Lock acquires l in the given mode, then runs k — Thread.Lock for
+// coroutines, with the identical grant/queue bookkeeping; the post-wake
+// wait accounting and observer notification run in Resume just before
+// k, exactly where the blocking Lock performs them after park.
+func (c *Coro) Lock(l *Lock, mode LockMode, k Frame) Step {
+	t := c.t
+	if l.HeldBy(t) {
+		panic("vclock: recursive lock acquisition by " + t.Name + " on " + l.Name)
+	}
+	l.acquired++
+	if len(l.waiters) == 0 && l.grantable(mode) {
+		l.holders = append(l.holders, lockHolder{t, mode, l.sim.now})
+		if l.Observer != nil {
+			l.Observer.LockAcquired(l, t, mode, 0, nil)
+		}
+		c.next = k
+		return c.op()
+	}
+	l.contended++
+	w := lockWaiter{t: t, mode: mode, since: l.sim.now, blockers: l.Holders()}
+	l.waiters = append(l.waiters, w)
+	c.lock, c.lockMode, c.lockSince, c.lockBlockers = l, mode, w.since, w.blockers
+	c.next = k
+	c.blocked = blockLock
+	return c.op()
+}
+
+// Unlock releases the coroutine's hold on l (never blocks; not a step).
+func (c *Coro) Unlock(l *Lock) { c.t.Unlock(l) }
+
+// Resume is the trampoline: it runs the post-wake bookkeeping of the
+// operation the coroutine blocked on, then invokes frames — feeding each
+// one the value the previous step produced — until the program blocks
+// again (CoroParked) or finishes (CoroDone, with the final value). The
+// dispatcher calls it with each wake's payload; the goroutine engine's
+// driver calls it between parks.
+func (c *Coro) Resume(v any) (BlockOn, any) {
+	t := c.t
+	switch c.blocked {
+	case blockLock:
+		l := c.lock
+		wait := l.sim.now.Sub(c.lockSince)
+		l.waitTotal += wait
+		if l.Observer != nil {
+			l.Observer.LockAcquired(l, t, c.lockMode, wait, c.lockBlockers)
+		}
+		c.lock, c.lockBlockers = nil, nil
+	case blockGetTimeout:
+		if _, ok := v.(timeoutWake); ok {
+			c.timedOut = true
+			v = nil
+		}
+	}
+	c.blocked = blockNone
+	for {
+		f := c.next
+		c.next = nil
+		c.stepped = false
+		f(c, v)
+		if !c.stepped {
+			panic("vclock: coroutine frame in thread " + t.Name + " returned without taking a step (Get/Sleep/Lock/Goto/Return/...)")
+		}
+		if c.blocked != blockNone {
+			return CoroParked, nil
+		}
+		if c.done {
+			return CoroDone, c.ret
+		}
+		v, c.passv = c.passv, nil
+	}
+}
+
+// driveGoroutine adapts a coroutine program to the goroutine engine: a
+// dedicated goroutine alternates Resume with the ordinary baton-passing
+// park, so the program performs exactly the scheduling operations the
+// run-to-completion engine would — the engines are interchangeable per
+// thread. Kill and Shutdown unwind through park's poison panic; the
+// deferred cleanup run mirrors stepCoro's.
+func (c *Coro) driveGoroutine(t *Thread) {
+	defer c.runCleanups()
+	var v any
+	for {
+		op, _ := c.Resume(v)
+		if op == CoroDone {
+			return
+		}
+		v = t.park()
+	}
+}

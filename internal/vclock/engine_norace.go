@@ -1,0 +1,7 @@
+//go:build !race
+
+package vclock
+
+// raceEnabled reports whether the build carries the race detector; the
+// race build forces DefaultEngine to EngineGoroutine (see engine.go).
+const raceEnabled = false

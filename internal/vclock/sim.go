@@ -3,6 +3,7 @@ package vclock
 import (
 	"fmt"
 	"runtime/debug"
+	"sort"
 )
 
 // Sim is a deterministic discrete-event simulator. It owns the virtual
@@ -32,6 +33,7 @@ type Sim struct {
 	running  bool        // inside RunUntil
 	stop     func() bool // RunUntil's stop predicate, nil when absent
 	selfWake any         // payload of a baton-self wake (see dispatchFrom)
+	engine   EngineKind  // how GoCoro threads execute (snapshot of DefaultEngine)
 
 	crash   *Crash        // first captured panic; halts dispatch
 	killAck chan struct{} // killed thread -> killer handshake
@@ -145,6 +147,7 @@ func New() *Sim {
 		parked:  make(chan struct{}),
 		killAck: make(chan struct{}),
 		threads: make(map[int]*Thread),
+		engine:  DefaultEngine,
 	}
 }
 
@@ -194,8 +197,10 @@ type Thread struct {
 	Name string
 
 	sim     *Sim
-	resume  chan any // scheduler -> thread; payload for queue gets
+	resume  chan any // scheduler -> thread; payload for queue gets (nil for rtc threads)
 	body    func(*Thread)
+	coro    *Coro // the thread's resumable program (GoCoro threads, both engines)
+	rtc     bool  // run-to-completion: stepped inline by the dispatcher, no goroutine
 	started bool
 	exited  bool
 	dead    bool   // marked by Kill; pending events for it are skipped
@@ -232,6 +237,71 @@ func (s *Sim) GoAt(at Time, name string, body func(*Thread)) *Thread {
 	}
 	s.push(event{when: at, t: t, start: true})
 	return t
+}
+
+// GoCoro creates a run-to-completion simulated thread named name whose
+// body is the resumable program starting at frame f, scheduled to start
+// at the current virtual time. Under the default EngineCoro the thread
+// has no goroutine at all: the dispatcher invokes its continuations
+// inline, so every blocking operation costs a method call instead of a
+// channel hand-off. Under EngineGoroutine (forced by -race builds) the
+// identical program is driven from a dedicated goroutine through the
+// ordinary park/resume protocol — the event order is the same either
+// way.
+func (s *Sim) GoCoro(name string, f Frame) *Thread {
+	return s.GoCoroAt(s.now, name, f)
+}
+
+// GoCoroAt is GoCoro with the thread's start delayed until virtual
+// time `at`.
+func (s *Sim) GoCoroAt(at Time, name string, f Frame) *Thread {
+	if s.engine == EngineGoroutine {
+		t := s.GoAt(at, name, nil)
+		c := newCoro(t, f)
+		t.body = c.driveGoroutine
+		return t
+	}
+	t := &Thread{ID: s.nextID, Name: name, sim: s, rtc: true}
+	newCoro(t, f)
+	s.nextID++
+	s.live++
+	s.threads[t.ID] = t
+	if at < s.now {
+		at = s.now
+	}
+	s.push(event{when: at, t: t, start: true})
+	return t
+}
+
+// stepCoro resumes a run-to-completion thread with a wake payload and,
+// when the program finishes or panics, performs the same cleanup-then-
+// exit sequence the goroutine wrapper runs: deferred cleanups first
+// (they are deeper in the conceptual stack), then the crash record,
+// then the exit bookkeeping. The caller is the dispatcher; it keeps the
+// baton throughout.
+func (s *Sim) stepCoro(t *Thread, v any) {
+	c := t.coro
+	done := false
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				crashed = true
+				c.runCleanups()
+				s.recordCrash(t.Name, r)
+			}
+		}()
+		op, _ := c.Resume(v)
+		done = op == CoroDone
+	}()
+	if done {
+		c.runCleanups()
+	}
+	if done || crashed {
+		t.exited = true
+		s.live--
+		delete(s.threads, t.ID)
+	}
 }
 
 // Kill schedules t's death at the current virtual time: a kill event
@@ -366,6 +436,18 @@ func (s *Sim) dispatchFrom(self *Thread) baton {
 				delete(s.threads, t.ID)
 				continue
 			}
+			if t.rtc {
+				// No goroutine to hand the poison to: unwind the
+				// coroutine in place — cleanups, then the same exit
+				// bookkeeping the goroutine wrapper performs — and keep
+				// dispatching. No killAck handshake is needed because
+				// the victim never held a baton to give up.
+				t.coro.runCleanups()
+				t.exited = true
+				s.live--
+				delete(s.threads, t.ID)
+				continue
+			}
 			if t == self {
 				// Self-kill: unwind in place. run() recovers the poison,
 				// does the exit bookkeeping and continues dispatch, so
@@ -389,6 +471,13 @@ func (s *Sim) dispatchFrom(self *Thread) baton {
 				continue
 			}
 			e.t.started = true
+			if e.t.rtc {
+				// Run-to-completion start: invoke the program inline
+				// until it blocks, then keep dispatching. The baton
+				// never moves.
+				s.stepCoro(e.t, nil)
+				continue
+			}
 			go e.t.run()
 			e.t.resumeWith(nil)
 			return batonPassed
@@ -400,6 +489,12 @@ func (s *Sim) dispatchFrom(self *Thread) baton {
 			if e.t.dead || e.t.exited {
 				// Stale wake for a killed thread (its sleep or queue
 				// hand-off was already scheduled); drop it.
+				continue
+			}
+			if e.t.rtc {
+				// Zero-handoff resume: the wake's payload goes straight
+				// into the continuation, on this goroutine.
+				s.stepCoro(e.t, e.v)
 				continue
 			}
 			e.t.resumeWith(e.v)
@@ -450,6 +545,9 @@ func (t *Thread) run() {
 // onward: if the very next event is its own wake-up it returns without
 // blocking at all.
 func (t *Thread) park() any {
+	if t.rtc {
+		panic("vclock: run-to-completion thread " + t.Name + " used the goroutine blocking API (use the Coro methods)")
+	}
 	s := t.sim
 	switch s.dispatchFrom(t) {
 	case batonSelf:
@@ -488,6 +586,11 @@ func (t *Thread) resumeWith(v any) { t.resume <- v }
 // and a heap push/pop from every uncontended Compute/Sleep, without
 // changing the event order observed by any thread.
 func (t *Thread) SleepUntil(at Time) {
+	if t.rtc {
+		// Fail even on the would-be fast path: an API misuse that only
+		// panics under contention would be maddening to reproduce.
+		panic("vclock: run-to-completion thread " + t.Name + " used the goroutine blocking API (use the Coro methods)")
+	}
 	s := t.sim
 	if at < s.now {
 		at = s.now
@@ -559,20 +662,46 @@ func (s *Sim) RunUntil(stop func() bool) {
 // common for server threads.
 func (s *Sim) Live() int { return s.live }
 
-// Shutdown unwinds every simulated thread that is still parked, releasing
-// their goroutines. It must be called only after Run/RunUntil has returned
-// (i.e. from the host goroutine, with no events pending that the caller
-// still cares about). Threads are unwound via a panic recovered inside the
-// thread wrapper, so their deferred functions run.
+// Shutdown unwinds every simulated thread that is still blocked,
+// releasing their goroutines (run-to-completion threads have none; only
+// their cleanups run). It must be called only after Run/RunUntil has
+// returned (i.e. from the host goroutine, with no events pending that
+// the caller still cares about). Goroutine threads are unwound via a
+// panic recovered inside the thread wrapper, so their deferred
+// functions run; coroutine threads run their Defer stacks.
+//
+// Threads unwind in ID (creation) order — not map order — so any side
+// effects of their teardown (released locks, final counter updates) are
+// the same every run. Shutdown is idempotent: every thread it touches
+// is forgotten, so a second call finds nothing to do. It also copes
+// with threads a Sim.Kill marked dead whose kill event never
+// dispatched because the run stopped first: they are still blocked
+// like any other thread and unwind the same way.
 func (s *Sim) Shutdown() {
-	// Collect first: waitParked mutates the map.
-	var ts []*Thread
-	for _, t := range s.threads {
-		ts = append(ts, t)
+	// Collect and order first: the unwinds mutate the map.
+	ids := make([]int, 0, len(s.threads))
+	for id := range s.threads {
+		ids = append(ids, id)
 	}
-	for _, t := range ts {
+	sort.Ints(ids)
+	for _, id := range ids {
+		t, ok := s.threads[id]
+		if !ok || t.exited {
+			continue
+		}
 		if !t.started {
-			// The goroutine was never created; just forget the thread.
+			// The thread never ran (no defers registered, no goroutine
+			// created); just forget it.
+			t.exited = true
+			s.live--
+			delete(s.threads, t.ID)
+			continue
+		}
+		if t.rtc {
+			// No goroutine to poison: run the coroutine's cleanups and
+			// forget it.
+			t.coro.runCleanups()
+			t.exited = true
 			s.live--
 			delete(s.threads, t.ID)
 			continue

@@ -42,7 +42,8 @@ type Stage struct {
 
 type threadSpec struct {
 	name string
-	body func(th *Thread, pr *Probe)
+	body func(th *Thread, pr *Probe)       // Stage.Go bodies
+	coro func(th *Thread, pr *Probe) Frame // Stage.GoCoro programs
 }
 
 func newStage(a *App, name string, opts ...StageOption) *Stage {
@@ -94,7 +95,7 @@ func (st *Stage) CPU() *CPU {
 // attached to the thread (Thread.Data) so crosstalk monitoring can
 // resolve the thread's transaction context.
 func (st *Stage) Go(name string, body func(th *Thread, pr *Probe)) *Thread {
-	st.specs = append(st.specs, threadSpec{name, body})
+	st.specs = append(st.specs, threadSpec{name: name, body: body})
 	return st.spawn(name, body)
 }
 
@@ -105,6 +106,30 @@ func (st *Stage) spawn(name string, body func(th *Thread, pr *Probe)) *Thread {
 		pr := st.prof.NewProbe(th, st.CPU())
 		th.Data = pr
 		body(th, pr)
+	})
+	st.threads = append(st.threads, t)
+	return t
+}
+
+// GoCoro starts a run-to-completion thread in this stage: program is
+// called once, when the thread starts, with the thread and a ready
+// probe (same timing as a Go body's prologue), and returns the frame
+// the program begins at. Blocking must go through the Coro methods —
+// c.Get/c.Sleep/c.Lock and, for profiled CPU demand, Probe.ComputeStep.
+// Like Go bodies, GoCoro programs are recorded for crash respawns.
+func (st *Stage) GoCoro(name string, program func(th *Thread, pr *Probe) Frame) *Thread {
+	st.specs = append(st.specs, threadSpec{name: name, coro: program})
+	return st.spawnCoro(name, program)
+}
+
+// spawnCoro is spawn for GoCoro programs: the bootstrap frame creates
+// the probe at thread start and tail-transfers into the program.
+func (st *Stage) spawnCoro(name string, program func(th *Thread, pr *Probe) Frame) *Thread {
+	t := st.sim().GoCoro(name, func(c *Coro, _ any) Step {
+		th := c.Thread()
+		pr := st.prof.NewProbe(th, st.CPU())
+		th.Data = pr
+		return c.Goto(program(th, pr))
 	})
 	st.threads = append(st.threads, t)
 	return t
